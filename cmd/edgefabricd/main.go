@@ -1,0 +1,260 @@
+// Command edgefabricd runs the Edge Fabric controller.
+//
+// In remote mode (--inventory), it attaches to a running popsim over
+// real transports: BMP feeds and iBGP injection sessions over TCP, sFlow
+// over UDP, exactly as the production controller attaches to peering
+// routers. It then runs the 30-second (configurable) control loop,
+// printing each cycle's decisions.
+//
+// In embedded mode (no --inventory), it builds a self-contained
+// simulation (PoP + controller in one process) and fast-forwards a full
+// virtual day, printing controller activity and a closing summary —
+// a one-command demonstration of the whole system.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"net/netip"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"edgefabric/internal/core"
+	"edgefabric/internal/exp"
+	"edgefabric/internal/netsim"
+	"edgefabric/internal/sflow"
+)
+
+func main() {
+	var (
+		invPath     = flag.String("inventory", "", "inventory JSON from popsim (remote mode)")
+		sflowListen = flag.String("sflow-listen", "127.0.0.1:6343", "UDP address for sFlow ingest (remote mode)")
+		cycle       = flag.Duration("cycle", 5*time.Second, "control cycle interval (remote mode, wall clock)")
+		threshold   = flag.Float64("threshold", 0.95, "interface utilization threshold")
+		duration    = flag.Duration("duration", 0, "run time (0 = until interrupt; embedded mode default 24h virtual)")
+		perfAware   = flag.Bool("perf-aware", false, "enable performance-aware overrides (embedded mode)")
+		prefixes    = flag.Int("prefixes", 2000, "embedded mode: number of prefixes")
+		peakGbps    = flag.Float64("peak-gbps", 400, "embedded mode: peak demand (Gbps)")
+		seed        = flag.Int64("seed", 1, "embedded mode: scenario seed")
+		status      = flag.String("status", "", "serve the controller status API on this address (e.g. 127.0.0.1:8080)")
+		auditPath   = flag.String("audit", "", "append a JSON line per cycle to this file")
+		verbose     = flag.Bool("v", false, "verbose logging")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	audit := openAudit(*auditPath)
+	if *invPath != "" {
+		runRemote(ctx, *invPath, *sflowListen, *cycle, *threshold, *duration, *status, audit, *verbose)
+		return
+	}
+	runEmbedded(ctx, *prefixes, *peakGbps, *seed, *threshold, *duration, *status, audit, *perfAware, *verbose)
+}
+
+// openAudit returns an audit logger appending to path, or nil.
+func openAudit(path string) *core.AuditLogger {
+	if path == "" {
+		return nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		log.Fatalf("audit: %v", err)
+	}
+	return core.NewAuditLogger(f)
+}
+
+// runRemote attaches to popsim's TCP/UDP surface.
+func runRemote(ctx context.Context, invPath, sflowListen string, cycle time.Duration, threshold float64, duration time.Duration, statusAddr string, audit *core.AuditLogger, verbose bool) {
+	invFile, err := core.LoadInventoryFile(invPath)
+	if err != nil {
+		log.Fatalf("inventory: %v", err)
+	}
+	inv, err := invFile.Build()
+	if err != nil {
+		log.Fatalf("inventory: %v", err)
+	}
+	for _, p := range invFile.Peers {
+		if alias := netsim.V6AliasFor(p.Addr); alias != p.Addr {
+			_ = inv.RegisterPeerAlias(alias, p.Addr)
+		}
+	}
+
+	var logf func(string, ...any)
+	if verbose {
+		logf = log.Printf
+	}
+
+	// sFlow ingest.
+	udp, err := net.ListenPacket("udp", sflowListen)
+	if err != nil {
+		log.Fatalf("sflow listen: %v", err)
+	}
+
+	var ctrl *core.Controller
+	traffic := sflow.NewCollector(sflow.CollectorConfig{
+		Mapper: sflow.PrefixMapperFunc(func(a netip.Addr) netip.Prefix {
+			if ctrl == nil {
+				return netip.Prefix{}
+			}
+			return ctrl.Store().LookupPrefix(a)
+		}),
+	})
+	go func() {
+		if err := traffic.ServeUDP(ctx, udp); err != nil {
+			log.Printf("sflow ingest: %v", err)
+		}
+	}()
+
+	ctrl, err = core.New(core.Config{
+		Inventory:     inv,
+		Traffic:       traffic,
+		Allocator:     core.AllocatorConfig{Threshold: threshold},
+		CycleInterval: cycle,
+		LocalAS:       invFile.LocalAS,
+		Audit:         audit,
+		Logf:          logf,
+	})
+	if err != nil {
+		log.Fatalf("controller: %v", err)
+	}
+	defer ctrl.Close()
+
+	for _, r := range invFile.Routers {
+		if r.BMP != "" {
+			conn, err := net.Dial("tcp", r.BMP)
+			if err != nil {
+				log.Fatalf("dial BMP %s: %v", r.BMP, err)
+			}
+			ctrl.AddBMPFeed(r.Name, conn)
+			log.Printf("BMP feed %s attached (%s)", r.Name, r.BMP)
+		}
+		if r.Inject != "" {
+			conn, err := net.Dial("tcp", r.Inject)
+			if err != nil {
+				log.Fatalf("dial inject %s: %v", r.Inject, err)
+			}
+			addr, err := netip.ParseAddr(r.Addr)
+			if err != nil {
+				log.Fatalf("router addr %q: %v", r.Addr, err)
+			}
+			if err := ctrl.AddInjectionSession(addr, conn); err != nil {
+				log.Fatalf("injection session %s: %v", r.Name, err)
+			}
+			log.Printf("injection session %s attached (%s)", r.Name, r.Inject)
+		}
+	}
+	readyCtx, cancel := context.WithTimeout(ctx, 60*time.Second)
+	err = ctrl.WaitReady(readyCtx, 1)
+	cancel()
+	if err != nil {
+		log.Fatalf("ready: %v", err)
+	}
+	log.Printf("controller ready: %d routes collected", ctrl.Store().Table().RouteCount())
+	serveStatus(ctx, statusAddr, ctrl)
+
+	ticker := time.NewTicker(cycle)
+	defer ticker.Stop()
+	var deadline <-chan time.Time
+	if duration > 0 {
+		deadline = time.After(duration)
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			log.Printf("interrupted; withdrawing overrides")
+			return
+		case <-deadline:
+			return
+		case <-ticker.C:
+			report, err := ctrl.RunCycle()
+			if err != nil {
+				log.Printf("cycle: %v", err)
+				continue
+			}
+			fmt.Println(core.FormatReport(report, inv))
+		}
+	}
+}
+
+// serveStatus exposes the controller status API when addr is nonempty.
+func serveStatus(ctx context.Context, addr string, ctrl *core.Controller) {
+	if addr == "" {
+		return
+	}
+	srv := &http.Server{Addr: addr, Handler: ctrl.StatusHandler()}
+	go func() {
+		<-ctx.Done()
+		srv.Close()
+	}()
+	go func() {
+		log.Printf("status API on http://%s/ (endpoints: /metrics /overrides /cycles /routes)", addr)
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Printf("status server: %v", err)
+		}
+	}()
+}
+
+// runEmbedded fast-forwards a self-contained simulation.
+func runEmbedded(ctx context.Context, prefixes int, peakGbps float64, seed int64, threshold float64, duration time.Duration, statusAddr string, audit *core.AuditLogger, perfAware, verbose bool) {
+	if duration == 0 {
+		duration = 24 * time.Hour
+	}
+	var logf func(string, ...any)
+	if verbose {
+		logf = log.Printf
+	}
+	cfg := exp.HarnessConfig{
+		Synth: netsim.SynthConfig{
+			Seed:     seed,
+			Prefixes: prefixes,
+			PeakBps:  peakGbps * 1e9,
+		},
+		Allocator:         core.AllocatorConfig{Threshold: threshold},
+		ControllerEnabled: true,
+		PerfAware:         perfAware,
+		Audit:             audit,
+		Logf:              logf,
+	}
+	log.Printf("building embedded PoP (%d prefixes)...", prefixes)
+	h, err := exp.NewHarness(ctx, cfg)
+	if err != nil {
+		log.Fatalf("harness: %v", err)
+	}
+	defer h.Close()
+	serveStatus(ctx, statusAddr, h.Controller)
+	log.Printf("%s converged; simulating %s of virtual time", h, duration)
+
+	var cycles, withOverrides int
+	var peakDetour float64
+	var drops, offered float64
+	h.Run(duration, func(s *netsim.TickStats, r *core.CycleReport) {
+		offered += s.TotalDemandBps()
+		drops += s.TotalDropsBps()
+		if r == nil {
+			return
+		}
+		cycles++
+		if len(r.Overrides) > 0 {
+			withOverrides++
+			if frac := r.DetouredBps / r.DemandBps; frac > peakDetour {
+				peakDetour = frac
+			}
+		}
+		if r.Seq%40 == 0 || len(r.ResidualOverloadBps) > 0 {
+			fmt.Println(core.FormatReport(r, h.Inventory))
+		}
+	})
+	fmt.Printf("\nsummary: %d cycles, %d with overrides (peak detour %.1f%% of demand)\n",
+		cycles, withOverrides, peakDetour*100)
+	fmt.Printf("dropped %.4f%% of offered bytes over the day\n", 100*drops/offered)
+	fmt.Println("\ncontroller metrics:")
+	fmt.Println(h.Controller.Metrics().Render())
+}

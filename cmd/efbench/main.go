@@ -1,0 +1,217 @@
+// Command efbench regenerates every experiment in EXPERIMENTS.md
+// (E1–E10): it builds the synthetic PoP scenario at the requested scale,
+// runs the plain-BGP baseline and the Edge-Fabric-controlled arms over
+// simulated days, and prints each experiment's rows. The output of
+// `efbench -scale paper` is what EXPERIMENTS.md records.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"edgefabric/internal/core"
+	"edgefabric/internal/exp"
+	"edgefabric/internal/netsim"
+	"edgefabric/internal/rib"
+)
+
+func main() {
+	var (
+		scale = flag.String("scale", "small", "small | paper (scenario size)")
+		only  = flag.String("only", "", "comma-separated experiment ids (e.g. E1,E4); empty = all")
+		seed  = flag.Int64("seed", 1, "scenario seed")
+		out   = flag.String("out", "", "also write results to this file")
+	)
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	base, day := scaleConfig(*scale, *seed)
+	want := func(id string) bool {
+		if *only == "" {
+			return true
+		}
+		for _, s := range strings.Split(*only, ",") {
+			if strings.EqualFold(strings.TrimSpace(s), id) {
+				return true
+			}
+		}
+		return false
+	}
+
+	ctx := context.Background()
+	started := time.Now()
+	fmt.Fprintf(w, "edge fabric experiment suite — scale=%s seed=%d (%d prefixes, %s simulated/arm)\n\n",
+		*scale, *seed, base.Synth.Prefixes, day)
+
+	// ---- Static / baseline experiments share one plain-BGP harness.
+	if want("E1") || want("E2") || want("E3") || want("E8") {
+		h := mustHarness(ctx, withController(base, false))
+		if want("E1") {
+			fmt.Fprint(w, exp.E1RouteDiversity(h).String(), "\n")
+		}
+		if want("E3") {
+			fmt.Fprint(w, exp.E3PolicyTiers(h).String(), "\n")
+		}
+		if want("E8") {
+			res, err := exp.E8AltPathGaps(h, 8)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprint(w, res.String(), "\n")
+		}
+		if want("E2") {
+			fmt.Fprint(w, exp.E2ProjectedOverload(h, day).String(), "\n")
+		}
+		h.Close()
+	}
+
+	// ---- Controlled-arm experiments.
+	if want("E4") || want("E5") || want("E7") {
+		h := mustHarness(ctx, withController(base, true))
+		if want("E4") {
+			fmt.Fprint(w, exp.E4DetourVolume(h, day).String(), "\n")
+		}
+		if want("E5") {
+			fmt.Fprint(w, exp.E5DetourDurations(h, day/2).String(), "\n")
+		}
+		if want("E7") {
+			fmt.Fprint(w, exp.E7DetourLatency(h, day/4).String(), "\n")
+		}
+		h.Close()
+	}
+
+	if want("E6") {
+		hb := mustHarness(ctx, withController(base, false))
+		he := mustHarness(ctx, withController(base, true))
+		res := &exp.AvoidanceResult{
+			Baseline: exp.RunAvoidanceArm(hb, day/2),
+			WithEF:   exp.RunAvoidanceArm(he, day/2),
+		}
+		fmt.Fprint(w, res.String(), "\n")
+		hb.Close()
+		he.Close()
+	}
+
+	if want("E9") {
+		res := runE9(ctx, base)
+		fmt.Fprint(w, res.String(), "\n")
+	}
+
+	if want("E10") {
+		// Ablations run across the evening peak, where variants differ.
+		ablBase := withController(base, true)
+		ablBase.Start = time.Date(2017, 3, 1, 18, 30, 0, 0, time.UTC)
+		var res exp.AblationResult
+		for _, v := range exp.DefaultAblationVariants() {
+			row, err := exp.RunAblation(ablBase, v, day/8)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res.Rows = append(res.Rows, *row)
+		}
+		fmt.Fprint(w, res.String(), "\n")
+	}
+
+	if want("FLEET") {
+		// Across-PoPs view: 4 sites with staggered peaks, each under
+		// its own controller, spanning the evening peaks.
+		fb := withController(base, true)
+		fb.Start = time.Date(2017, 3, 1, 17, 0, 0, 0, time.UTC)
+		fl, err := exp.NewFleet(ctx, exp.FleetConfig{Base: fb, PoPs: 4, PeakHourSpreadH: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprint(w, fl.Run(day/4).String(), "\n")
+		fl.Close()
+	}
+
+	fmt.Fprintf(w, "total wall time %s\n", time.Since(started).Round(time.Second))
+}
+
+// scaleConfig returns the base harness config and per-arm simulated
+// duration for the named scale.
+func scaleConfig(scale string, seed int64) (exp.HarnessConfig, time.Duration) {
+	switch scale {
+	case "paper":
+		return exp.HarnessConfig{
+			Synth: netsim.SynthConfig{
+				Seed:     seed,
+				Prefixes: 4000,
+				PeakBps:  400e9,
+			},
+			Allocator: core.AllocatorConfig{Threshold: 0.95},
+			Start:     time.Date(2017, 3, 1, 12, 0, 0, 0, time.UTC),
+		}, 24 * time.Hour
+	case "small":
+		return exp.HarnessConfig{
+			Synth: netsim.SynthConfig{
+				Seed:               seed,
+				Prefixes:           800,
+				EdgeASes:           120,
+				PrivatePeers:       6,
+				PublicPeers:        16,
+				RouteServerMembers: 24,
+				PeakBps:            200e9,
+			},
+			Allocator: core.AllocatorConfig{Threshold: 0.95},
+			Start:     time.Date(2017, 3, 1, 12, 0, 0, 0, time.UTC),
+		}, 6 * time.Hour
+	default:
+		log.Fatalf("unknown scale %q", scale)
+		return exp.HarnessConfig{}, 0
+	}
+}
+
+func withController(cfg exp.HarnessConfig, on bool) exp.HarnessConfig {
+	cfg.ControllerEnabled = on
+	return cfg
+}
+
+func mustHarness(ctx context.Context, cfg exp.HarnessConfig) *exp.Harness {
+	h, err := exp.NewHarness(ctx, cfg)
+	if err != nil {
+		log.Fatalf("harness: %v", err)
+	}
+	return h
+}
+
+// runE9 builds the flash-crowd scenario: calm PoP, biggest private AS
+// triples shortly after start.
+func runE9(ctx context.Context, base exp.HarnessConfig) *exp.FlashReactionResult {
+	cfg := withController(base, true)
+	cfg.Synth.PNIHeadroomMin = 1.2
+	cfg.Synth.PNIHeadroomMax = 1.5
+	sc, err := netsim.Synthesize(cfg.Synth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var flashAS uint32
+	var best float64
+	for as, info := range sc.ASes {
+		if info.Class == rib.ClassPrivate && info.Weight > best {
+			best, flashAS = info.Weight, as
+		}
+	}
+	flashStart := cfg.Start.Add(10 * time.Minute)
+	cfg.Demand.Flash = []netsim.FlashEvent{{
+		AS: flashAS, Start: flashStart, Duration: time.Hour, Multiplier: 3,
+	}}
+	h := mustHarness(ctx, cfg)
+	defer h.Close()
+	return exp.E9FlashReaction(h, flashStart, 90*time.Minute)
+}

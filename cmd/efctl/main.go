@@ -1,0 +1,52 @@
+// Command efctl queries a running edgefabricd's status API (started
+// with --status):
+//
+//	efctl -status 127.0.0.1:8080 overrides
+//	efctl -status 127.0.0.1:8080 cycles
+//	efctl -status 127.0.0.1:8080 metrics
+//	efctl -status 127.0.0.1:8080 routes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"time"
+)
+
+func main() {
+	status := flag.String("status", "127.0.0.1:8080", "edgefabricd status API address")
+	timeout := flag.Duration("timeout", 5*time.Second, "request timeout")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: efctl [-status host:port] overrides|cycles|metrics|routes\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	what := flag.Arg(0)
+	switch what {
+	case "overrides", "cycles", "metrics", "routes":
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	resp, err := client.Get(fmt.Sprintf("http://%s/%s", *status, what))
+	if err != nil {
+		log.Fatalf("efctl: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("efctl: %s returned %s", what, resp.Status)
+	}
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		log.Fatalf("efctl: %v", err)
+	}
+}

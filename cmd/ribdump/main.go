@@ -1,0 +1,103 @@
+// Command ribdump attaches to a BMP feed (e.g. one served by popsim
+// --bmp-base) and prints the monitored router's route stream — a
+// debugging tool for inspecting what the controller would see.
+//
+// Note that popsim serves each BMP feed to a single consumer: ribdump
+// and edgefabricd cannot share one feed.
+//
+//	ribdump -connect 127.0.0.1:11019 -n 20
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"sync/atomic"
+	"syscall"
+
+	"edgefabric/internal/bmp"
+)
+
+func main() {
+	var (
+		connect = flag.String("connect", "127.0.0.1:11019", "BMP endpoint to attach to")
+		maxMsgs = flag.Int("n", 0, "stop after this many route messages (0 = run until EOF)")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	conn, err := net.Dial("tcp", *connect)
+	if err != nil {
+		log.Fatalf("dial: %v", err)
+	}
+	h := &printer{max: int64(*maxMsgs), done: stop}
+	col := &bmp.Collector{Handler: h}
+	if err := col.HandleConn(ctx, *connect, conn); err != nil && ctx.Err() == nil {
+		log.Fatalf("stream: %v", err)
+	}
+	fmt.Printf("-- %d route messages, %d peer events --\n", h.routes.Load(), h.peers.Load())
+}
+
+type printer struct {
+	bmp.NopHandler
+	routes atomic.Int64
+	peers  atomic.Int64
+	max    int64
+	done   func()
+}
+
+func (p *printer) OnInitiation(router string, m *bmp.Initiation) {
+	fmt.Printf("initiation from %s: %v\n", router, m.Info)
+}
+
+func (p *printer) OnPeerUp(router string, m *bmp.PeerUp) {
+	p.peers.Add(1)
+	fmt.Printf("peer up   %s AS%d\n", m.Peer.PeerAddr, m.Peer.PeerAS)
+}
+
+func (p *printer) OnPeerDown(router string, m *bmp.PeerDown) {
+	p.peers.Add(1)
+	fmt.Printf("peer down %s AS%d reason %d\n", m.Peer.PeerAddr, m.Peer.PeerAS, m.Reason)
+}
+
+func (p *printer) OnRoute(router string, m *bmp.RouteMonitoring) {
+	u := m.Update
+	path := formatPath(u.Attrs.FlatASPath())
+	for _, w := range u.Withdrawn {
+		fmt.Printf("withdraw %-22s from %s\n", w, m.Peer.PeerAddr)
+	}
+	if u.Attrs.MPUnreach != nil {
+		for _, w := range u.Attrs.MPUnreach.Withdrawn {
+			fmt.Printf("withdraw %-22s from %s\n", w, m.Peer.PeerAddr)
+		}
+	}
+	for _, n := range u.NLRI {
+		fmt.Printf("route    %-22s via %-15s path %s\n", n, u.Attrs.NextHop, path)
+	}
+	if u.Attrs.MPReach != nil {
+		for _, n := range u.Attrs.MPReach.NLRI {
+			fmt.Printf("route    %-22s via %-15s path %s\n", n, u.Attrs.MPReach.NextHop, path)
+		}
+	}
+	if p.routes.Add(1) == p.max {
+		p.done()
+	}
+}
+
+func formatPath(asns []uint32) string {
+	if len(asns) == 0 {
+		return "(empty)"
+	}
+	parts := make([]string, len(asns))
+	for i, a := range asns {
+		parts[i] = fmt.Sprint(a)
+	}
+	return strings.Join(parts, " ")
+}

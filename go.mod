@@ -1,0 +1,3 @@
+module edgefabric
+
+go 1.22

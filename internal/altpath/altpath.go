@@ -1,0 +1,283 @@
+// Package altpath implements Edge Fabric's alternate-path measurement
+// subsystem (paper §6). Production Edge Fabric steers a small random
+// slice of flows onto the 2nd/3rd-preferred and transit routes by
+// marking them with distinct DSCP values that policy routing maps to
+// injected alternate routes; server-side TCP statistics then yield
+// per-(prefix, path) performance. Here the DSCP plumbing is abstracted
+// behind an RTTSource (the simulator's dataplane), while the sampling,
+// aggregation, and reporting logic match the paper's design.
+package altpath
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"sync"
+
+	"edgefabric/internal/rib"
+)
+
+// RTTSource "measures" one flow routed via a specific route — in the
+// simulator, the path-performance model; in production, a sampled
+// connection's TCP RTT.
+type RTTSource interface {
+	// RTTForRoute returns the RTT in milliseconds a flow to prefix p
+	// experiences when routed via r.
+	RTTForRoute(p netip.Prefix, r *rib.Route) float64
+}
+
+// Config parameterizes a Measurer.
+type Config struct {
+	// Routes supplies all known routes per prefix (the controller's
+	// route store table).
+	Routes *rib.Table
+	// Source measures individual sampled flows; required.
+	Source RTTSource
+	// MaxAltPaths is how many alternate routes are measured per prefix,
+	// matching the number of spare DSCP marks. Default 3.
+	MaxAltPaths int
+	// SamplesPerRound is how many flows are sampled onto each measured
+	// path per measurement round. Default 4.
+	SamplesPerRound int
+	// NoiseMS is the σ of Gaussian measurement noise per sampled flow.
+	// Default 2 ms.
+	NoiseMS float64
+	// WindowSamples bounds the per-path sample buffer; older samples
+	// fall off. Default 64.
+	WindowSamples int
+	// Seed drives sampling noise.
+	Seed int64
+}
+
+func (c *Config) setDefaults() {
+	if c.MaxAltPaths == 0 {
+		c.MaxAltPaths = 3
+	}
+	if c.SamplesPerRound == 0 {
+		c.SamplesPerRound = 4
+	}
+	if c.NoiseMS == 0 {
+		c.NoiseMS = 2
+	}
+	if c.WindowSamples == 0 {
+		c.WindowSamples = 64
+	}
+}
+
+// PathStat summarizes measurements of one (prefix, route) pair.
+type PathStat struct {
+	// Route is the measured route.
+	Route *rib.Route
+	// Primary marks BGP's preferred path.
+	Primary bool
+	// P50 and P90 are RTT percentiles over the sample window, in ms.
+	P50, P90 float64
+	// N is the number of samples in the window.
+	N int
+}
+
+// PrefixReport compares a prefix's primary path to its best measured
+// alternate.
+type PrefixReport struct {
+	Prefix netip.Prefix
+	// Paths holds all measured paths, primary first.
+	Paths []PathStat
+	// GapMS is primary P50 − best alternate P50; positive means some
+	// alternate is faster.
+	GapMS float64
+	// BestAlt is the fastest alternate (nil if none measured).
+	BestAlt *PathStat
+}
+
+// Measurer samples flows onto alternate paths and aggregates
+// per-(prefix, path) RTT windows. Safe for concurrent use.
+type Measurer struct {
+	cfg Config
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	windows map[pathKey]*window
+}
+
+type pathKey struct {
+	prefix netip.Prefix
+	peer   netip.Addr
+}
+
+type window struct {
+	samples []float64
+	next    int
+	full    bool
+	primary bool
+	route   *rib.Route
+}
+
+func (w *window) add(v float64, max int) {
+	if len(w.samples) < max {
+		w.samples = append(w.samples, v)
+		return
+	}
+	w.samples[w.next] = v
+	w.next = (w.next + 1) % len(w.samples)
+	w.full = true
+}
+
+func (w *window) percentile(q float64) float64 {
+	if len(w.samples) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), w.samples...)
+	sort.Float64s(sorted)
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// NewMeasurer returns a Measurer for cfg.
+func NewMeasurer(cfg Config) (*Measurer, error) {
+	cfg.setDefaults()
+	if cfg.Routes == nil || cfg.Source == nil {
+		return nil, fmt.Errorf("altpath: Routes and Source required")
+	}
+	return &Measurer{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		windows: make(map[pathKey]*window),
+	}, nil
+}
+
+// MeasureRound samples the primary and up to MaxAltPaths alternates of
+// each given prefix, as the production system continuously does for
+// random user flows. Prefixes without at least one alternate are
+// skipped. It returns the number of (prefix, path) pairs sampled.
+func (m *Measurer) MeasureRound(prefixes []netip.Prefix) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	measured := 0
+	for _, p := range prefixes {
+		routes := organic(m.cfg.Routes.Routes(p))
+		if len(routes) < 2 {
+			continue
+		}
+		limit := min(len(routes), 1+m.cfg.MaxAltPaths)
+		for i := 0; i < limit; i++ {
+			r := routes[i]
+			k := pathKey{prefix: p, peer: r.PeerAddr}
+			w, ok := m.windows[k]
+			if !ok {
+				w = &window{}
+				m.windows[k] = w
+			}
+			w.primary = i == 0
+			w.route = r
+			for s := 0; s < m.cfg.SamplesPerRound; s++ {
+				rtt := m.cfg.Source.RTTForRoute(p, r) + m.rng.NormFloat64()*m.cfg.NoiseMS
+				if rtt < 0.1 {
+					rtt = 0.1
+				}
+				w.add(rtt, m.cfg.WindowSamples)
+			}
+			measured++
+		}
+	}
+	return measured
+}
+
+// organic filters out controller-injected routes: measurements compare
+// BGP's own options.
+func organic(routes []*rib.Route) []*rib.Route {
+	out := routes[:0:0]
+	for _, r := range routes {
+		if r.PeerClass != rib.ClassController {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Report builds the comparison report for one prefix, or nil if the
+// prefix has no measured primary.
+func (m *Measurer) Report(p netip.Prefix) *PrefixReport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reportLocked(p)
+}
+
+func (m *Measurer) reportLocked(p netip.Prefix) *PrefixReport {
+	var paths []PathStat
+	for k, w := range m.windows {
+		if k.prefix != p || len(w.samples) == 0 {
+			continue
+		}
+		paths = append(paths, PathStat{
+			Route:   w.route,
+			Primary: w.primary,
+			P50:     w.percentile(0.50),
+			P90:     w.percentile(0.90),
+			N:       len(w.samples),
+		})
+	}
+	if len(paths) == 0 {
+		return nil
+	}
+	sort.Slice(paths, func(a, b int) bool {
+		if paths[a].Primary != paths[b].Primary {
+			return paths[a].Primary
+		}
+		return paths[a].P50 < paths[b].P50
+	})
+	if !paths[0].Primary {
+		return nil // no primary measured
+	}
+	rep := &PrefixReport{Prefix: p, Paths: paths}
+	for i := 1; i < len(paths); i++ {
+		if rep.BestAlt == nil || paths[i].P50 < rep.BestAlt.P50 {
+			rep.BestAlt = &paths[i]
+		}
+	}
+	if rep.BestAlt != nil {
+		rep.GapMS = paths[0].P50 - rep.BestAlt.P50
+	}
+	return rep
+}
+
+// Reports returns reports for all measured prefixes, in unspecified
+// order.
+func (m *Measurer) Reports() []*PrefixReport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	seen := make(map[netip.Prefix]bool)
+	var out []*PrefixReport
+	for k := range m.windows {
+		if seen[k.prefix] {
+			continue
+		}
+		seen[k.prefix] = true
+		if rep := m.reportLocked(k.prefix); rep != nil {
+			out = append(out, rep)
+		}
+	}
+	return out
+}
+
+// GapCDF summarizes all measured prefixes: the fraction whose best
+// alternate beats the primary's median RTT by at least each of the
+// given thresholds (in ms). This regenerates the paper's §6 headline
+// ("for ~5% of prefixes an alternate is ≥20 ms faster").
+func (m *Measurer) GapCDF(thresholdsMS ...float64) map[float64]float64 {
+	reports := m.Reports()
+	out := make(map[float64]float64, len(thresholdsMS))
+	if len(reports) == 0 {
+		return out
+	}
+	for _, th := range thresholdsMS {
+		n := 0
+		for _, rep := range reports {
+			if rep.BestAlt != nil && rep.GapMS >= th {
+				n++
+			}
+		}
+		out[th] = float64(n) / float64(len(reports))
+	}
+	return out
+}

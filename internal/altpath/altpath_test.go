@@ -1,0 +1,185 @@
+package altpath
+
+import (
+	"fmt"
+	"math"
+	"net/netip"
+	"testing"
+
+	"edgefabric/internal/rib"
+)
+
+// modelSource returns fixed RTTs per (prefix, peer).
+type modelSource map[string]float64
+
+func (s modelSource) RTTForRoute(p netip.Prefix, r *rib.Route) float64 {
+	return s[p.String()+"|"+r.PeerAddr.String()]
+}
+
+func mkTable(t *testing.T, n int, altFaster map[int]float64) (*rib.Table, modelSource) {
+	t.Helper()
+	tab := rib.NewTable(rib.DefaultPolicy())
+	src := modelSource{}
+	for i := 0; i < n; i++ {
+		prefix := fmt.Sprintf("10.0.%d.0/24", i)
+		p := netip.MustParsePrefix(prefix)
+		private := &rib.Route{
+			Prefix:    p,
+			NextHop:   netip.MustParseAddr("172.20.0.1"),
+			PeerAddr:  netip.MustParseAddr("172.20.0.1"),
+			PeerClass: rib.ClassPrivate,
+			ASPath:    []uint32{65010},
+			EgressIF:  0,
+		}
+		transit := &rib.Route{
+			Prefix:    p,
+			NextHop:   netip.MustParseAddr("172.20.0.9"),
+			PeerAddr:  netip.MustParseAddr("172.20.0.9"),
+			PeerClass: rib.ClassTransit,
+			ASPath:    []uint32{64601, 65010},
+			EgressIF:  3,
+		}
+		rib.DefaultPolicy().Import(private)
+		rib.DefaultPolicy().Import(transit)
+		tab.Add(private)
+		tab.Add(transit)
+		// Default: primary 20ms, transit 40ms. Overridden per altFaster.
+		src[prefix+"|172.20.0.1"] = 20
+		src[prefix+"|172.20.0.9"] = 40
+		if gain, ok := altFaster[i]; ok {
+			src[prefix+"|172.20.0.1"] = 20 + gain
+			src[prefix+"|172.20.0.9"] = 20
+		}
+	}
+	return tab, src
+}
+
+func prefixes(n int) []netip.Prefix {
+	out := make([]netip.Prefix, n)
+	for i := range out {
+		out[i] = netip.MustParsePrefix(fmt.Sprintf("10.0.%d.0/24", i))
+	}
+	return out
+}
+
+func TestMeasurerDetectsFasterAlternate(t *testing.T) {
+	tab, src := mkTable(t, 10, map[int]float64{3: 30}) // prefix 3: transit 30ms faster
+	m, err := NewMeasurer(Config{Routes: tab, Source: src, Seed: 1, NoiseMS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 8; round++ {
+		m.MeasureRound(prefixes(10))
+	}
+	rep := m.Report(netip.MustParsePrefix("10.0.3.0/24"))
+	if rep == nil {
+		t.Fatal("no report")
+	}
+	if rep.GapMS < 20 {
+		t.Errorf("gap = %.1f ms, want ~30", rep.GapMS)
+	}
+	if rep.BestAlt == nil || rep.BestAlt.Route.PeerClass != rib.ClassTransit {
+		t.Errorf("best alt = %+v", rep.BestAlt)
+	}
+	// A normal prefix: primary wins, gap negative.
+	rep0 := m.Report(netip.MustParsePrefix("10.0.0.0/24"))
+	if rep0 == nil || rep0.GapMS > 0 {
+		t.Errorf("normal prefix gap = %+v", rep0)
+	}
+}
+
+func TestMeasurerGapCDF(t *testing.T) {
+	// 100 prefixes, 10 with a 25ms-faster alternate.
+	faster := map[int]float64{}
+	for i := 0; i < 10; i++ {
+		faster[i*10] = 25
+	}
+	tab, src := mkTable(t, 100, faster)
+	m, err := NewMeasurer(Config{Routes: tab, Source: src, Seed: 2, NoiseMS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 6; round++ {
+		m.MeasureRound(prefixes(100))
+	}
+	cdf := m.GapCDF(20, 100)
+	if got := cdf[20]; math.Abs(got-0.10) > 0.03 {
+		t.Errorf("fraction ≥20ms = %.3f, want ~0.10", got)
+	}
+	if got := cdf[100]; got != 0 {
+		t.Errorf("fraction ≥100ms = %.3f, want 0", got)
+	}
+	if got := len(m.Reports()); got != 100 {
+		t.Errorf("reports = %d", got)
+	}
+}
+
+func TestMeasurerSkipsSingleRoutePrefixes(t *testing.T) {
+	tab := rib.NewTable(rib.DefaultPolicy())
+	p := netip.MustParsePrefix("10.0.0.0/24")
+	only := &rib.Route{
+		Prefix: p, NextHop: netip.MustParseAddr("172.20.0.1"),
+		PeerAddr: netip.MustParseAddr("172.20.0.1"), PeerClass: rib.ClassPrivate,
+		ASPath: []uint32{65010},
+	}
+	rib.DefaultPolicy().Import(only)
+	tab.Add(only)
+	m, _ := NewMeasurer(Config{Routes: tab, Source: modelSource{}, Seed: 3})
+	if got := m.MeasureRound([]netip.Prefix{p}); got != 0 {
+		t.Errorf("measured %d paths for a single-route prefix", got)
+	}
+	if m.Report(p) != nil {
+		t.Error("report should be nil")
+	}
+}
+
+func TestMeasurerIgnoresControllerRoutes(t *testing.T) {
+	tab, src := mkTable(t, 1, nil)
+	p := netip.MustParsePrefix("10.0.0.0/24")
+	tab.Add(&rib.Route{
+		Prefix:    p,
+		NextHop:   netip.MustParseAddr("172.20.0.9"),
+		PeerAddr:  netip.MustParseAddr("10.255.0.100"),
+		PeerClass: rib.ClassController,
+		FromIBGP:  true,
+		LocalPref: rib.PrefController,
+	})
+	m, _ := NewMeasurer(Config{Routes: tab, Source: src, Seed: 4, NoiseMS: 0.5})
+	m.MeasureRound([]netip.Prefix{p})
+	rep := m.Report(p)
+	if rep == nil {
+		t.Fatal("no report")
+	}
+	// Primary must be the organic private route, not the injection.
+	if rep.Paths[0].Route.PeerClass != rib.ClassPrivate {
+		t.Errorf("primary = %v", rep.Paths[0].Route.PeerClass)
+	}
+	for _, ps := range rep.Paths {
+		if ps.Route.PeerClass == rib.ClassController {
+			t.Error("controller route was measured")
+		}
+	}
+}
+
+func TestMeasurerWindowBounded(t *testing.T) {
+	tab, src := mkTable(t, 1, nil)
+	m, _ := NewMeasurer(Config{
+		Routes: tab, Source: src, Seed: 5,
+		WindowSamples: 8, SamplesPerRound: 4,
+	})
+	for i := 0; i < 10; i++ {
+		m.MeasureRound(prefixes(1))
+	}
+	rep := m.Report(netip.MustParsePrefix("10.0.0.0/24"))
+	for _, ps := range rep.Paths {
+		if ps.N > 8 {
+			t.Errorf("window grew to %d", ps.N)
+		}
+	}
+}
+
+func TestMeasurerConfigValidation(t *testing.T) {
+	if _, err := NewMeasurer(Config{}); err == nil {
+		t.Error("missing Routes/Source should fail")
+	}
+}

@@ -1,0 +1,446 @@
+// Package bgp implements the subset of BGP-4 (RFC 4271) that Edge Fabric
+// depends on: the message codec (OPEN with capabilities, UPDATE with the
+// standard path attributes plus MP_REACH/MP_UNREACH for IPv6,
+// KEEPALIVE, NOTIFICATION), a session state machine with hold/keepalive
+// timers, and a Speaker that manages many peers over arbitrary net.Conn
+// transports (TCP or in-memory pipes in the simulator).
+//
+// The controller uses this package twice: it receives routes indirectly
+// via BMP (package bmp wraps the same UPDATE codec), and it injects
+// overrides into the peering routers over ordinary BGP sessions.
+package bgp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+
+	"edgefabric/internal/wire"
+)
+
+// Protocol constants from RFC 4271.
+const (
+	// Version is the only supported BGP version.
+	Version = 4
+	// HeaderLen is the fixed message header size.
+	HeaderLen = 19
+	// MaxMessageLen is the largest legal BGP message.
+	MaxMessageLen = 4096
+	// ASTrans is the 2-octet stand-in for a 4-octet AS number
+	// (RFC 6793).
+	ASTrans uint16 = 23456
+)
+
+// MessageType identifies a BGP message.
+type MessageType uint8
+
+// BGP message types.
+const (
+	TypeOpen         MessageType = 1
+	TypeUpdate       MessageType = 2
+	TypeNotification MessageType = 3
+	TypeKeepalive    MessageType = 4
+)
+
+// String returns the RFC mnemonic.
+func (t MessageType) String() string {
+	switch t {
+	case TypeOpen:
+		return "OPEN"
+	case TypeUpdate:
+		return "UPDATE"
+	case TypeNotification:
+		return "NOTIFICATION"
+	case TypeKeepalive:
+		return "KEEPALIVE"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Errors returned by the codec.
+var (
+	ErrBadMarker  = errors.New("bgp: header marker is not all-ones")
+	ErrBadLength  = errors.New("bgp: bad message length")
+	ErrBadType    = errors.New("bgp: unknown message type")
+	ErrBadMessage = errors.New("bgp: malformed message body")
+)
+
+// Message is any BGP message body.
+type Message interface {
+	// MsgType reports the wire type of the message.
+	MsgType() MessageType
+	// encodeBody appends the body (after the 19-byte header) to w.
+	encodeBody(w *wire.Writer, opts *CodecOptions) error
+}
+
+// CodecOptions carries per-session negotiated codec state.
+type CodecOptions struct {
+	// AS4 selects 4-octet AS_PATH encoding (RFC 6793), negotiated via
+	// the four-octet-AS capability. The simulator always negotiates it.
+	AS4 bool
+}
+
+// DefaultCodec is used when no options are supplied.
+var DefaultCodec = &CodecOptions{AS4: true}
+
+// Marshal encodes a full message (header + body) into w.
+func Marshal(w *wire.Writer, m Message, opts *CodecOptions) error {
+	if opts == nil {
+		opts = DefaultCodec
+	}
+	start := w.Len()
+	for i := 0; i < 16; i++ { // marker
+		w.Uint8(0xFF)
+	}
+	w.Uint16(0) // length, patched below (counts the whole message)
+	w.Uint8(uint8(m.MsgType()))
+	if err := m.encodeBody(w, opts); err != nil {
+		return err
+	}
+	total := w.Len() - start
+	if total > MaxMessageLen {
+		return fmt.Errorf("%w: %d > %d", ErrBadLength, total, MaxMessageLen)
+	}
+	fillMessageLen(w, start, total)
+	return nil
+}
+
+// fillMessageLen patches the 16-bit length field at start+16 with total.
+func fillMessageLen(w *wire.Writer, start, total int) {
+	b := w.Bytes()
+	b[start+16] = byte(total >> 8)
+	b[start+17] = byte(total)
+}
+
+// MarshalBytes encodes m into a fresh buffer.
+func MarshalBytes(m Message, opts *CodecOptions) ([]byte, error) {
+	w := wire.NewWriter(256)
+	if err := Marshal(w, m, opts); err != nil {
+		return nil, err
+	}
+	return w.Take(), nil
+}
+
+// ReadMessage reads and decodes one message from r. buf must be at least
+// MaxMessageLen bytes and is reused across calls; the returned Message
+// does not alias it.
+func ReadMessage(r io.Reader, buf []byte, opts *CodecOptions) (Message, error) {
+	if len(buf) < MaxMessageLen {
+		return nil, fmt.Errorf("bgp: read buffer too small: %d", len(buf))
+	}
+	if _, err := io.ReadFull(r, buf[:HeaderLen]); err != nil {
+		return nil, err
+	}
+	for _, b := range buf[:16] {
+		if b != 0xFF {
+			return nil, ErrBadMarker
+		}
+	}
+	length := int(buf[16])<<8 | int(buf[17])
+	typ := MessageType(buf[18])
+	if length < HeaderLen || length > MaxMessageLen {
+		return nil, fmt.Errorf("%w: %d", ErrBadLength, length)
+	}
+	body := buf[HeaderLen:length]
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return decodeBody(typ, body, opts)
+}
+
+// Decode decodes a full message (header included) from a byte slice.
+func Decode(b []byte, opts *CodecOptions) (Message, error) {
+	if len(b) < HeaderLen {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBadLength, len(b))
+	}
+	for _, v := range b[:16] {
+		if v != 0xFF {
+			return nil, ErrBadMarker
+		}
+	}
+	length := int(b[16])<<8 | int(b[17])
+	if length != len(b) || length > MaxMessageLen {
+		return nil, fmt.Errorf("%w: header says %d, have %d", ErrBadLength, length, len(b))
+	}
+	return decodeBody(MessageType(b[18]), b[HeaderLen:], opts)
+}
+
+func decodeBody(typ MessageType, body []byte, opts *CodecOptions) (Message, error) {
+	if opts == nil {
+		opts = DefaultCodec
+	}
+	switch typ {
+	case TypeOpen:
+		return decodeOpen(body)
+	case TypeUpdate:
+		return decodeUpdate(body, opts)
+	case TypeKeepalive:
+		if len(body) != 0 {
+			return nil, fmt.Errorf("%w: KEEPALIVE with %d body bytes", ErrBadMessage, len(body))
+		}
+		return &Keepalive{}, nil
+	case TypeNotification:
+		return decodeNotification(body)
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadType, typ)
+	}
+}
+
+// Capability is a BGP capability advertised in an OPEN message
+// (RFC 5492).
+type Capability struct {
+	Code CapabilityCode
+	Data []byte
+}
+
+// CapabilityCode identifies a capability.
+type CapabilityCode uint8
+
+// Capability codes used by this implementation.
+const (
+	CapMultiprotocol CapabilityCode = 1  // RFC 4760
+	CapRouteRefresh  CapabilityCode = 2  // RFC 2918
+	CapFourOctetAS   CapabilityCode = 65 // RFC 6793
+)
+
+// AFI/SAFI constants for the multiprotocol capability and MP attributes.
+const (
+	AFIIPv4 uint16 = 1
+	AFIIPv6 uint16 = 2
+
+	SAFIUnicast uint8 = 1
+)
+
+// CapMP builds a multiprotocol capability for the given AFI/SAFI.
+func CapMP(afi uint16, safi uint8) Capability {
+	return Capability{Code: CapMultiprotocol, Data: []byte{byte(afi >> 8), byte(afi), 0, safi}}
+}
+
+// CapAS4 builds a four-octet-AS capability carrying asn.
+func CapAS4(asn uint32) Capability {
+	return Capability{Code: CapFourOctetAS, Data: []byte{
+		byte(asn >> 24), byte(asn >> 16), byte(asn >> 8), byte(asn),
+	}}
+}
+
+// Open is the BGP OPEN message.
+type Open struct {
+	// Version is the BGP version; NewOpen sets 4.
+	Version uint8
+	// AS is the 2-octet My-AS field; ASTrans when the real AS needs 4
+	// octets. Use FourOctetAS for the real number.
+	AS uint16
+	// HoldTime is the proposed hold time in seconds.
+	HoldTime uint16
+	// RouterID is the BGP identifier.
+	RouterID netip.Addr
+	// Capabilities carries RFC 5492 capabilities from the optional
+	// parameters.
+	Capabilities []Capability
+}
+
+// NewOpen builds an OPEN for the given 4-octet AS, advertising the
+// four-octet-AS capability plus multiprotocol IPv4 and IPv6 unicast.
+func NewOpen(asn uint32, holdSeconds uint16, routerID netip.Addr) *Open {
+	as2 := ASTrans
+	if asn <= 0xFFFF {
+		as2 = uint16(asn)
+	}
+	return &Open{
+		Version:  Version,
+		AS:       as2,
+		HoldTime: holdSeconds,
+		RouterID: routerID,
+		Capabilities: []Capability{
+			CapMP(AFIIPv4, SAFIUnicast),
+			CapMP(AFIIPv6, SAFIUnicast),
+			CapAS4(asn),
+		},
+	}
+}
+
+// MsgType implements Message.
+func (*Open) MsgType() MessageType { return TypeOpen }
+
+// FourOctetAS reports the peer's 4-octet AS from the capability, falling
+// back to the 2-octet field.
+func (o *Open) FourOctetAS() uint32 {
+	for _, c := range o.Capabilities {
+		if c.Code == CapFourOctetAS && len(c.Data) == 4 {
+			return uint32(c.Data[0])<<24 | uint32(c.Data[1])<<16 |
+				uint32(c.Data[2])<<8 | uint32(c.Data[3])
+		}
+	}
+	return uint32(o.AS)
+}
+
+// HasCapability reports whether the OPEN advertises the given code.
+func (o *Open) HasCapability(code CapabilityCode) bool {
+	for _, c := range o.Capabilities {
+		if c.Code == code {
+			return true
+		}
+	}
+	return false
+}
+
+func (o *Open) encodeBody(w *wire.Writer, _ *CodecOptions) error {
+	if !o.RouterID.Is4() {
+		return fmt.Errorf("%w: router ID must be IPv4", ErrBadMessage)
+	}
+	w.Uint8(o.Version)
+	w.Uint16(o.AS)
+	w.Uint16(o.HoldTime)
+	id := o.RouterID.As4()
+	w.Bytes2(id[:])
+	// Optional parameters: one capabilities parameter (type 2) holding
+	// all capabilities.
+	if len(o.Capabilities) == 0 {
+		w.Uint8(0)
+		return nil
+	}
+	capLen := 0
+	for _, c := range o.Capabilities {
+		capLen += 2 + len(c.Data)
+	}
+	if capLen > 253 {
+		return fmt.Errorf("%w: capabilities too long", ErrBadMessage)
+	}
+	w.Uint8(uint8(capLen + 2)) // opt params total length
+	w.Uint8(2)                 // param type: capabilities
+	w.Uint8(uint8(capLen))
+	for _, c := range o.Capabilities {
+		w.Uint8(uint8(c.Code))
+		w.Uint8(uint8(len(c.Data)))
+		w.Bytes2(c.Data)
+	}
+	return nil
+}
+
+func decodeOpen(body []byte) (*Open, error) {
+	r := wire.NewReader(body)
+	o := &Open{}
+	o.Version = r.Uint8()
+	o.AS = r.Uint16()
+	o.HoldTime = r.Uint16()
+	var id [4]byte
+	copy(id[:], r.Bytes(4))
+	o.RouterID = netip.AddrFrom4(id)
+	optLen := int(r.Uint8())
+	opt := r.Sub(optLen)
+	for opt.Err() == nil && opt.Len() > 0 {
+		ptype := opt.Uint8()
+		plen := int(opt.Uint8())
+		pr := opt.Sub(plen)
+		if ptype != 2 { // ignore non-capability params
+			continue
+		}
+		for pr.Err() == nil && pr.Len() > 0 {
+			code := pr.Uint8()
+			clen := int(pr.Uint8())
+			data := pr.Bytes(clen)
+			if pr.Err() != nil {
+				break
+			}
+			o.Capabilities = append(o.Capabilities, Capability{
+				Code: CapabilityCode(code),
+				Data: append([]byte(nil), data...),
+			})
+		}
+		if err := pr.Err(); err != nil {
+			return nil, fmt.Errorf("%w: capabilities: %v", ErrBadMessage, err)
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("%w: OPEN: %v", ErrBadMessage, err)
+	}
+	if o.Version != Version {
+		return nil, fmt.Errorf("%w: version %d", ErrBadMessage, o.Version)
+	}
+	return o, nil
+}
+
+// Keepalive is the (empty) KEEPALIVE message.
+type Keepalive struct{}
+
+// MsgType implements Message.
+func (*Keepalive) MsgType() MessageType { return TypeKeepalive }
+
+func (*Keepalive) encodeBody(*wire.Writer, *CodecOptions) error { return nil }
+
+// NotificationCode is the top-level error code of a NOTIFICATION.
+type NotificationCode uint8
+
+// Notification codes from RFC 4271 §4.5.
+const (
+	NotifMessageHeader   NotificationCode = 1
+	NotifOpenError       NotificationCode = 2
+	NotifUpdateError     NotificationCode = 3
+	NotifHoldTimeExpired NotificationCode = 4
+	NotifFSMError        NotificationCode = 5
+	NotifCease           NotificationCode = 6
+)
+
+// String returns a human-readable name for the code.
+func (c NotificationCode) String() string {
+	switch c {
+	case NotifMessageHeader:
+		return "message-header-error"
+	case NotifOpenError:
+		return "open-message-error"
+	case NotifUpdateError:
+		return "update-message-error"
+	case NotifHoldTimeExpired:
+		return "hold-timer-expired"
+	case NotifFSMError:
+		return "fsm-error"
+	case NotifCease:
+		return "cease"
+	default:
+		return fmt.Sprintf("code(%d)", uint8(c))
+	}
+}
+
+// Common OPEN error subcodes.
+const (
+	OpenBadPeerAS      uint8 = 2
+	OpenBadBGPID       uint8 = 3
+	OpenBadHoldTime    uint8 = 6
+	CeaseAdminShutdown uint8 = 2
+)
+
+// Notification is the BGP NOTIFICATION message; sending one closes the
+// session.
+type Notification struct {
+	Code    NotificationCode
+	Subcode uint8
+	Data    []byte
+}
+
+// MsgType implements Message.
+func (*Notification) MsgType() MessageType { return TypeNotification }
+
+// Error renders the notification as an error string.
+func (n *Notification) Error() string {
+	return fmt.Sprintf("bgp: notification %s subcode %d", n.Code, n.Subcode)
+}
+
+func (n *Notification) encodeBody(w *wire.Writer, _ *CodecOptions) error {
+	w.Uint8(uint8(n.Code))
+	w.Uint8(n.Subcode)
+	w.Bytes2(n.Data)
+	return nil
+}
+
+func decodeNotification(body []byte) (*Notification, error) {
+	if len(body) < 2 {
+		return nil, fmt.Errorf("%w: NOTIFICATION too short", ErrBadMessage)
+	}
+	n := &Notification{Code: NotificationCode(body[0]), Subcode: body[1]}
+	if len(body) > 2 {
+		n.Data = append([]byte(nil), body[2:]...)
+	}
+	return n, nil
+}

@@ -1,0 +1,207 @@
+package bgp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+)
+
+// SpeakerConfig configures a Speaker.
+type SpeakerConfig struct {
+	// LocalAS is the speaker's AS number.
+	LocalAS uint32
+	// RouterID is the BGP identifier (must be IPv4).
+	RouterID netip.Addr
+	// HoldTime is the default proposed hold time for peers that leave
+	// theirs zero.
+	HoldTime time.Duration
+	// Handler is the default SessionHandler for peers that leave theirs
+	// nil.
+	Handler SessionHandler
+	// Logf, when set, receives one-line log events.
+	Logf func(format string, args ...any)
+}
+
+// Speaker is a BGP speaker managing a set of neighbors. It can accept
+// inbound transport connections (Serve, ServeConn) and operate outbound
+// dialing peers, over any net.Conn transport.
+type Speaker struct {
+	cfg SpeakerConfig
+
+	mu     sync.Mutex
+	peers  map[netip.Addr]*Peer
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewSpeaker returns a Speaker ready to accept peers.
+func NewSpeaker(cfg SpeakerConfig) (*Speaker, error) {
+	if !cfg.RouterID.Is4() {
+		return nil, errors.New("bgp: SpeakerConfig.RouterID must be IPv4")
+	}
+	if cfg.LocalAS == 0 {
+		return nil, errors.New("bgp: SpeakerConfig.LocalAS required")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Speaker{
+		cfg:    cfg,
+		peers:  make(map[netip.Addr]*Peer),
+		ctx:    ctx,
+		cancel: cancel,
+	}, nil
+}
+
+// LocalAS returns the speaker's AS number.
+func (s *Speaker) LocalAS() uint32 { return s.cfg.LocalAS }
+
+// RouterID returns the speaker's BGP identifier.
+func (s *Speaker) RouterID() netip.Addr { return s.cfg.RouterID }
+
+// AddPeer registers a neighbor and starts operating it (dialing if
+// cfg.Dial is set, otherwise waiting for an inbound connection). The
+// speaker fills in LocalAS, RouterID, HoldTime, and Handler when the
+// peer config leaves them zero.
+func (s *Speaker) AddPeer(cfg PeerConfig) (*Peer, error) {
+	if cfg.LocalAS == 0 {
+		cfg.LocalAS = s.cfg.LocalAS
+	}
+	if !cfg.RouterID.IsValid() {
+		cfg.RouterID = s.cfg.RouterID
+	}
+	if cfg.HoldTime == 0 {
+		cfg.HoldTime = s.cfg.HoldTime
+	}
+	if cfg.Handler == nil {
+		cfg.Handler = s.cfg.Handler
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = s.cfg.Logf
+	}
+	p, err := NewPeer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, errors.New("bgp: speaker closed")
+	}
+	if _, dup := s.peers[cfg.PeerAddr]; dup {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("bgp: peer %s already exists", cfg.PeerAddr)
+	}
+	s.peers[cfg.PeerAddr] = p
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go func() {
+		defer s.wg.Done()
+		_ = p.Run(s.ctx)
+	}()
+	return p, nil
+}
+
+// Peer returns the registered neighbor with the given address, or nil.
+func (s *Speaker) Peer(addr netip.Addr) *Peer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peers[addr]
+}
+
+// Peers returns all registered neighbors.
+func (s *Speaker) Peers() []*Peer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Peer, 0, len(s.peers))
+	for _, p := range s.peers {
+		out = append(out, p)
+	}
+	return out
+}
+
+// ServeConn routes an inbound transport connection to the registered
+// peer with the given address. The address identifies the neighbor (for
+// in-memory transports, pass the configured peer address explicitly).
+func (s *Speaker) ServeConn(remote netip.Addr, conn net.Conn) error {
+	p := s.Peer(remote)
+	if p == nil {
+		conn.Close()
+		return fmt.Errorf("bgp: no peer configured for %s", remote)
+	}
+	if err := p.Accept(conn); err != nil {
+		conn.Close()
+		return err
+	}
+	return nil
+}
+
+// Serve accepts connections from ln and dispatches each to the peer
+// registered for its remote IP, until ln is closed or the speaker shuts
+// down. Serve returns the first accept error (net.ErrClosed after
+// Close).
+func (s *Speaker) Serve(ln net.Listener) error {
+	s.wg.Add(1)
+	defer s.wg.Done()
+	go func() {
+		<-s.ctx.Done()
+		ln.Close()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		remote, err := remoteIP(conn)
+		if err != nil {
+			s.logf("reject %v: %v", conn.RemoteAddr(), err)
+			conn.Close()
+			continue
+		}
+		if err := s.ServeConn(remote, conn); err != nil {
+			s.logf("reject %s: %v", remote, err)
+		}
+	}
+}
+
+func remoteIP(conn net.Conn) (netip.Addr, error) {
+	ap, err := netip.ParseAddrPort(conn.RemoteAddr().String())
+	if err != nil {
+		return netip.Addr{}, fmt.Errorf("bgp: unparseable remote %q: %w", conn.RemoteAddr(), err)
+	}
+	return ap.Addr().Unmap(), nil
+}
+
+// Broadcast sends an UPDATE to every established peer and returns the
+// number of peers it reached.
+func (s *Speaker) Broadcast(u *Update) int {
+	n := 0
+	for _, p := range s.Peers() {
+		if p.State() != StateEstablished {
+			continue
+		}
+		if err := p.SendUpdate(u); err == nil {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Speaker) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Close shuts down all peers and waits for their goroutines to exit.
+func (s *Speaker) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cancel()
+	s.wg.Wait()
+}

@@ -1,0 +1,155 @@
+package bgp
+
+import (
+	"context"
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+func TestSpeakerValidation(t *testing.T) {
+	if _, err := NewSpeaker(SpeakerConfig{LocalAS: 1, RouterID: netip.MustParseAddr("::1")}); err == nil {
+		t.Error("non-v4 router ID should error")
+	}
+	if _, err := NewSpeaker(SpeakerConfig{RouterID: netip.MustParseAddr("1.1.1.1")}); err == nil {
+		t.Error("zero AS should error")
+	}
+}
+
+func TestSpeakerDuplicatePeer(t *testing.T) {
+	s, err := NewSpeaker(SpeakerConfig{LocalAS: 65001, RouterID: netip.MustParseAddr("1.1.1.1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	cfg := PeerConfig{PeerAddr: netip.MustParseAddr("192.0.2.2")}
+	if _, err := s.AddPeer(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddPeer(cfg); err == nil {
+		t.Error("duplicate peer should error")
+	}
+	if got := s.Peer(netip.MustParseAddr("192.0.2.2")); got == nil {
+		t.Error("Peer lookup failed")
+	}
+	if got := len(s.Peers()); got != 1 {
+		t.Errorf("Peers() len = %d", got)
+	}
+}
+
+func TestSpeakerServeConnUnknownPeer(t *testing.T) {
+	s, err := NewSpeaker(SpeakerConfig{LocalAS: 65001, RouterID: netip.MustParseAddr("1.1.1.1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c1, c2 := net.Pipe()
+	defer c2.Close()
+	if err := s.ServeConn(netip.MustParseAddr("203.0.113.99"), c1); err == nil {
+		t.Error("unknown peer should be rejected")
+	}
+}
+
+// TestSpeakersOverTCP runs two speakers over real TCP with listener
+// dispatch on one side and a dialing peer on the other, and checks route
+// exchange end to end.
+func TestSpeakersOverTCP(t *testing.T) {
+	// Passive side (the "peering router").
+	pr, err := NewSpeaker(SpeakerConfig{
+		LocalAS:  65001,
+		RouterID: netip.MustParseAddr("10.0.0.1"),
+		HoldTime: 3 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = pr.Serve(ln) }()
+
+	prHandler := newCollectHandler()
+	if _, err := pr.AddPeer(PeerConfig{
+		PeerAddr: netip.MustParseAddr("127.0.0.1"),
+		PeerAS:   65002,
+		Handler:  prHandler,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Active side (the "remote AS") dials the listener.
+	remote, err := NewSpeaker(SpeakerConfig{
+		LocalAS:  65002,
+		RouterID: netip.MustParseAddr("10.0.0.2"),
+		HoldTime: 3 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	addr := ln.Addr().String()
+	remotePeer, err := remote.AddPeer(PeerConfig{
+		PeerAddr: netip.MustParseAddr("127.0.0.1"),
+		PeerAS:   65001,
+		Dial: func(ctx context.Context) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", addr)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := remotePeer.WaitEstablished(ctx); err != nil {
+		t.Fatalf("establish over TCP: %v", err)
+	}
+
+	u := &Update{
+		Attrs: PathAttrs{
+			HasOrigin: true,
+			ASPath:    Sequence(65002),
+			NextHop:   netip.MustParseAddr("192.0.2.2"),
+		},
+		NLRI: []netip.Prefix{netip.MustParsePrefix("198.51.100.0/24")},
+	}
+	if n := remote.Broadcast(u); n != 1 {
+		t.Fatalf("Broadcast reached %d peers", n)
+	}
+	select {
+	case got := <-prHandler.updateCh:
+		if got.NLRI[0].String() != "198.51.100.0/24" {
+			t.Errorf("NLRI = %v", got.NLRI)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("update not received over TCP")
+	}
+}
+
+func TestSpeakerCloseStopsPeers(t *testing.T) {
+	s, err := NewSpeaker(SpeakerConfig{LocalAS: 65001, RouterID: netip.MustParseAddr("1.1.1.1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddPeer(PeerConfig{PeerAddr: netip.MustParseAddr("192.0.2.2")}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("Close did not return")
+	}
+	if _, err := s.AddPeer(PeerConfig{PeerAddr: netip.MustParseAddr("192.0.2.3")}); err == nil {
+		t.Error("AddPeer after Close should fail")
+	}
+}

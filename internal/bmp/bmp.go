@@ -1,0 +1,467 @@
+// Package bmp implements the BGP Monitoring Protocol (RFC 7854) subset
+// Edge Fabric uses: peering routers stream every route they learn
+// (Adj-RIB-In, pre-policy) to the controller as Route Monitoring
+// messages, bracketed by Peer Up / Peer Down notifications, so the
+// controller sees all routes per prefix rather than only BGP's chosen
+// best path.
+//
+// The wire format embeds whole BGP UPDATE messages, which this package
+// delegates to package bgp.
+package bmp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+	"time"
+
+	"edgefabric/internal/bgp"
+	"edgefabric/internal/wire"
+)
+
+// Version is the supported BMP version.
+const Version = 3
+
+// MsgType identifies a BMP message.
+type MsgType uint8
+
+// BMP message types (RFC 7854 §4).
+const (
+	TypeRouteMonitoring MsgType = 0
+	TypeStatsReport     MsgType = 1
+	TypePeerDown        MsgType = 2
+	TypePeerUp          MsgType = 3
+	TypeInitiation      MsgType = 4
+	TypeTermination     MsgType = 5
+	TypeRouteMirroring  MsgType = 6
+)
+
+// String returns the RFC mnemonic.
+func (t MsgType) String() string {
+	switch t {
+	case TypeRouteMonitoring:
+		return "route-monitoring"
+	case TypeStatsReport:
+		return "stats-report"
+	case TypePeerDown:
+		return "peer-down"
+	case TypePeerUp:
+		return "peer-up"
+	case TypeInitiation:
+		return "initiation"
+	case TypeTermination:
+		return "termination"
+	case TypeRouteMirroring:
+		return "route-mirroring"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Codec errors.
+var (
+	ErrBadVersion = errors.New("bmp: unsupported version")
+	ErrBadLength  = errors.New("bmp: bad message length")
+	ErrBadMessage = errors.New("bmp: malformed message")
+)
+
+// MaxMessageLen bounds accepted messages; a route-monitoring message
+// carries at most one BGP message plus headers.
+const MaxMessageLen = bgp.MaxMessageLen + 128
+
+const commonHeaderLen = 6
+
+// The per-peer header is 42 bytes on the wire; decodePeerHeader consumes
+// it field by field.
+
+// PeerHeader is the BMP per-peer header identifying which neighbor of
+// the monitored router a message concerns.
+type PeerHeader struct {
+	// Type is 0 (global instance peer) in this implementation.
+	Type uint8
+	// Flags: bit 0x80 = IPv6 peer address, 0x40 = post-policy.
+	Flags uint8
+	// PeerAddr is the neighbor address.
+	PeerAddr netip.Addr
+	// PeerAS is the neighbor AS.
+	PeerAS uint32
+	// PeerBGPID is the neighbor router ID.
+	PeerBGPID netip.Addr
+	// Timestamp is when the encapsulated event occurred.
+	Timestamp time.Time
+}
+
+// Per-peer header flag bits.
+const (
+	FlagV6         uint8 = 0x80
+	FlagPostPolicy uint8 = 0x40
+)
+
+func (h *PeerHeader) encode(w *wire.Writer) {
+	w.Uint8(h.Type)
+	flags := h.Flags
+	if h.PeerAddr.Is6() && !h.PeerAddr.Is4In6() {
+		flags |= FlagV6
+	}
+	w.Uint8(flags)
+	w.Uint64(0) // peer distinguisher
+	if flags&FlagV6 != 0 {
+		a := h.PeerAddr.As16()
+		w.Bytes2(a[:])
+	} else {
+		w.Uint32(0)
+		w.Uint32(0)
+		w.Uint32(0)
+		a := h.PeerAddr.Unmap().As4()
+		w.Bytes2(a[:])
+	}
+	w.Uint32(h.PeerAS)
+	if h.PeerBGPID.Is4() {
+		a := h.PeerBGPID.As4()
+		w.Bytes2(a[:])
+	} else {
+		w.Uint32(0)
+	}
+	ts := h.Timestamp
+	w.Uint32(uint32(ts.Unix()))
+	w.Uint32(uint32(ts.Nanosecond() / 1000))
+}
+
+func decodePeerHeader(r *wire.Reader) (PeerHeader, error) {
+	var h PeerHeader
+	h.Type = r.Uint8()
+	h.Flags = r.Uint8()
+	r.Skip(8) // distinguisher
+	addr := r.Bytes(16)
+	if r.Err() == nil {
+		if h.Flags&FlagV6 != 0 {
+			var a [16]byte
+			copy(a[:], addr)
+			h.PeerAddr = netip.AddrFrom16(a)
+		} else {
+			var a [4]byte
+			copy(a[:], addr[12:])
+			h.PeerAddr = netip.AddrFrom4(a)
+		}
+	}
+	h.PeerAS = r.Uint32()
+	var id [4]byte
+	copy(id[:], r.Bytes(4))
+	h.PeerBGPID = netip.AddrFrom4(id)
+	sec := r.Uint32()
+	usec := r.Uint32()
+	h.Timestamp = time.Unix(int64(sec), int64(usec)*1000).UTC()
+	if err := r.Err(); err != nil {
+		return h, fmt.Errorf("%w: per-peer header: %v", ErrBadMessage, err)
+	}
+	return h, nil
+}
+
+// Message is any BMP message.
+type Message interface {
+	// BMPType reports the wire type.
+	BMPType() MsgType
+	encodeBody(w *wire.Writer) error
+}
+
+// RouteMonitoring carries one BGP UPDATE from the monitored router's
+// neighbor identified by Peer.
+type RouteMonitoring struct {
+	Peer   PeerHeader
+	Update *bgp.Update
+}
+
+// BMPType implements Message.
+func (*RouteMonitoring) BMPType() MsgType { return TypeRouteMonitoring }
+
+func (m *RouteMonitoring) encodeBody(w *wire.Writer) error {
+	m.Peer.encode(w)
+	return bgp.Marshal(w, m.Update, nil)
+}
+
+// PeerUp announces that the monitored router's session with Peer came
+// up.
+type PeerUp struct {
+	Peer      PeerHeader
+	LocalAddr netip.Addr
+}
+
+// BMPType implements Message.
+func (*PeerUp) BMPType() MsgType { return TypePeerUp }
+
+func (m *PeerUp) encodeBody(w *wire.Writer) error {
+	m.Peer.encode(w)
+	if m.LocalAddr.Is6() && !m.LocalAddr.Is4In6() {
+		a := m.LocalAddr.As16()
+		w.Bytes2(a[:])
+	} else {
+		w.Uint32(0)
+		w.Uint32(0)
+		w.Uint32(0)
+		if m.LocalAddr.IsValid() {
+			a := m.LocalAddr.Unmap().As4()
+			w.Bytes2(a[:])
+		} else {
+			w.Uint32(0)
+		}
+	}
+	w.Uint16(179) // local port
+	w.Uint16(179) // remote port
+	// Sent/received OPENs are required by the RFC; the controller does
+	// not use them, so minimal synthetic OPENs are embedded.
+	open := bgp.NewOpen(m.Peer.PeerAS, 90, routerIDOr(m.Peer.PeerBGPID))
+	if err := bgp.Marshal(w, open, nil); err != nil {
+		return err
+	}
+	return bgp.Marshal(w, open, nil)
+}
+
+func routerIDOr(a netip.Addr) netip.Addr {
+	if a.Is4() {
+		return a
+	}
+	return netip.AddrFrom4([4]byte{0, 0, 0, 1})
+}
+
+// PeerDown announces that the session with Peer went down.
+type PeerDown struct {
+	Peer PeerHeader
+	// Reason is an RFC 7854 §4.9 reason code; 2 = local notification.
+	Reason uint8
+}
+
+// BMPType implements Message.
+func (*PeerDown) BMPType() MsgType { return TypePeerDown }
+
+func (m *PeerDown) encodeBody(w *wire.Writer) error {
+	m.Peer.encode(w)
+	w.Uint8(m.Reason)
+	return nil
+}
+
+// Initiation opens a BMP stream; Info pairs are (type, value) TLVs with
+// type 0 = free-form string, 1 = sysDescr, 2 = sysName.
+type Initiation struct {
+	Info [][2]string
+}
+
+// BMPType implements Message.
+func (*Initiation) BMPType() MsgType { return TypeInitiation }
+
+func (m *Initiation) encodeBody(w *wire.Writer) error {
+	for _, kv := range m.Info {
+		w.Uint16(1) // sysDescr-style TLV; key folded into value
+		w.Uint16(uint16(len(kv[0]) + len(kv[1]) + 1))
+		w.Bytes2([]byte(kv[0]))
+		w.Uint8('=')
+		w.Bytes2([]byte(kv[1]))
+	}
+	return nil
+}
+
+// Termination closes a BMP stream.
+type Termination struct{}
+
+// BMPType implements Message.
+func (*Termination) BMPType() MsgType { return TypeTermination }
+
+func (m *Termination) encodeBody(w *wire.Writer) error {
+	w.Uint16(1) // reason TLV
+	w.Uint16(2)
+	w.Uint16(0) // administratively closed
+	return nil
+}
+
+// StatsReport carries counters for one monitored peer. Only the two
+// counters the controller graphs are modeled.
+type StatsReport struct {
+	Peer            PeerHeader
+	UpdatesReceived uint64
+	PrefixesCurrent uint64
+}
+
+// BMPType implements Message.
+func (*StatsReport) BMPType() MsgType { return TypeStatsReport }
+
+// Stat TLV types (RFC 7854 §4.8).
+const (
+	statUpdatesReceived uint16 = 4 // updates treated as withdraw… reused as generic
+	statPrefixesCurrent uint16 = 7
+)
+
+func (m *StatsReport) encodeBody(w *wire.Writer) error {
+	m.Peer.encode(w)
+	w.Uint32(2) // stats count
+	w.Uint16(statUpdatesReceived)
+	w.Uint16(8)
+	w.Uint64(m.UpdatesReceived)
+	w.Uint16(statPrefixesCurrent)
+	w.Uint16(8)
+	w.Uint64(m.PrefixesCurrent)
+	return nil
+}
+
+// Marshal encodes a full BMP message into w.
+func Marshal(w *wire.Writer, m Message) error {
+	start := w.Len()
+	w.Uint8(Version)
+	w.Uint32(0) // length, patched below
+	w.Uint8(uint8(m.BMPType()))
+	if err := m.encodeBody(w); err != nil {
+		return err
+	}
+	total := w.Len() - start
+	b := w.Bytes()
+	b[start+1] = byte(total >> 24)
+	b[start+2] = byte(total >> 16)
+	b[start+3] = byte(total >> 8)
+	b[start+4] = byte(total)
+	return nil
+}
+
+// MarshalBytes encodes m into a fresh buffer.
+func MarshalBytes(m Message) ([]byte, error) {
+	w := wire.NewWriter(256)
+	if err := Marshal(w, m); err != nil {
+		return nil, err
+	}
+	return w.Take(), nil
+}
+
+// ReadMessage reads one BMP message from r. buf must be at least
+// MaxMessageLen bytes and is reused across calls.
+func ReadMessage(r io.Reader, buf []byte) (Message, error) {
+	if len(buf) < MaxMessageLen {
+		return nil, fmt.Errorf("bmp: read buffer too small: %d", len(buf))
+	}
+	if _, err := io.ReadFull(r, buf[:commonHeaderLen]); err != nil {
+		return nil, err
+	}
+	if buf[0] != Version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, buf[0])
+	}
+	length := int(buf[1])<<24 | int(buf[2])<<16 | int(buf[3])<<8 | int(buf[4])
+	typ := MsgType(buf[5])
+	if length < commonHeaderLen || length > MaxMessageLen {
+		return nil, fmt.Errorf("%w: %d", ErrBadLength, length)
+	}
+	body := buf[commonHeaderLen:length]
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return decodeBody(typ, body)
+}
+
+// Decode decodes a full BMP message from b.
+func Decode(b []byte) (Message, error) {
+	if len(b) < commonHeaderLen {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBadLength, len(b))
+	}
+	if b[0] != Version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, b[0])
+	}
+	length := int(b[1])<<24 | int(b[2])<<16 | int(b[3])<<8 | int(b[4])
+	if length != len(b) {
+		return nil, fmt.Errorf("%w: header says %d, have %d", ErrBadLength, length, len(b))
+	}
+	return decodeBody(MsgType(b[5]), b[commonHeaderLen:])
+}
+
+func decodeBody(typ MsgType, body []byte) (Message, error) {
+	r := wire.NewReader(body)
+	switch typ {
+	case TypeRouteMonitoring:
+		peer, err := decodePeerHeader(r)
+		if err != nil {
+			return nil, err
+		}
+		rest := r.Bytes(r.Len())
+		bm, err := bgp.Decode(rest, nil)
+		if err != nil {
+			return nil, fmt.Errorf("%w: embedded update: %v", ErrBadMessage, err)
+		}
+		u, ok := bm.(*bgp.Update)
+		if !ok {
+			return nil, fmt.Errorf("%w: route monitoring carries %v", ErrBadMessage, bm.MsgType())
+		}
+		return &RouteMonitoring{Peer: peer, Update: u}, nil
+	case TypePeerUp:
+		peer, err := decodePeerHeader(r)
+		if err != nil {
+			return nil, err
+		}
+		m := &PeerUp{Peer: peer}
+		addr := r.Bytes(16)
+		if r.Err() == nil {
+			allZero := true
+			for _, v := range addr[:12] {
+				if v != 0 {
+					allZero = false
+					break
+				}
+			}
+			if allZero {
+				var a [4]byte
+				copy(a[:], addr[12:])
+				m.LocalAddr = netip.AddrFrom4(a)
+			} else {
+				var a [16]byte
+				copy(a[:], addr)
+				m.LocalAddr = netip.AddrFrom16(a)
+			}
+		}
+		// Ports and embedded OPENs are not used by the collector.
+		return m, nil
+	case TypePeerDown:
+		peer, err := decodePeerHeader(r)
+		if err != nil {
+			return nil, err
+		}
+		return &PeerDown{Peer: peer, Reason: r.Uint8()}, nil
+	case TypeInitiation:
+		m := &Initiation{}
+		for r.Err() == nil && r.Len() >= 4 {
+			r.Uint16() // TLV type
+			n := int(r.Uint16())
+			v := r.Bytes(n)
+			if r.Err() != nil {
+				break
+			}
+			s := string(v)
+			for i := 0; i < len(s); i++ {
+				if s[i] == '=' {
+					m.Info = append(m.Info, [2]string{s[:i], s[i+1:]})
+					break
+				}
+			}
+		}
+		return m, nil
+	case TypeTermination:
+		return &Termination{}, nil
+	case TypeStatsReport:
+		peer, err := decodePeerHeader(r)
+		if err != nil {
+			return nil, err
+		}
+		m := &StatsReport{Peer: peer}
+		n := int(r.Uint32())
+		for i := 0; i < n && r.Err() == nil; i++ {
+			st := r.Uint16()
+			sl := int(r.Uint16())
+			sr := r.Sub(sl)
+			switch st {
+			case statUpdatesReceived:
+				m.UpdatesReceived = sr.Uint64()
+			case statPrefixesCurrent:
+				m.PrefixesCurrent = sr.Uint64()
+			}
+		}
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("%w: stats: %v", ErrBadMessage, err)
+		}
+		return m, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown type %d", ErrBadMessage, typ)
+	}
+}

@@ -1,0 +1,296 @@
+package bmp
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"net/netip"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"edgefabric/internal/bgp"
+)
+
+func testPeerHeader() PeerHeader {
+	return PeerHeader{
+		PeerAddr:  netip.MustParseAddr("192.0.2.7"),
+		PeerAS:    65007,
+		PeerBGPID: netip.MustParseAddr("10.0.0.7"),
+		Timestamp: time.Unix(1700000000, 123000).UTC(),
+	}
+}
+
+func testUpdate() *bgp.Update {
+	return &bgp.Update{
+		Attrs: bgp.PathAttrs{
+			HasOrigin: true,
+			ASPath:    bgp.Sequence(65007, 65008),
+			NextHop:   netip.MustParseAddr("192.0.2.7"),
+		},
+		NLRI: []netip.Prefix{netip.MustParsePrefix("198.51.100.0/24")},
+	}
+}
+
+func bmpRoundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	b, err := MarshalBytes(m)
+	if err != nil {
+		t.Fatalf("MarshalBytes: %v", err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	return got
+}
+
+func TestRouteMonitoringRoundTrip(t *testing.T) {
+	m := &RouteMonitoring{Peer: testPeerHeader(), Update: testUpdate()}
+	got := bmpRoundTrip(t, m).(*RouteMonitoring)
+	if got.Peer.PeerAddr != m.Peer.PeerAddr || got.Peer.PeerAS != m.Peer.PeerAS {
+		t.Errorf("peer header = %+v", got.Peer)
+	}
+	if !got.Peer.Timestamp.Equal(m.Peer.Timestamp) {
+		t.Errorf("timestamp = %v, want %v", got.Peer.Timestamp, m.Peer.Timestamp)
+	}
+	if !reflect.DeepEqual(got.Update, m.Update) {
+		t.Errorf("update = %+v", got.Update)
+	}
+}
+
+func TestRouteMonitoringIPv6Peer(t *testing.T) {
+	h := testPeerHeader()
+	h.PeerAddr = netip.MustParseAddr("2001:db8::7")
+	m := &RouteMonitoring{Peer: h, Update: testUpdate()}
+	got := bmpRoundTrip(t, m).(*RouteMonitoring)
+	if got.Peer.PeerAddr != h.PeerAddr {
+		t.Errorf("v6 peer = %v", got.Peer.PeerAddr)
+	}
+	if got.Peer.Flags&FlagV6 == 0 {
+		t.Error("v6 flag not set")
+	}
+}
+
+func TestPeerUpDownRoundTrip(t *testing.T) {
+	up := &PeerUp{Peer: testPeerHeader(), LocalAddr: netip.MustParseAddr("10.0.0.1")}
+	gotUp := bmpRoundTrip(t, up).(*PeerUp)
+	if gotUp.LocalAddr != up.LocalAddr {
+		t.Errorf("LocalAddr = %v", gotUp.LocalAddr)
+	}
+	down := &PeerDown{Peer: testPeerHeader(), Reason: 2}
+	gotDown := bmpRoundTrip(t, down).(*PeerDown)
+	if gotDown.Reason != 2 || gotDown.Peer.PeerAS != 65007 {
+		t.Errorf("PeerDown = %+v", gotDown)
+	}
+}
+
+func TestInitiationTerminationRoundTrip(t *testing.T) {
+	init := &Initiation{Info: [][2]string{{"sysName", "pr1.pop-ams"}}}
+	got := bmpRoundTrip(t, init).(*Initiation)
+	if !reflect.DeepEqual(got.Info, init.Info) {
+		t.Errorf("Info = %v", got.Info)
+	}
+	if _, ok := bmpRoundTrip(t, &Termination{}).(*Termination); !ok {
+		t.Error("termination round trip failed")
+	}
+}
+
+func TestStatsReportRoundTrip(t *testing.T) {
+	s := &StatsReport{Peer: testPeerHeader(), UpdatesReceived: 12345, PrefixesCurrent: 678}
+	got := bmpRoundTrip(t, s).(*StatsReport)
+	if got.UpdatesReceived != 12345 || got.PrefixesCurrent != 678 {
+		t.Errorf("stats = %+v", got)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	b, _ := MarshalBytes(&Termination{})
+	bad := append([]byte(nil), b...)
+	bad[0] = 2
+	if _, err := Decode(bad); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("version err = %v", err)
+	}
+	bad = append([]byte(nil), b...)
+	bad[4] = 99
+	if _, err := Decode(bad); !errors.Is(err, ErrBadLength) {
+		t.Errorf("length err = %v", err)
+	}
+	if _, err := Decode(b[:3]); !errors.Is(err, ErrBadLength) {
+		t.Errorf("short err = %v", err)
+	}
+	bad = append([]byte(nil), b...)
+	bad[5] = 99
+	if _, err := Decode(bad); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("type err = %v", err)
+	}
+}
+
+// Property: decoding arbitrary bytes never panics.
+func TestQuickDecodeNoPanic(t *testing.T) {
+	f := func(b []byte) bool {
+		_, _ = Decode(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// recordingHandler collects events for the collector tests.
+type recordingHandler struct {
+	mu     sync.Mutex
+	events []string
+	routes []*RouteMonitoring
+}
+
+func (h *recordingHandler) add(e string) {
+	h.mu.Lock()
+	h.events = append(h.events, e)
+	h.mu.Unlock()
+}
+func (h *recordingHandler) OnInitiation(r string, m *Initiation) { h.add("init") }
+func (h *recordingHandler) OnPeerUp(r string, m *PeerUp)         { h.add("up") }
+func (h *recordingHandler) OnPeerDown(r string, m *PeerDown)     { h.add("down") }
+func (h *recordingHandler) OnStats(r string, m *StatsReport)     { h.add("stats") }
+func (h *recordingHandler) OnTermination(r string)               { h.add("term") }
+func (h *recordingHandler) OnRoute(r string, m *RouteMonitoring) {
+	h.mu.Lock()
+	h.events = append(h.events, "route")
+	h.routes = append(h.routes, m)
+	h.mu.Unlock()
+}
+
+func TestExporterCollectorEndToEnd(t *testing.T) {
+	client, server := net.Pipe()
+	h := &recordingHandler{}
+	col := &Collector{Handler: h}
+	done := make(chan error, 1)
+	go func() {
+		done <- col.HandleConn(context.Background(), "pr1", server)
+	}()
+
+	exp, err := NewExporter(client, "pr1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer := netip.MustParseAddr("192.0.2.7")
+	if err := exp.PeerUp(peer, 65007, netip.MustParseAddr("10.0.0.7"), netip.MustParseAddr("10.0.0.1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.Route(peer, 65007, testUpdate()); err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.Stats(peer, 65007, 10, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.PeerDown(peer, 65007, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("HandleConn: %v", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("collector did not finish")
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	want := []string{"init", "up", "route", "stats", "down", "term"}
+	if !reflect.DeepEqual(h.events, want) {
+		t.Errorf("events = %v, want %v", h.events, want)
+	}
+	if len(h.routes) != 1 || h.routes[0].Update.NLRI[0].String() != "198.51.100.0/24" {
+		t.Errorf("routes = %+v", h.routes)
+	}
+}
+
+func TestCollectorCtxCancel(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	col := &Collector{Handler: &recordingHandler{}}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- col.HandleConn(ctx, "pr1", server) }()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("HandleConn did not return on cancel")
+	}
+}
+
+func TestCollectorEOFClean(t *testing.T) {
+	client, server := net.Pipe()
+	col := &Collector{Handler: &recordingHandler{}}
+	done := make(chan error, 1)
+	go func() { done <- col.HandleConn(context.Background(), "pr1", server) }()
+	client.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("EOF should be clean, got %v", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("HandleConn did not return on EOF")
+	}
+}
+
+func TestCollectorRequiresHandler(t *testing.T) {
+	col := &Collector{}
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	if err := col.HandleConn(context.Background(), "x", c2); err == nil {
+		t.Error("expected error without handler")
+	}
+}
+
+func TestReadMessageStream(t *testing.T) {
+	var buf bytes.Buffer
+	exp, err := NewExporter(&buf, "r", func() time.Time { return time.Unix(0, 0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = exp.Route(netip.MustParseAddr("192.0.2.1"), 65001, testUpdate())
+	rbuf := make([]byte, MaxMessageLen)
+	m1, err := ReadMessage(&buf, rbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.BMPType() != TypeInitiation {
+		t.Errorf("first message = %v", m1.BMPType())
+	}
+	m2, err := ReadMessage(&buf, rbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.BMPType() != TypeRouteMonitoring {
+		t.Errorf("second message = %v", m2.BMPType())
+	}
+}
+
+func BenchmarkRouteMonitoringDecode(b *testing.B) {
+	m := &RouteMonitoring{Peer: testPeerHeader(), Update: testUpdate()}
+	buf, err := MarshalBytes(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package bmp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+)
+
+// Handler receives decoded events from a BMP stream. The router argument
+// is the caller-assigned name of the monitored router. Methods are
+// called sequentially per stream, from the goroutine running HandleConn.
+type Handler interface {
+	// OnInitiation is called when the stream opens.
+	OnInitiation(router string, m *Initiation)
+	// OnPeerUp is called for each Peer Up notification.
+	OnPeerUp(router string, m *PeerUp)
+	// OnPeerDown is called for each Peer Down notification.
+	OnPeerDown(router string, m *PeerDown)
+	// OnRoute is called for each Route Monitoring message.
+	OnRoute(router string, m *RouteMonitoring)
+	// OnStats is called for each Stats Report.
+	OnStats(router string, m *StatsReport)
+	// OnTermination is called when the stream closes cleanly.
+	OnTermination(router string)
+}
+
+// NopHandler ignores all events; embed it to implement a subset.
+type NopHandler struct{}
+
+// OnInitiation implements Handler.
+func (NopHandler) OnInitiation(string, *Initiation) {}
+
+// OnPeerUp implements Handler.
+func (NopHandler) OnPeerUp(string, *PeerUp) {}
+
+// OnPeerDown implements Handler.
+func (NopHandler) OnPeerDown(string, *PeerDown) {}
+
+// OnRoute implements Handler.
+func (NopHandler) OnRoute(string, *RouteMonitoring) {}
+
+// OnStats implements Handler.
+func (NopHandler) OnStats(string, *StatsReport) {}
+
+// OnTermination implements Handler.
+func (NopHandler) OnTermination(string) {}
+
+// Collector is the controller side of BMP: it consumes streams from
+// monitored routers and dispatches decoded events to a Handler.
+type Collector struct {
+	// Handler receives events; required.
+	Handler Handler
+	// Logf, when set, receives one-line log events.
+	Logf func(format string, args ...any)
+}
+
+// HandleConn consumes one router's BMP stream until EOF, Termination,
+// ctx cancellation, or a decode error. A clean Termination or EOF
+// returns nil.
+func (c *Collector) HandleConn(ctx context.Context, router string, conn net.Conn) error {
+	if c.Handler == nil {
+		return errors.New("bmp: Collector.Handler required")
+	}
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+	buf := make([]byte, MaxMessageLen)
+	for {
+		m, err := ReadMessage(conn, buf)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("bmp: stream %s: %w", router, err)
+		}
+		switch m := m.(type) {
+		case *Initiation:
+			c.Handler.OnInitiation(router, m)
+		case *PeerUp:
+			c.Handler.OnPeerUp(router, m)
+		case *PeerDown:
+			c.Handler.OnPeerDown(router, m)
+		case *RouteMonitoring:
+			c.Handler.OnRoute(router, m)
+		case *StatsReport:
+			c.Handler.OnStats(router, m)
+		case *Termination:
+			c.Handler.OnTermination(router)
+			return nil
+		default:
+			c.logf("bmp: stream %s: ignoring %v", router, m.BMPType())
+		}
+	}
+}
+
+func (c *Collector) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}

@@ -1,0 +1,83 @@
+package bmp
+
+import (
+	"io"
+	"net/netip"
+	"sync"
+	"time"
+
+	"edgefabric/internal/bgp"
+	"edgefabric/internal/wire"
+)
+
+// Exporter is the router side of a BMP stream: it serializes Peer Up /
+// Peer Down / Route Monitoring events onto a transport toward the
+// controller. Methods are safe for concurrent use.
+type Exporter struct {
+	mu   sync.Mutex
+	w    io.Writer
+	wbuf *wire.Writer
+	now  func() time.Time
+}
+
+// NewExporter opens a BMP stream on w, sending the Initiation message
+// with the given system name. now may be nil for time.Now; the simulator
+// injects its virtual clock.
+func NewExporter(w io.Writer, sysName string, now func() time.Time) (*Exporter, error) {
+	if now == nil {
+		now = time.Now
+	}
+	e := &Exporter{w: w, wbuf: wire.NewWriter(1024), now: now}
+	return e, e.send(&Initiation{Info: [][2]string{{"sysName", sysName}}})
+}
+
+func (e *Exporter) send(m Message) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.wbuf.Reset()
+	if err := Marshal(e.wbuf, m); err != nil {
+		return err
+	}
+	_, err := e.w.Write(e.wbuf.Bytes())
+	return err
+}
+
+func (e *Exporter) peerHeader(peerAddr netip.Addr, peerAS uint32, peerID netip.Addr) PeerHeader {
+	return PeerHeader{
+		PeerAddr:  peerAddr,
+		PeerAS:    peerAS,
+		PeerBGPID: routerIDOr(peerID),
+		Timestamp: e.now(),
+	}
+}
+
+// PeerUp reports that the session with the given neighbor established.
+func (e *Exporter) PeerUp(peerAddr netip.Addr, peerAS uint32, peerID, localAddr netip.Addr) error {
+	return e.send(&PeerUp{Peer: e.peerHeader(peerAddr, peerAS, peerID), LocalAddr: localAddr})
+}
+
+// PeerDown reports that the session with the given neighbor ended.
+func (e *Exporter) PeerDown(peerAddr netip.Addr, peerAS uint32, reason uint8) error {
+	return e.send(&PeerDown{Peer: e.peerHeader(peerAddr, peerAS, netip.Addr{}), Reason: reason})
+}
+
+// Route streams one UPDATE received from the given neighbor
+// (pre-policy Adj-RIB-In monitoring).
+func (e *Exporter) Route(peerAddr netip.Addr, peerAS uint32, u *bgp.Update) error {
+	return e.send(&RouteMonitoring{Peer: e.peerHeader(peerAddr, peerAS, netip.Addr{}), Update: u})
+}
+
+// Stats streams a counters snapshot for the given neighbor.
+func (e *Exporter) Stats(peerAddr netip.Addr, peerAS uint32, updatesReceived, prefixes uint64) error {
+	return e.send(&StatsReport{
+		Peer:            e.peerHeader(peerAddr, peerAS, netip.Addr{}),
+		UpdatesReceived: updatesReceived,
+		PrefixesCurrent: prefixes,
+	})
+}
+
+// Close terminates the stream with a Termination message. It does not
+// close the underlying transport.
+func (e *Exporter) Close() error {
+	return e.send(&Termination{})
+}

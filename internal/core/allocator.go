@@ -1,0 +1,427 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"edgefabric/internal/rib"
+)
+
+// SelectStrategy orders the candidate prefixes the allocator considers
+// when draining an overloaded interface.
+type SelectStrategy int
+
+// Prefix selection strategies (the paper's choice plus two ablation
+// controls, see DESIGN.md §5).
+const (
+	// SelectBestAlternative prefers prefixes whose best detour target is
+	// a peer route (rather than transit) and has the most spare
+	// capacity — the paper's behaviour.
+	SelectBestAlternative SelectStrategy = iota
+	// SelectLargestFirst moves the highest-rate prefixes first,
+	// minimizing the number of overrides.
+	SelectLargestFirst
+	// SelectRandom uses an arbitrary-but-stable order (ablation
+	// control).
+	SelectRandom
+)
+
+// String returns the strategy name.
+func (s SelectStrategy) String() string {
+	switch s {
+	case SelectBestAlternative:
+		return "best-alternative"
+	case SelectLargestFirst:
+		return "largest-first"
+	case SelectRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// TargetStrategy picks among feasible detour routes for one prefix.
+type TargetStrategy int
+
+// Detour target strategies.
+const (
+	// TargetPreferPeerMostSpare prefers the best peering tier, then the
+	// interface with the most spare capacity — the paper's behaviour.
+	TargetPreferPeerMostSpare TargetStrategy = iota
+	// TargetFirstFeasible takes the highest-BGP-preference alternate
+	// that fits.
+	TargetFirstFeasible
+	// TargetMostSpare ignores tier and maximizes spare capacity.
+	TargetMostSpare
+)
+
+// String returns the strategy name.
+func (s TargetStrategy) String() string {
+	switch s {
+	case TargetPreferPeerMostSpare:
+		return "prefer-peer-most-spare"
+	case TargetFirstFeasible:
+		return "first-feasible"
+	case TargetMostSpare:
+		return "most-spare"
+	default:
+		return fmt.Sprintf("target(%d)", int(s))
+	}
+}
+
+// AllocatorConfig parameterizes the overload allocator.
+type AllocatorConfig struct {
+	// Threshold is the utilization above which an interface is
+	// overloaded. Default 0.95.
+	Threshold float64
+	// Target is the ceiling the allocator will fill a detour-target
+	// interface to (overloaded interfaces are always drained to below
+	// Threshold). Default = Threshold; values above Threshold let
+	// detours pack targets a bit hotter than the alarm level.
+	Target float64
+	// Select orders candidate prefixes on an overloaded interface.
+	Select SelectStrategy
+	// TargetSelect picks among feasible detours for a prefix.
+	TargetSelect TargetStrategy
+	// MaxDetours caps overrides per cycle (0 = unlimited).
+	MaxDetours int
+	// NoSticky disables detour retention: by default (paper behaviour)
+	// a prefix already detoured keeps its current detour while its
+	// preferred interface remains above threshold and the detour stays
+	// feasible, which suppresses override churn between cycles.
+	// Retention needs the previous override set: see AllocateSticky.
+	NoSticky bool
+	// AllowSplit enables sub-prefix detours (the paper's §7 extension):
+	// when an overloaded interface cannot be drained by whole-prefix
+	// moves — typically because one very large prefix exceeds every
+	// alternate's headroom — the allocator announces one more-specific
+	// half of the prefix toward an alternate, steering half its traffic
+	// by longest-prefix match.
+	AllowSplit bool
+}
+
+func (c *AllocatorConfig) setDefaults() {
+	if c.Threshold == 0 {
+		c.Threshold = 0.95
+	}
+	if c.Target == 0 {
+		c.Target = c.Threshold
+	}
+}
+
+// Override is one allocator decision: steer a prefix onto an alternate
+// route.
+type Override struct {
+	// Prefix is the steered prefix. For split detours this is a
+	// more-specific half of SplitOf.
+	Prefix netip.Prefix
+	// SplitOf, when valid, is the aggregate prefix this override steers
+	// half of (AllowSplit).
+	SplitOf netip.Prefix
+	// Via is the organic alternate route the traffic is steered onto.
+	Via *rib.Route
+	// FromIF / ToIF are the egress interfaces before and after.
+	FromIF, ToIF int
+	// RateBps is the demand moved.
+	RateBps float64
+	// Reason is a one-line explanation for the audit log.
+	Reason string
+}
+
+// AllocResult is the allocator's outcome for one cycle.
+type AllocResult struct {
+	// Overrides are the decisions, in the order they were made.
+	Overrides []Override
+	// ResidualOverloadBps maps interfaces the allocator could not fully
+	// drain to the excess offered load left above threshold.
+	ResidualOverloadBps map[int]float64
+	// DetouredBps is the total rate moved.
+	DetouredBps float64
+	// Retained counts overrides carried over from the previous cycle by
+	// the stickiness pass.
+	Retained int
+}
+
+// Allocate runs the paper's greedy overload-mitigation algorithm over a
+// projection: while some interface is projected above threshold, pick
+// the most overloaded one and move whole prefixes from it onto their
+// best feasible alternate route until it drops below target. A detour is
+// feasible only if it keeps its target interface at or below target
+// utilization, so the allocator never trades one overload for another.
+//
+// Allocate mutates only its own working copy of the projected loads;
+// the Projection itself is unchanged.
+func Allocate(proj *Projection, inv *Inventory, cfg AllocatorConfig) *AllocResult {
+	return AllocateSticky(proj, inv, cfg, nil)
+}
+
+// AllocateSticky is Allocate with detour retention: prior is the
+// override set installed by the previous cycle (e.g. Injector.Installed).
+// Unless cfg.NoSticky is set, a previously-detoured prefix whose
+// preferred interface is still above threshold keeps its existing detour
+// (feasibility permitting) before any new detours are chosen, which
+// suppresses override churn while an overload persists.
+func AllocateSticky(proj *Projection, inv *Inventory, cfg AllocatorConfig, prior map[netip.Prefix]Override) *AllocResult {
+	cfg.setDefaults()
+	res := &AllocResult{ResidualOverloadBps: make(map[int]float64)}
+
+	load := make(map[int]float64, len(proj.IfLoadBps))
+	for id, bps := range proj.IfLoadBps {
+		load[id] = bps
+	}
+	capOf := func(id int) float64 {
+		info, ok := inv.InterfaceByID(id)
+		if !ok {
+			return 0
+		}
+		return info.CapacityBps
+	}
+	moved := make(map[netip.Prefix]bool)
+
+	// candidateDetourRate returns the best feasible detour for moving
+	// rate bps of a plan's traffic, given current working loads, or nil.
+	candidateDetourRate := func(plan *PrefixPlan, rate float64) *rib.Route {
+		var best *rib.Route
+		var bestSpare float64
+		for _, alt := range plan.Alternates {
+			if alt.EgressIF == plan.Preferred.EgressIF {
+				continue // same port (e.g. another peer on the same IXP interface)
+			}
+			c := capOf(alt.EgressIF)
+			if c == 0 {
+				continue
+			}
+			if load[alt.EgressIF]+rate > cfg.Target*c {
+				continue // would overload the target
+			}
+			spare := cfg.Target*c - load[alt.EgressIF] - rate
+			switch cfg.TargetSelect {
+			case TargetFirstFeasible:
+				return alt
+			case TargetMostSpare:
+				if best == nil || spare > bestSpare {
+					best, bestSpare = alt, spare
+				}
+			default: // TargetPreferPeerMostSpare
+				if best == nil ||
+					alt.PeerClass < best.PeerClass ||
+					(alt.PeerClass == best.PeerClass && spare > bestSpare) {
+					best, bestSpare = alt, spare
+				}
+			}
+		}
+		return best
+	}
+	candidateDetour := func(plan *PrefixPlan) *rib.Route {
+		return candidateDetourRate(plan, plan.RateBps)
+	}
+
+	// Stickiness pass: retain still-needed, still-feasible detours from
+	// the previous cycle before choosing any new ones.
+	if !cfg.NoSticky && len(prior) > 0 {
+		keys := make([]netip.Prefix, 0, len(prior))
+		for p := range prior {
+			keys = append(keys, p)
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a].String() < keys[b].String() })
+		for _, prefix := range keys {
+			old := prior[prefix]
+			// A split override is keyed by the more-specific half; its
+			// demand lives under the aggregate's plan at half rate.
+			planKey := prefix
+			rateShare := 1.0
+			if old.SplitOf.IsValid() {
+				planKey = old.SplitOf
+				rateShare = 0.5
+			}
+			plan, ok := proj.Plans[planKey]
+			if !ok {
+				continue // demand gone
+			}
+			rate := plan.RateBps * rateShare
+			fromIF := plan.Preferred.EgressIF
+			if load[fromIF] <= cfg.Threshold*capOf(fromIF) {
+				continue // overload gone; let the detour lapse
+			}
+			var via *rib.Route
+			for _, alt := range plan.Alternates {
+				if alt.PeerAddr == old.Via.PeerAddr && alt.EgressIF != fromIF {
+					via = alt
+					break
+				}
+			}
+			if via == nil {
+				continue // the old detour route no longer exists
+			}
+			if load[via.EgressIF]+rate > cfg.Target*capOf(via.EgressIF) {
+				continue // no longer feasible
+			}
+			load[fromIF] -= rate
+			load[via.EgressIF] += rate
+			moved[planKey] = true
+			res.Overrides = append(res.Overrides, Override{
+				Prefix:  prefix,
+				SplitOf: old.SplitOf,
+				Via:     via,
+				FromIF:  fromIF,
+				ToIF:    via.EgressIF,
+				RateBps: rate,
+				Reason:  "retained: overload persists",
+			})
+			res.DetouredBps += rate
+			res.Retained++
+		}
+	}
+
+	// Interfaces the allocator already failed to drain; skipped when
+	// picking the next-worst so the loop always makes progress.
+	gaveUp := make(map[int]bool)
+	for iter := 0; iter < len(inv.Interfaces())+8; iter++ {
+		// Most overloaded interface by ratio.
+		overIF, overUtil := -1, cfg.Threshold
+		for _, info := range inv.Interfaces() {
+			if gaveUp[info.ID] {
+				continue
+			}
+			u := load[info.ID] / info.CapacityBps
+			if u > overUtil {
+				overIF, overUtil = info.ID, u
+			}
+		}
+		if overIF < 0 {
+			break
+		}
+		drainBps := cfg.Threshold * capOf(overIF)
+
+		// Candidate prefixes on the interface, with their current best
+		// detours.
+		type cand struct {
+			plan   *PrefixPlan
+			detour *rib.Route
+		}
+		var cands []cand
+		for _, plan := range proj.PrefixesOnInterface(overIF) {
+			if moved[plan.Prefix] {
+				continue
+			}
+			if d := candidateDetour(plan); d != nil {
+				cands = append(cands, cand{plan, d})
+			}
+		}
+		switch cfg.Select {
+		case SelectLargestFirst:
+			sort.SliceStable(cands, func(a, b int) bool {
+				return cands[a].plan.RateBps > cands[b].plan.RateBps
+			})
+		case SelectRandom:
+			// PrefixesOnInterface order is stable by prefix string —
+			// arbitrary with respect to rate and alternatives.
+		default: // SelectBestAlternative
+			sort.SliceStable(cands, func(a, b int) bool {
+				da, db := cands[a].detour, cands[b].detour
+				if da.PeerClass != db.PeerClass {
+					return da.PeerClass < db.PeerClass
+				}
+				// More spare headroom on the detour target first.
+				sa := cfg.Target*capOf(da.EgressIF) - load[da.EgressIF]
+				sb := cfg.Target*capOf(db.EgressIF) - load[db.EgressIF]
+				if sa != sb {
+					return sa > sb
+				}
+				return cands[a].plan.RateBps > cands[b].plan.RateBps
+			})
+		}
+
+		for _, c := range cands {
+			if load[overIF] <= drainBps {
+				break
+			}
+			// Re-validate: earlier moves may have consumed the target's
+			// headroom.
+			detour := candidateDetour(c.plan)
+			if detour == nil {
+				continue
+			}
+			if cfg.MaxDetours > 0 && len(res.Overrides) >= cfg.MaxDetours {
+				break
+			}
+			load[overIF] -= c.plan.RateBps
+			load[detour.EgressIF] += c.plan.RateBps
+			moved[c.plan.Prefix] = true
+			res.Overrides = append(res.Overrides, Override{
+				Prefix:  c.plan.Prefix,
+				Via:     detour,
+				FromIF:  overIF,
+				ToIF:    detour.EgressIF,
+				RateBps: c.plan.RateBps,
+				Reason: fmt.Sprintf("if %d projected %.0f%% > %.0f%%",
+					overIF, overUtil*100, cfg.Threshold*100),
+			})
+			res.DetouredBps += c.plan.RateBps
+		}
+		// Split pass: whole-prefix moves were not enough; steer half of
+		// the biggest remaining prefixes via more-specific halves.
+		if cfg.AllowSplit && load[overIF] > drainBps {
+			var splitCands []*PrefixPlan
+			for _, plan := range proj.PrefixesOnInterface(overIF) {
+				if moved[plan.Prefix] {
+					continue
+				}
+				splitCands = append(splitCands, plan)
+			}
+			sort.SliceStable(splitCands, func(a, b int) bool {
+				return splitCands[a].RateBps > splitCands[b].RateBps
+			})
+			for _, plan := range splitCands {
+				if load[overIF] <= drainBps {
+					break
+				}
+				if cfg.MaxDetours > 0 && len(res.Overrides) >= cfg.MaxDetours {
+					break
+				}
+				half := plan.RateBps / 2
+				detour := candidateDetourRate(plan, half)
+				if detour == nil {
+					continue
+				}
+				lo, _, ok := rib.Split(plan.Prefix)
+				if !ok {
+					continue
+				}
+				load[overIF] -= half
+				load[detour.EgressIF] += half
+				moved[plan.Prefix] = true
+				res.Overrides = append(res.Overrides, Override{
+					Prefix:  lo,
+					SplitOf: plan.Prefix,
+					Via:     detour,
+					FromIF:  overIF,
+					ToIF:    detour.EgressIF,
+					RateBps: half,
+					Reason: fmt.Sprintf("split: if %d projected %.0f%% > %.0f%%, no whole-prefix detour fits",
+						overIF, overUtil*100, cfg.Threshold*100),
+				})
+				res.DetouredBps += half
+			}
+		}
+		if load[overIF] > drainBps {
+			res.ResidualOverloadBps[overIF] = load[overIF] - drainBps
+			gaveUp[overIF] = true
+		}
+
+		if cfg.MaxDetours > 0 && len(res.Overrides) >= cfg.MaxDetours {
+			// Record any remaining overloads as residual before exiting.
+			for _, info := range inv.Interfaces() {
+				u := load[info.ID] / info.CapacityBps
+				if u > cfg.Threshold {
+					if _, ok := res.ResidualOverloadBps[info.ID]; !ok {
+						res.ResidualOverloadBps[info.ID] = load[info.ID] - cfg.Threshold*info.CapacityBps
+					}
+				}
+			}
+			break
+		}
+	}
+	return res
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// AuditRecord is the JSON-line form of one controller cycle, written by
+// an AuditLogger. It is the durable trace operators grep when asking
+// "why was this prefix detoured at 20:14" — the paper's team leaned on
+// exactly this kind of per-cycle decision log when validating the
+// system.
+type AuditRecord struct {
+	Time        time.Time       `json:"time"`
+	Seq         uint64          `json:"seq"`
+	DemandBps   float64         `json:"demand_bps"`
+	DetouredBps float64         `json:"detoured_bps"`
+	Announced   int             `json:"announced"`
+	Withdrawn   int             `json:"withdrawn"`
+	ElapsedUS   int64           `json:"elapsed_us"`
+	IfUtil      map[int]float64 `json:"if_util,omitempty"`
+	Residual    map[int]float64 `json:"residual_bps,omitempty"`
+	Overrides   []AuditOverride `json:"overrides,omitempty"`
+}
+
+// AuditOverride is the compact form of one override decision.
+type AuditOverride struct {
+	Prefix  string  `json:"prefix"`
+	SplitOf string  `json:"split_of,omitempty"`
+	NextHop string  `json:"next_hop"`
+	FromIF  int     `json:"from_if"`
+	ToIF    int     `json:"to_if"`
+	RateBps float64 `json:"rate_bps"`
+	Reason  string  `json:"reason"`
+}
+
+// NewAuditRecord converts a cycle report.
+func NewAuditRecord(r *CycleReport) *AuditRecord {
+	rec := &AuditRecord{
+		Time:        r.Time,
+		Seq:         r.Seq,
+		DemandBps:   r.DemandBps,
+		DetouredBps: r.DetouredBps,
+		Announced:   r.Announced,
+		Withdrawn:   r.Withdrawn,
+		ElapsedUS:   r.Elapsed.Microseconds(),
+		IfUtil:      r.IfUtil,
+		Residual:    r.ResidualOverloadBps,
+	}
+	for _, o := range r.Overrides {
+		ao := AuditOverride{
+			Prefix:  o.Prefix.String(),
+			NextHop: o.Via.NextHop.String(),
+			FromIF:  o.FromIF,
+			ToIF:    o.ToIF,
+			RateBps: o.RateBps,
+			Reason:  o.Reason,
+		}
+		if o.SplitOf.IsValid() {
+			ao.SplitOf = o.SplitOf.String()
+		}
+		rec.Overrides = append(rec.Overrides, ao)
+	}
+	return rec
+}
+
+// AuditLogger serializes cycle reports as JSON lines onto a writer.
+// Safe for concurrent use.
+type AuditLogger struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewAuditLogger returns a logger writing JSONL to w.
+func NewAuditLogger(w io.Writer) *AuditLogger {
+	return &AuditLogger{enc: json.NewEncoder(w)}
+}
+
+// Log writes one cycle report.
+func (a *AuditLogger) Log(r *CycleReport) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.enc.Encode(NewAuditRecord(r))
+}
+
+// ReadAuditLog parses a JSONL audit stream back into records, for
+// offline analysis tooling and tests.
+func ReadAuditLog(r io.Reader) ([]*AuditRecord, error) {
+	dec := json.NewDecoder(r)
+	var out []*AuditRecord
+	for dec.More() {
+		var rec AuditRecord
+		if err := dec.Decode(&rec); err != nil {
+			return out, err
+		}
+		out = append(out, &rec)
+	}
+	return out, nil
+}

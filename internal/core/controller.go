@@ -1,0 +1,325 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/netip"
+	"sort"
+	"sync"
+	"time"
+
+	"edgefabric/internal/bmp"
+	"edgefabric/internal/metrics"
+)
+
+// Config configures a Controller.
+type Config struct {
+	// Inventory is the PoP's peer/interface inventory; required.
+	Inventory *Inventory
+	// Traffic supplies per-prefix demand; required.
+	Traffic TrafficSource
+	// Allocator parameterizes the overload algorithm.
+	Allocator AllocatorConfig
+	// CycleInterval is the period of the control loop when driven by
+	// Run. Default 30 s (the paper's cadence).
+	CycleInterval time.Duration
+	// LocalAS / RouterID identify the injector's iBGP speaker.
+	LocalAS  uint32
+	RouterID netip.Addr
+	// Now supplies time for reports; nil means time.Now (the simulator
+	// injects its virtual clock).
+	Now func() time.Time
+	// Metrics receives operational counters; nil allocates a private
+	// registry.
+	Metrics *metrics.Registry
+	// Audit, when set, receives one JSON line per cycle (see
+	// AuditLogger).
+	Audit *AuditLogger
+	// ExtraOverrides, when set, is invoked each cycle after overload
+	// allocation and may contribute additional overrides (e.g.
+	// performance-aware moves from PerfAllocate). Overload overrides
+	// win conflicts: contributions for prefixes already overridden are
+	// dropped.
+	ExtraOverrides func(proj *Projection, alloc *AllocResult) []Override
+	// Logf, when set, receives one-line log events.
+	Logf func(format string, args ...any)
+}
+
+// CycleReport records what one controller cycle saw and did.
+type CycleReport struct {
+	// Time is when the cycle ran.
+	Time time.Time
+	// Seq is the cycle sequence number.
+	Seq uint64
+	// DemandBps is total measured demand.
+	DemandBps float64
+	// Projection utilization per interface (load/capacity).
+	IfUtil map[int]float64
+	// Overrides is the desired override set this cycle.
+	Overrides []Override
+	// DetouredBps is demand steered off preferred routes.
+	DetouredBps float64
+	// ResidualOverloadBps is overload the allocator could not resolve.
+	ResidualOverloadBps map[int]float64
+	// Announced / Withdrawn are the injector's actions.
+	Announced, Withdrawn int
+	// Elapsed is the cycle's computation time (wall clock).
+	Elapsed time.Duration
+}
+
+// Controller is the per-PoP Edge Fabric control loop, assembling the
+// route store, traffic source, projection, allocator, and injector.
+type Controller struct {
+	cfg      Config
+	store    *RouteStore
+	injector *Injector
+	registry *metrics.Registry
+
+	collector *bmp.Collector
+	bmpWG     sync.WaitGroup
+	bmpCtx    context.Context
+	bmpStop   context.CancelFunc
+
+	mu      sync.Mutex
+	seq     uint64
+	history []CycleReport
+	maxHist int
+}
+
+// New builds a Controller.
+func New(cfg Config) (*Controller, error) {
+	if cfg.Inventory == nil {
+		return nil, fmt.Errorf("core: Config.Inventory required")
+	}
+	if cfg.Traffic == nil {
+		return nil, fmt.Errorf("core: Config.Traffic required")
+	}
+	if cfg.CycleInterval == 0 {
+		cfg.CycleInterval = 30 * time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	if !cfg.RouterID.IsValid() {
+		cfg.RouterID = netip.MustParseAddr("10.255.0.100")
+	}
+	if cfg.LocalAS == 0 {
+		return nil, fmt.Errorf("core: Config.LocalAS required")
+	}
+	store := NewRouteStore(cfg.Inventory)
+	inj, err := NewInjector(InjectorConfig{
+		LocalAS:  cfg.LocalAS,
+		RouterID: cfg.RouterID,
+		Logf:     cfg.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Controller{
+		cfg:       cfg,
+		store:     store,
+		injector:  inj,
+		registry:  cfg.Metrics,
+		collector: &bmp.Collector{Handler: store, Logf: cfg.Logf},
+		bmpCtx:    ctx,
+		bmpStop:   cancel,
+		maxHist:   4096,
+	}, nil
+}
+
+// Store exposes the controller's route store (e.g. to use as the sFlow
+// collector's prefix mapper).
+func (c *Controller) Store() *RouteStore { return c.store }
+
+// Metrics exposes the controller's metrics registry.
+func (c *Controller) Metrics() *metrics.Registry { return c.registry }
+
+// AddBMPFeed starts consuming a router's BMP stream.
+func (c *Controller) AddBMPFeed(router string, conn net.Conn) {
+	c.bmpWG.Add(1)
+	go func() {
+		defer c.bmpWG.Done()
+		if err := c.collector.HandleConn(c.bmpCtx, router, conn); err != nil && c.cfg.Logf != nil {
+			c.cfg.Logf("bmp feed %s: %v", router, err)
+		}
+	}()
+}
+
+// AddInjectionSession registers the iBGP session toward a peering
+// router.
+func (c *Controller) AddInjectionSession(routerAddr netip.Addr, conn net.Conn) error {
+	return c.injector.AddRouter(routerAddr, conn)
+}
+
+// WaitReady blocks until all injection sessions are established and the
+// route store holds at least minRoutes routes.
+func (c *Controller) WaitReady(ctx context.Context, minRoutes int) error {
+	if err := c.injector.WaitEstablished(ctx); err != nil {
+		return err
+	}
+	for c.store.Table().RouteCount() < minRoutes {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("core: %d/%d routes collected: %w",
+				c.store.Table().RouteCount(), minRoutes, ctx.Err())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	return nil
+}
+
+// RunCycle executes one full control cycle: measure, project, allocate,
+// inject. It returns the cycle's report.
+func (c *Controller) RunCycle() (*CycleReport, error) {
+	started := time.Now()
+	now := c.cfg.Now()
+
+	demand := c.cfg.Traffic.Rates()
+	proj := Project(c.store.Table(), demand)
+	alloc := AllocateSticky(proj, c.cfg.Inventory, c.cfg.Allocator, c.injector.Installed())
+	overrides := alloc.Overrides
+	detoured := alloc.DetouredBps
+	if c.cfg.ExtraOverrides != nil {
+		taken := make(map[netip.Prefix]bool, len(overrides))
+		for _, o := range overrides {
+			taken[o.Prefix] = true
+		}
+		overrides = append([]Override(nil), overrides...)
+		for _, o := range c.cfg.ExtraOverrides(proj, alloc) {
+			if taken[o.Prefix] {
+				continue
+			}
+			taken[o.Prefix] = true
+			overrides = append(overrides, o)
+			detoured += o.RateBps
+		}
+	}
+	announced, withdrawn, err := c.injector.Sync(overrides)
+
+	report := &CycleReport{
+		Time:                now,
+		IfUtil:              make(map[int]float64),
+		Overrides:           overrides,
+		DetouredBps:         detoured,
+		ResidualOverloadBps: alloc.ResidualOverloadBps,
+		Announced:           announced,
+		Withdrawn:           withdrawn,
+		Elapsed:             time.Since(started),
+	}
+	for _, bps := range demand {
+		report.DemandBps += bps
+	}
+	for _, info := range c.cfg.Inventory.Interfaces() {
+		report.IfUtil[info.ID] = proj.IfLoadBps[info.ID] / info.CapacityBps
+	}
+
+	c.mu.Lock()
+	c.seq++
+	report.Seq = c.seq
+	c.history = append(c.history, *report)
+	if len(c.history) > c.maxHist {
+		c.history = c.history[len(c.history)-c.maxHist:]
+	}
+	c.mu.Unlock()
+
+	if c.cfg.Audit != nil {
+		if aerr := c.cfg.Audit.Log(report); aerr != nil && c.cfg.Logf != nil {
+			c.cfg.Logf("audit log: %v", aerr)
+		}
+	}
+
+	m := c.registry
+	m.Counter("edgefabric_cycles_total").Inc()
+	m.Gauge("edgefabric_overrides_active").Set(float64(len(overrides)))
+	m.Gauge("edgefabric_detoured_bps").Set(detoured)
+	m.Gauge("edgefabric_demand_bps").Set(report.DemandBps)
+	m.Counter("edgefabric_announcements_total").Add(uint64(announced))
+	m.Counter("edgefabric_withdrawals_total").Add(uint64(withdrawn))
+	m.Histogram("edgefabric_cycle_seconds", 0.0001, 0.001, 0.01, 0.1, 1, 10).
+		Observe(report.Elapsed.Seconds())
+	if len(alloc.ResidualOverloadBps) > 0 {
+		m.Counter("edgefabric_residual_overload_cycles_total").Inc()
+	}
+	if err != nil {
+		m.Counter("edgefabric_injection_errors_total").Inc()
+		return report, err
+	}
+	if c.cfg.Logf != nil && len(overrides) > 0 {
+		c.cfg.Logf("cycle %d: demand %.1fG, %d overrides (%.1fG detoured), +%d/-%d",
+			report.Seq, report.DemandBps/1e9, len(overrides),
+			detoured/1e9, announced, withdrawn)
+	}
+	return report, nil
+}
+
+// History returns a copy of the retained cycle reports, oldest first.
+func (c *Controller) History() []CycleReport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]CycleReport, len(c.history))
+	copy(out, c.history)
+	return out
+}
+
+// Installed returns the injector's currently-announced override set.
+func (c *Controller) Installed() map[netip.Prefix]Override {
+	return c.injector.Installed()
+}
+
+// Run drives the control loop on a wall-clock ticker until ctx ends.
+// Simulation harnesses call RunCycle directly instead, interleaved with
+// virtual-clock advancement.
+func (c *Controller) Run(ctx context.Context) error {
+	ticker := time.NewTicker(c.cfg.CycleInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+			if _, err := c.RunCycle(); err != nil && c.cfg.Logf != nil {
+				c.cfg.Logf("cycle error: %v", err)
+			}
+		}
+	}
+}
+
+// Close tears the controller down: BMP feeds stop and the injection
+// sessions drop, which withdraws every override on the routers.
+func (c *Controller) Close() {
+	c.bmpStop()
+	c.injector.Close()
+	c.bmpWG.Wait()
+}
+
+// FormatReport renders a cycle report as a compact human-readable
+// summary (used by edgefabricd and the examples).
+func FormatReport(r *CycleReport, inv *Inventory) string {
+	s := fmt.Sprintf("cycle %d @ %s: demand %.1f Gbps, overrides %d (%.1f Gbps detoured)",
+		r.Seq, r.Time.Format("15:04:05"), r.DemandBps/1e9, len(r.Overrides), r.DetouredBps/1e9)
+	ids := make([]int, 0, len(r.IfUtil))
+	for id := range r.IfUtil {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		u := r.IfUtil[id]
+		if u < 0.5 {
+			continue
+		}
+		name := fmt.Sprintf("if%d", id)
+		if info, ok := inv.InterfaceByID(id); ok {
+			name = info.Name
+		}
+		s += fmt.Sprintf("\n  %-24s %5.1f%% projected", name, u*100)
+		if res, ok := r.ResidualOverloadBps[id]; ok {
+			s += fmt.Sprintf("  (UNRESOLVED +%.1fG)", res/1e9)
+		}
+	}
+	return s
+}

@@ -1,0 +1,362 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"edgefabric/internal/bgp"
+	"edgefabric/internal/bmp"
+	"edgefabric/internal/netsim"
+	"edgefabric/internal/rib"
+)
+
+// fakePR is a BGP speaker standing in for a peering router: it records
+// the updates the injector sends.
+type fakePR struct {
+	speaker *bgp.Speaker
+	mu      sync.Mutex
+	updates []*bgp.Update
+	gotCh   chan *bgp.Update
+}
+
+func newFakePR(t *testing.T, localAS uint32) (*fakePR, net.Conn) {
+	t.Helper()
+	pr := &fakePR{gotCh: make(chan *bgp.Update, 64)}
+	sp, err := bgp.NewSpeaker(bgp.SpeakerConfig{
+		LocalAS:  localAS,
+		RouterID: netip.MustParseAddr("10.255.0.1"),
+		HoldTime: 5 * time.Second,
+		Handler:  pr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.speaker = sp
+	t.Cleanup(sp.Close)
+	peer, err := sp.AddPeer(bgp.PeerConfig{PeerAddr: netip.MustParseAddr("10.255.0.100")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prEnd, ctrlEnd := netsim.BufferedPipe()
+	if err := peer.Accept(prEnd); err != nil {
+		t.Fatal(err)
+	}
+	return pr, ctrlEnd
+}
+
+func (pr *fakePR) HandleEstablished(*bgp.Peer, *bgp.Open) {}
+func (pr *fakePR) HandleDown(*bgp.Peer, error)            {}
+func (pr *fakePR) HandleUpdate(p *bgp.Peer, u *bgp.Update) {
+	pr.mu.Lock()
+	pr.updates = append(pr.updates, u)
+	pr.mu.Unlock()
+	pr.gotCh <- u
+}
+
+func waitUpdate(t *testing.T, pr *fakePR) *bgp.Update {
+	t.Helper()
+	select {
+	case u := <-pr.gotCh:
+		return u
+	case <-time.After(3 * time.Second):
+		t.Fatal("no update from injector")
+		return nil
+	}
+}
+
+func TestInjectorSyncDiffing(t *testing.T) {
+	pr, conn := newFakePR(t, 64500)
+	inj, err := NewInjector(InjectorConfig{
+		LocalAS:  64500,
+		RouterID: netip.MustParseAddr("10.255.0.100"),
+		HoldTime: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inj.Close()
+	if err := inj.AddRouter(netip.MustParseAddr("10.255.0.1"), conn); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := inj.WaitEstablished(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	o1 := Override{
+		Prefix: netip.MustParsePrefix("10.1.0.0/24"),
+		Via: &rib.Route{
+			NextHop: netip.MustParseAddr("172.20.0.9"),
+			ASPath:  []uint32{64601, 65010},
+		},
+		FromIF: 0, ToIF: 3, RateBps: 1e9,
+	}
+	a, w, err := inj.Sync([]Override{o1})
+	if err != nil || a != 1 || w != 0 {
+		t.Fatalf("Sync = %d/%d, %v", a, w, err)
+	}
+	u := waitUpdate(t, pr)
+	if len(u.NLRI) != 1 || u.NLRI[0] != o1.Prefix {
+		t.Fatalf("announce = %+v", u)
+	}
+	if !u.Attrs.HasLocalPref || u.Attrs.LocalPref != rib.PrefController {
+		t.Errorf("LOCAL_PREF = %d/%v", u.Attrs.LocalPref, u.Attrs.HasLocalPref)
+	}
+	if u.Attrs.NextHop != o1.Via.NextHop {
+		t.Errorf("next hop = %v", u.Attrs.NextHop)
+	}
+
+	// Same desired set: no messages.
+	a, w, err = inj.Sync([]Override{o1})
+	if err != nil || a != 0 || w != 0 {
+		t.Fatalf("idempotent Sync = %d/%d, %v", a, w, err)
+	}
+
+	// Changed next hop: withdraw + announce.
+	o2 := o1
+	o2.Via = &rib.Route{NextHop: netip.MustParseAddr("172.20.0.3"), ASPath: []uint32{65012, 65010}}
+	a, w, err = inj.Sync([]Override{o2})
+	if err != nil || a != 1 || w != 1 {
+		t.Fatalf("changed Sync = %d/%d, %v", a, w, err)
+	}
+	wd := waitUpdate(t, pr)
+	if len(wd.Withdrawn) != 1 {
+		t.Fatalf("expected withdraw first, got %+v", wd)
+	}
+	an := waitUpdate(t, pr)
+	if an.Attrs.NextHop != o2.Via.NextHop {
+		t.Fatalf("expected re-announce, got %+v", an)
+	}
+
+	// Empty set: withdraw all.
+	a, w, err = inj.Sync(nil)
+	if err != nil || a != 0 || w != 1 {
+		t.Fatalf("clear Sync = %d/%d, %v", a, w, err)
+	}
+	if len(inj.Installed()) != 0 {
+		t.Error("Installed not empty after clear")
+	}
+}
+
+func TestInjectorV6Override(t *testing.T) {
+	pr, conn := newFakePR(t, 64500)
+	inj, err := NewInjector(InjectorConfig{LocalAS: 64500, RouterID: netip.MustParseAddr("10.255.0.100")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inj.Close()
+	if err := inj.AddRouter(netip.MustParseAddr("10.255.0.1"), conn); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := inj.WaitEstablished(ctx); err != nil {
+		t.Fatal(err)
+	}
+	o := Override{
+		Prefix: netip.MustParsePrefix("2001:db8:5::/48"),
+		Via: &rib.Route{
+			NextHop: netip.MustParseAddr("2001:db8:ffff::9"),
+			ASPath:  []uint32{64601, 65010},
+		},
+	}
+	if _, _, err := inj.Sync([]Override{o}); err != nil {
+		t.Fatal(err)
+	}
+	u := waitUpdate(t, pr)
+	if u.Attrs.MPReach == nil || u.Attrs.MPReach.NLRI[0] != o.Prefix {
+		t.Fatalf("v6 announce = %+v", u)
+	}
+	if _, _, err := inj.Sync(nil); err != nil {
+		t.Fatal(err)
+	}
+	wd := waitUpdate(t, pr)
+	if wd.Attrs.MPUnreach == nil || wd.Attrs.MPUnreach.Withdrawn[0] != o.Prefix {
+		t.Fatalf("v6 withdraw = %+v", wd)
+	}
+}
+
+// staticTraffic is a fixed TrafficSource.
+type staticTraffic map[netip.Prefix]float64
+
+func (s staticTraffic) Rates() map[netip.Prefix]float64 { return s }
+
+func TestControllerRunCycle(t *testing.T) {
+	inv := testInventory(t)
+	demand := staticTraffic{}
+	ctrl, err := New(Config{
+		Inventory: inv,
+		Traffic:   demand,
+		LocalAS:   64500,
+		Allocator: AllocatorConfig{Threshold: 0.95},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+
+	pr, conn := newFakePR(t, 64500)
+	if err := ctrl.AddInjectionSession(netip.MustParseAddr("10.255.0.1"), conn); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := ctrl.WaitReady(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Populate the route store directly (BMP path covered elsewhere).
+	for i := 0; i < 10; i++ {
+		prefix := fmt.Sprintf("10.0.%d.0/24", i)
+		ctrl.Store().Table().Add(route(prefix, "172.20.0.1", rib.ClassPrivate, 0, 65010))
+		ctrl.Store().Table().Add(route(prefix, "172.20.0.9", rib.ClassTransit, 3, 64601, 65010))
+		demand[netip.MustParsePrefix(prefix)] = 1.2e9
+	}
+
+	rep, err := ctrl.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Overrides) == 0 {
+		t.Fatal("overloaded PNI produced no overrides")
+	}
+	if rep.Announced != len(rep.Overrides) {
+		t.Errorf("announced %d, overrides %d", rep.Announced, len(rep.Overrides))
+	}
+	waitUpdate(t, pr)
+
+	// Demand drops; next cycle withdraws everything.
+	for p := range demand {
+		demand[p] = 0.1e9
+	}
+	rep2, err := ctrl.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Overrides) != 0 || rep2.Withdrawn == 0 {
+		t.Errorf("cycle 2 = %d overrides, %d withdrawn", len(rep2.Overrides), rep2.Withdrawn)
+	}
+	if len(ctrl.Installed()) != 0 {
+		t.Error("overrides linger after demand subsided")
+	}
+	if got := len(ctrl.History()); got != 2 {
+		t.Errorf("history = %d", got)
+	}
+	out := FormatReport(rep, inv)
+	if !strings.Contains(out, "overrides") {
+		t.Errorf("FormatReport = %q", out)
+	}
+	if ctrl.Metrics().Counter("edgefabric_cycles_total").Value() != 2 {
+		t.Error("cycle counter wrong")
+	}
+}
+
+func TestControllerRunLoop(t *testing.T) {
+	inv := testInventory(t)
+	ctrl, err := New(Config{
+		Inventory:     inv,
+		Traffic:       staticTraffic{},
+		LocalAS:       64500,
+		CycleInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	_, conn := newFakePR(t, 64500)
+	if err := ctrl.AddInjectionSession(netip.MustParseAddr("10.255.0.1"), conn); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	if err := ctrl.Run(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("Run = %v", err)
+	}
+	if got := ctrl.Metrics().Counter("edgefabric_cycles_total").Value(); got < 3 {
+		t.Errorf("cycles = %d, want >= 3", got)
+	}
+}
+
+func TestControllerConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("missing inventory should fail")
+	}
+	inv := testInventory(t)
+	if _, err := New(Config{Inventory: inv}); err == nil {
+		t.Error("missing traffic should fail")
+	}
+	if _, err := New(Config{Inventory: inv, Traffic: staticTraffic{}}); err == nil {
+		t.Error("missing LocalAS should fail")
+	}
+}
+
+func TestRouteStoreBMPFlow(t *testing.T) {
+	inv := testInventory(t)
+	store := NewRouteStore(inv)
+	col := &bmp.Collector{Handler: store}
+	client, server := netsim.BufferedPipe()
+	done := make(chan error, 1)
+	go func() { done <- col.HandleConn(context.Background(), "pr1", server) }()
+
+	exp, err := bmp.NewExporter(client, "pr1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer := netip.MustParseAddr("172.20.0.1")
+	_ = exp.PeerUp(peer, 65010, netip.MustParseAddr("10.0.0.7"), netip.MustParseAddr("10.255.0.1"))
+	u := &bgp.Update{
+		Attrs: bgp.PathAttrs{
+			HasOrigin: true,
+			ASPath:    bgp.Sequence(65010),
+			NextHop:   peer,
+		},
+		NLRI: []netip.Prefix{netip.MustParsePrefix("10.5.0.0/24")},
+	}
+	if err := exp.Route(peer, 65010, u); err != nil {
+		t.Fatal(err)
+	}
+	// Poll until the route lands.
+	deadline := time.Now().Add(3 * time.Second)
+	var r *rib.Route
+	for time.Now().Before(deadline) {
+		if r = store.Table().Best(netip.MustParsePrefix("10.5.0.0/24")); r != nil {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if r == nil {
+		t.Fatal("route did not reach the store")
+	}
+	if r.PeerClass != rib.ClassPrivate || r.EgressIF != 0 {
+		t.Errorf("route = %+v", r)
+	}
+	// Peer down wipes it.
+	_ = exp.PeerDown(peer, 65010, 2)
+	deadline = time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if store.Table().Best(netip.MustParsePrefix("10.5.0.0/24")) == nil {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if store.Table().Best(netip.MustParsePrefix("10.5.0.0/24")) != nil {
+		t.Fatal("route survived peer down")
+	}
+	// Unknown peer counted.
+	_ = exp.Route(netip.MustParseAddr("172.20.9.9"), 60000, u)
+	_ = exp.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if _, _, unknown := store.Stats(); unknown == 0 {
+		t.Error("unknown peer not counted")
+	}
+}

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/netip"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"edgefabric/internal/bgp"
+	"edgefabric/internal/rib"
+)
+
+// InjectorConfig configures the BGP injector.
+type InjectorConfig struct {
+	// LocalAS is the PoP's AS (the injector speaks iBGP).
+	LocalAS uint32
+	// RouterID identifies the controller; it must be IPv4.
+	RouterID netip.Addr
+	// HoldTime for the injection sessions. Default 30 s.
+	HoldTime time.Duration
+	// Logf, when set, receives one-line log events.
+	Logf func(format string, args ...any)
+}
+
+// Injector turns allocator decisions into BGP state on the peering
+// routers: it holds an iBGP session to each router and, every cycle,
+// diffs the desired override set against what it has announced,
+// announcing the changes and withdrawing the leftovers. Because the
+// desired set is recomputed from scratch each cycle, injector state
+// never accumulates: a controller restart simply withdraws everything
+// (session drop) and rebuilds.
+type Injector struct {
+	speaker *bgp.Speaker
+
+	mu        sync.Mutex
+	installed map[netip.Prefix]Override
+}
+
+// NewInjector returns an Injector; wire routers with AddRouter.
+func NewInjector(cfg InjectorConfig) (*Injector, error) {
+	if cfg.HoldTime == 0 {
+		cfg.HoldTime = 30 * time.Second
+	}
+	sp, err := bgp.NewSpeaker(bgp.SpeakerConfig{
+		LocalAS:  cfg.LocalAS,
+		RouterID: cfg.RouterID,
+		HoldTime: cfg.HoldTime,
+		Logf:     cfg.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Injector{
+		speaker:   sp,
+		installed: make(map[netip.Prefix]Override),
+	}, nil
+}
+
+// AddRouter registers an iBGP session toward a peering router reachable
+// at addr over conn (the controller side of the transport).
+func (inj *Injector) AddRouter(addr netip.Addr, conn net.Conn) error {
+	peer, err := inj.speaker.AddPeer(bgp.PeerConfig{
+		PeerAddr: addr,
+		PeerAS:   inj.speaker.LocalAS(),
+	})
+	if err != nil {
+		return err
+	}
+	return peer.Accept(conn)
+}
+
+// WaitEstablished blocks until every router session is established.
+func (inj *Injector) WaitEstablished(ctx context.Context) error {
+	for _, p := range inj.speaker.Peers() {
+		if err := p.WaitEstablished(ctx); err != nil {
+			return fmt.Errorf("core: injector session %s: %w", p.Addr(), err)
+		}
+	}
+	return nil
+}
+
+// Installed returns a copy of the currently-announced override set.
+func (inj *Injector) Installed() map[netip.Prefix]Override {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	out := make(map[netip.Prefix]Override, len(inj.installed))
+	for k, v := range inj.installed {
+		out[k] = v
+	}
+	return out
+}
+
+// batchSize bounds prefixes per UPDATE; conservative against the 4 KiB
+// message limit even with long AS paths.
+const batchSize = 200
+
+// Injected routes are tagged with communities so that operators (and
+// route auditing) can recognize controller state on a router at a
+// glance: the marker community identifies Edge Fabric, the reason
+// community distinguishes overload detours from performance moves and
+// split halves.
+const (
+	// CommunityTagAS is the private AS used in override communities.
+	CommunityTagAS uint16 = 64999
+	// CommunityOverride marks every controller-injected route.
+	CommunityOverride uint16 = 1
+	// CommunityPerf marks performance-driven overrides.
+	CommunityPerf uint16 = 2
+	// CommunitySplit marks more-specific split halves.
+	CommunitySplit uint16 = 3
+)
+
+// overrideCommunities returns the communities an override is announced
+// with.
+func overrideCommunities(o Override) []uint32 {
+	cs := []uint32{rib.Community(CommunityTagAS, CommunityOverride)}
+	if strings.Contains(o.Reason, "alt path") {
+		cs = append(cs, rib.Community(CommunityTagAS, CommunityPerf))
+	}
+	if o.SplitOf.IsValid() {
+		cs = append(cs, rib.Community(CommunityTagAS, CommunitySplit))
+	}
+	return cs
+}
+
+// Sync reconciles the routers with the desired override set: announce
+// new or changed overrides, withdraw ones no longer desired. Messages
+// are batched: withdrawals share UPDATEs per address family, and
+// announcements share UPDATEs per (next hop, AS path) group. It returns
+// counts of announced and withdrawn prefixes (not messages, not
+// per-router sessions).
+func (inj *Injector) Sync(desired []Override) (announced, withdrawn int, err error) {
+	want := make(map[netip.Prefix]Override, len(desired))
+	for _, o := range desired {
+		want[o.Prefix] = o
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+
+	// Withdraw stale overrides first so capacity frees before new load
+	// shifts in.
+	var withdrawals []netip.Prefix
+	for prefix, old := range inj.installed {
+		if cur, ok := want[prefix]; ok && cur.Via.NextHop == old.Via.NextHop {
+			continue // unchanged
+		}
+		withdrawals = append(withdrawals, prefix)
+	}
+	for _, u := range withdrawUpdates(withdrawals) {
+		if n := inj.speaker.Broadcast(u); n == 0 {
+			return announced, withdrawn, fmt.Errorf("core: withdraw reached no router")
+		}
+	}
+	for _, prefix := range withdrawals {
+		delete(inj.installed, prefix)
+		withdrawn++
+	}
+
+	// Announce new/changed.
+	var additions []Override
+	for prefix, o := range want {
+		if _, ok := inj.installed[prefix]; ok {
+			continue
+		}
+		additions = append(additions, o)
+	}
+	for _, u := range announceUpdates(additions) {
+		if n := inj.speaker.Broadcast(u); n == 0 {
+			return announced, withdrawn, fmt.Errorf("core: announce reached no router")
+		}
+	}
+	for _, o := range additions {
+		inj.installed[o.Prefix] = o
+		announced++
+	}
+	return announced, withdrawn, nil
+}
+
+// announceUpdates renders overrides as iBGP UPDATEs — the alternate
+// route's next hop with LOCAL_PREF above every organic tier — batching
+// prefixes that share a next hop and AS path.
+func announceUpdates(overrides []Override) []*bgp.Update {
+	type groupKey string
+	keyOf := func(o Override) groupKey {
+		return groupKey(fmt.Sprint(o.Via.NextHop, "|", o.Via.ASPath, "|",
+			o.Prefix.Addr().Is4(), "|", overrideCommunities(o)))
+	}
+	groups := make(map[groupKey][]Override)
+	var order []groupKey
+	for _, o := range overrides {
+		k := keyOf(o)
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], o)
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a] < order[b] })
+	var updates []*bgp.Update
+	for _, k := range order {
+		g := groups[k]
+		sort.Slice(g, func(a, b int) bool { return g[a].Prefix.String() < g[b].Prefix.String() })
+		for i := 0; i < len(g); i += batchSize {
+			end := min(i+batchSize, len(g))
+			chunk := g[i:end]
+			attrs := bgp.PathAttrs{
+				HasOrigin:    true,
+				ASPath:       bgp.Sequence(chunk[0].Via.ASPath...),
+				LocalPref:    rib.PrefController,
+				HasLocalPref: true,
+				Communities:  overrideCommunities(chunk[0]),
+			}
+			u := &bgp.Update{Attrs: attrs}
+			prefixes := make([]netip.Prefix, len(chunk))
+			for j, o := range chunk {
+				prefixes[j] = o.Prefix
+			}
+			if chunk[0].Prefix.Addr().Is4() {
+				u.Attrs.NextHop = chunk[0].Via.NextHop
+				u.NLRI = prefixes
+			} else {
+				u.Attrs.MPReach = &bgp.MPReach{
+					AFI:     bgp.AFIIPv6,
+					SAFI:    bgp.SAFIUnicast,
+					NextHop: chunk[0].Via.NextHop,
+					NLRI:    prefixes,
+				}
+			}
+			updates = append(updates, u)
+		}
+	}
+	return updates
+}
+
+// withdrawUpdates renders withdrawals, batched per address family.
+func withdrawUpdates(prefixes []netip.Prefix) []*bgp.Update {
+	var v4, v6 []netip.Prefix
+	for _, p := range prefixes {
+		if p.Addr().Is4() {
+			v4 = append(v4, p)
+		} else {
+			v6 = append(v6, p)
+		}
+	}
+	sortPrefixes(v4)
+	sortPrefixes(v6)
+	var updates []*bgp.Update
+	for i := 0; i < len(v4); i += batchSize {
+		end := min(i+batchSize, len(v4))
+		updates = append(updates, &bgp.Update{Withdrawn: v4[i:end]})
+	}
+	for i := 0; i < len(v6); i += batchSize {
+		end := min(i+batchSize, len(v6))
+		updates = append(updates, &bgp.Update{Attrs: bgp.PathAttrs{
+			MPUnreach: &bgp.MPUnreach{
+				AFI:       bgp.AFIIPv6,
+				SAFI:      bgp.SAFIUnicast,
+				Withdrawn: v6[i:end],
+			},
+		}})
+	}
+	return updates
+}
+
+func sortPrefixes(ps []netip.Prefix) {
+	sort.Slice(ps, func(a, b int) bool { return ps[a].String() < ps[b].String() })
+}
+
+// Close drops all injection sessions; the routers withdraw every
+// injected route (fail-safe to BGP policy).
+func (inj *Injector) Close() {
+	inj.speaker.Close()
+}

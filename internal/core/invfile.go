@@ -1,0 +1,82 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// InventoryFile is the serialized form of an Inventory — the artifact a
+// deployment pipeline would derive from SNMP and a peering database. The
+// popsim binary writes one; edgefabricd reads it.
+type InventoryFile struct {
+	// PoP labels the point of presence.
+	PoP string `json:"pop"`
+	// LocalAS is the content provider's AS.
+	LocalAS uint32 `json:"local_as"`
+	// Routers lists peering router names with their BMP/injection
+	// endpoints when serialized by popsim.
+	Routers []RouterEndpoints `json:"routers"`
+	// Peers and Interfaces mirror the Inventory records.
+	Peers      []PeerInfo      `json:"peers"`
+	Interfaces []InterfaceInfo `json:"interfaces"`
+}
+
+// RouterEndpoints names a peering router and, in distributed
+// deployments, the TCP endpoints of its BMP feed and injection session.
+type RouterEndpoints struct {
+	Name string `json:"name"`
+	// Addr is the router loopback the controller peers with.
+	Addr string `json:"addr"`
+	// BMP and Inject are "host:port" endpoints (empty in embedded
+	// runs).
+	BMP    string `json:"bmp,omitempty"`
+	Inject string `json:"inject,omitempty"`
+}
+
+// Encode writes the file as indented JSON.
+func (f *InventoryFile) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// WriteFile writes the inventory to path.
+func (f *InventoryFile) WriteFile(path string) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if err := f.Encode(out); err != nil {
+		return fmt.Errorf("core: encode inventory: %w", err)
+	}
+	return out.Close()
+}
+
+// ReadInventoryFile parses an inventory file from r.
+func ReadInventoryFile(r io.Reader) (*InventoryFile, error) {
+	var f InventoryFile
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("core: decode inventory: %w", err)
+	}
+	return &f, nil
+}
+
+// LoadInventoryFile reads and parses path.
+func LoadInventoryFile(path string) (*InventoryFile, error) {
+	in, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	return ReadInventoryFile(in)
+}
+
+// Build materializes the Inventory, validating it.
+func (f *InventoryFile) Build() (*Inventory, error) {
+	return NewInventory(f.Peers, f.Interfaces)
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"edgefabric/internal/altpath"
+)
+
+// PerfConfig parameterizes performance-aware overrides (the paper's §6
+// extension: use alternate-path measurements to steer prefixes whose
+// BGP-preferred path is measurably slower).
+type PerfConfig struct {
+	// MinGainMS is the median-RTT improvement an alternate must show
+	// before the controller steers onto it. Default 20 (the paper's
+	// reporting threshold).
+	MinGainMS float64
+	// MinSamples is the minimum sample count on both paths. Default 16.
+	MinSamples int
+	// MaxMoves caps performance overrides per cycle (0 = unlimited).
+	MaxMoves int
+}
+
+func (c *PerfConfig) setDefaults() {
+	if c.MinGainMS == 0 {
+		c.MinGainMS = 20
+	}
+	if c.MinSamples == 0 {
+		c.MinSamples = 16
+	}
+}
+
+// PerfAllocate turns alternate-path measurements into overrides for
+// prefixes whose best alternate is at least MinGainMS faster than the
+// BGP-preferred path, subject to the same capacity discipline as the
+// overload allocator: a move is only made if it keeps the target
+// interface at or below the allocator target utilization given the
+// current projection plus any moves already accepted (including the
+// overload overrides passed in as prior).
+//
+// Overload mitigation takes precedence: prefixes already moved by prior
+// are skipped, and capacity consumed by prior moves is accounted.
+func PerfAllocate(
+	proj *Projection,
+	inv *Inventory,
+	reports []*altpath.PrefixReport,
+	prior *AllocResult,
+	alloc AllocatorConfig,
+	cfg PerfConfig,
+) []Override {
+	cfg.setDefaults()
+	alloc.setDefaults()
+
+	load := make(map[int]float64, len(proj.IfLoadBps))
+	for id, bps := range proj.IfLoadBps {
+		load[id] = bps
+	}
+	movedAlready := make(map[string]bool)
+	if prior != nil {
+		for _, o := range prior.Overrides {
+			load[o.FromIF] -= o.RateBps
+			load[o.ToIF] += o.RateBps
+			movedAlready[o.Prefix.String()] = true
+		}
+	}
+
+	// Biggest measured gains first: with a bounded move budget, fix the
+	// worst performers.
+	sorted := append([]*altpath.PrefixReport(nil), reports...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].GapMS > sorted[b].GapMS })
+
+	var out []Override
+	for _, rep := range sorted {
+		if rep.BestAlt == nil || rep.GapMS < cfg.MinGainMS {
+			break // sorted: no further report qualifies
+		}
+		if movedAlready[rep.Prefix.String()] {
+			continue
+		}
+		if rep.Paths[0].N < cfg.MinSamples || rep.BestAlt.N < cfg.MinSamples {
+			continue
+		}
+		plan, ok := proj.Plans[rep.Prefix]
+		if !ok {
+			continue // no demand measured for the prefix
+		}
+		alt := rep.BestAlt.Route
+		if alt.EgressIF == plan.Preferred.EgressIF {
+			continue
+		}
+		info, ok := inv.InterfaceByID(alt.EgressIF)
+		if !ok {
+			continue
+		}
+		if load[alt.EgressIF]+plan.RateBps > alloc.Target*info.CapacityBps {
+			continue // would congest the faster path — self-defeating
+		}
+		load[plan.Preferred.EgressIF] -= plan.RateBps
+		load[alt.EgressIF] += plan.RateBps
+		out = append(out, Override{
+			Prefix:  rep.Prefix,
+			Via:     alt,
+			FromIF:  plan.Preferred.EgressIF,
+			ToIF:    alt.EgressIF,
+			RateBps: plan.RateBps,
+			Reason: fmt.Sprintf("alt path %.0fms faster (p50 %.0f vs %.0f)",
+				rep.GapMS, rep.BestAlt.P50, rep.Paths[0].P50),
+		})
+		if cfg.MaxMoves > 0 && len(out) >= cfg.MaxMoves {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"net/netip"
+	"sort"
+
+	"edgefabric/internal/rib"
+)
+
+// TrafficSource supplies the controller's demand estimate: egress bits
+// per second per destination prefix. The sFlow collector
+// (sflow.Collector) implements it; experiments may plug in exact demand.
+type TrafficSource interface {
+	// Rates returns the current per-prefix egress rates in bps.
+	Rates() map[netip.Prefix]float64
+}
+
+// PrefixPlan is the projection's view of one prefix: its demand, the
+// route BGP would pick absent overrides, and the preference-ordered
+// alternates.
+type PrefixPlan struct {
+	Prefix netip.Prefix
+	// RateBps is the measured demand.
+	RateBps float64
+	// Preferred is the BGP-preferred organic route (never a controller
+	// injection).
+	Preferred *rib.Route
+	// Alternates are the remaining organic routes, best first.
+	Alternates []*rib.Route
+}
+
+// Projection is the controller's model of the PoP for one cycle: what
+// every interface would carry if all demand followed BGP's preferred
+// routes, with no overrides installed.
+//
+// Ignoring the controller's own injected routes here is load-bearing
+// (paper §4.2): if projected load reflected installed overrides, the
+// demand that motivated an override would vanish from the overloaded
+// interface's projection one cycle later, the override would be
+// withdrawn, and the system would oscillate.
+type Projection struct {
+	// IfLoadBps is projected offered load per interface ID.
+	IfLoadBps map[int]float64
+	// Plans maps each demanded prefix to its routing options.
+	Plans map[netip.Prefix]*PrefixPlan
+	// UnroutedBps is demand for prefixes with no organic route.
+	UnroutedBps float64
+}
+
+// Project builds a Projection from the route store and a demand
+// snapshot.
+func Project(routes *rib.Table, demand map[netip.Prefix]float64) *Projection {
+	proj := &Projection{
+		IfLoadBps: make(map[int]float64),
+		Plans:     make(map[netip.Prefix]*PrefixPlan, len(demand)),
+	}
+	for prefix, bps := range demand {
+		if bps <= 0 {
+			continue
+		}
+		all := routes.Routes(prefix) // preference-sorted
+		organic := all[:0:0]
+		for _, r := range all {
+			if r.PeerClass != rib.ClassController {
+				organic = append(organic, r)
+			}
+		}
+		if len(organic) == 0 {
+			proj.UnroutedBps += bps
+			continue
+		}
+		plan := &PrefixPlan{
+			Prefix:     prefix,
+			RateBps:    bps,
+			Preferred:  organic[0],
+			Alternates: organic[1:],
+		}
+		proj.Plans[prefix] = plan
+		proj.IfLoadBps[plan.Preferred.EgressIF] += bps
+	}
+	return proj
+}
+
+// Utilization returns projected load divided by capacity for an
+// interface.
+func (p *Projection) Utilization(inv *Inventory, ifID int) float64 {
+	info, ok := inv.InterfaceByID(ifID)
+	if !ok || info.CapacityBps == 0 {
+		return 0
+	}
+	return p.IfLoadBps[ifID] / info.CapacityBps
+}
+
+// OverloadedInterfaces returns the interfaces whose projected
+// utilization exceeds threshold, most-overloaded (by ratio) first.
+func (p *Projection) OverloadedInterfaces(inv *Inventory, threshold float64) []int {
+	type item struct {
+		id   int
+		util float64
+	}
+	var over []item
+	for _, info := range inv.Interfaces() {
+		u := p.IfLoadBps[info.ID] / info.CapacityBps
+		if u > threshold {
+			over = append(over, item{info.ID, u})
+		}
+	}
+	sort.Slice(over, func(a, b int) bool {
+		if over[a].util != over[b].util {
+			return over[a].util > over[b].util
+		}
+		return over[a].id < over[b].id
+	})
+	out := make([]int, len(over))
+	for i, o := range over {
+		out[i] = o.id
+	}
+	return out
+}
+
+// PrefixesOnInterface returns the plans whose preferred route egresses
+// via ifID, in stable (prefix) order.
+func (p *Projection) PrefixesOnInterface(ifID int) []*PrefixPlan {
+	var out []*PrefixPlan
+	for _, plan := range p.Plans {
+		if plan.Preferred.EgressIF == ifID {
+			out = append(out, plan)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		return out[a].Prefix.String() < out[b].Prefix.String()
+	})
+	return out
+}

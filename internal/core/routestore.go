@@ -1,0 +1,126 @@
+package core
+
+import (
+	"net/netip"
+	"sync/atomic"
+
+	"edgefabric/internal/bmp"
+	"edgefabric/internal/rib"
+)
+
+// RouteStore is the controller's copy of every route the PoP's peering
+// routers learned, fed by their BMP streams. Unlike a router's Loc-RIB,
+// it retains *all* routes per prefix — the allocator needs the
+// alternates, not just BGP's winner.
+//
+// RouteStore implements bmp.Handler; wire it to one bmp.Collector
+// HandleConn goroutine per monitored router.
+type RouteStore struct {
+	inv   *Inventory
+	table *rib.Table
+
+	routesSeen    atomic.Uint64
+	withdrawsSeen atomic.Uint64
+	unknownPeers  atomic.Uint64
+}
+
+// NewRouteStore returns a store resolving peers against inv. The policy
+// mirrors the routers' import policy so the controller's preference
+// order matches what the routers would choose.
+func NewRouteStore(inv *Inventory) *RouteStore {
+	return &RouteStore{inv: inv, table: rib.NewTable(rib.DefaultPolicy())}
+}
+
+// Table exposes the underlying route table (shared, concurrency-safe).
+func (s *RouteStore) Table() *rib.Table { return s.table }
+
+// Routes returns the preference-sorted routes for a prefix.
+func (s *RouteStore) Routes(p netip.Prefix) []*rib.Route { return s.table.Routes(p) }
+
+// LookupPrefix maps an address to the most specific known prefix (used
+// as the sFlow collector's PrefixMapper).
+func (s *RouteStore) LookupPrefix(a netip.Addr) netip.Prefix { return s.table.LookupPrefix(a) }
+
+// MapPrefix implements sflow.PrefixMapper.
+func (s *RouteStore) MapPrefix(a netip.Addr) netip.Prefix { return s.table.LookupPrefix(a) }
+
+// Stats reports counters: routes ingested, withdrawals, and messages
+// from peers missing from the inventory.
+func (s *RouteStore) Stats() (routes, withdraws, unknownPeers uint64) {
+	return s.routesSeen.Load(), s.withdrawsSeen.Load(), s.unknownPeers.Load()
+}
+
+// OnInitiation implements bmp.Handler.
+func (s *RouteStore) OnInitiation(string, *bmp.Initiation) {}
+
+// OnTermination implements bmp.Handler.
+func (s *RouteStore) OnTermination(string) {}
+
+// OnStats implements bmp.Handler.
+func (s *RouteStore) OnStats(string, *bmp.StatsReport) {}
+
+// OnPeerUp implements bmp.Handler.
+func (s *RouteStore) OnPeerUp(router string, m *bmp.PeerUp) {}
+
+// OnPeerDown implements bmp.Handler: the monitored router lost its
+// session with the peer, so every route learned from it is gone.
+func (s *RouteStore) OnPeerDown(router string, m *bmp.PeerDown) {
+	s.table.RemovePeer(m.Peer.PeerAddr)
+}
+
+// OnRoute implements bmp.Handler: fold one monitored UPDATE into the
+// store.
+func (s *RouteStore) OnRoute(router string, m *bmp.RouteMonitoring) {
+	peerAddr := m.Peer.PeerAddr
+	info, known := s.inv.PeerByAddr(peerAddr)
+	u := m.Update
+
+	apply := func(prefix netip.Prefix, nextHop netip.Addr) {
+		if !known {
+			s.unknownPeers.Add(1)
+			return
+		}
+		r := &rib.Route{
+			Prefix:      prefix,
+			NextHop:     nextHop,
+			ASPath:      u.Attrs.FlatASPath(),
+			PathHops:    u.Attrs.PathHopCount(),
+			Origin:      rib.Origin(u.Attrs.Origin),
+			MED:         u.Attrs.MED,
+			HasMED:      u.Attrs.HasMED,
+			Communities: u.Attrs.Communities,
+			PeerAddr:    peerAddr,
+			PeerAS:      m.Peer.PeerAS,
+			PeerClass:   info.Class,
+			EgressIF:    info.InterfaceID,
+		}
+		if acc, _ := s.table.Accept(r); acc {
+			s.routesSeen.Add(1)
+		}
+	}
+	withdraw := func(prefix netip.Prefix) {
+		if s.table.Remove(prefix, peerAddr) {
+			s.withdrawsSeen.Add(1)
+		}
+	}
+
+	for _, w := range u.Withdrawn {
+		withdraw(w)
+	}
+	if u.Attrs.MPUnreach != nil {
+		for _, w := range u.Attrs.MPUnreach.Withdrawn {
+			withdraw(w)
+		}
+	}
+	for _, n := range u.NLRI {
+		apply(n, u.Attrs.NextHop)
+	}
+	if u.Attrs.MPReach != nil {
+		for _, n := range u.Attrs.MPReach.NLRI {
+			apply(n, u.Attrs.MPReach.NextHop)
+		}
+	}
+}
+
+// compile-time interface check
+var _ bmp.Handler = (*RouteStore)(nil)

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"net/http"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"edgefabric/internal/rib"
+)
+
+// StatusHandler returns an http.Handler exposing the controller's
+// operational state, in the spirit of the dashboards the paper's
+// operators watch:
+//
+//	GET /metrics    — counters/gauges in Prometheus text format
+//	GET /overrides  — the currently-installed override set
+//	GET /cycles     — the most recent cycle reports
+//	GET /routes     — route store summary
+func (c *Controller) StatusHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		fmt.Fprint(w, c.registry.Render())
+	})
+	mux.HandleFunc("GET /overrides", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		installed := c.Installed()
+		keys := make([]string, 0, len(installed))
+		byKey := make(map[string]Override, len(installed))
+		for p, o := range installed {
+			k := p.String()
+			keys = append(keys, k)
+			byKey[k] = o
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(w, "%d overrides installed\n", len(keys))
+		for _, k := range keys {
+			o := byKey[k]
+			fmt.Fprintf(w, "%-24s -> %s (%s, if %d -> %d, %.2f Gbps)  %s\n",
+				k, o.Via.NextHop, o.Via.PeerClass, o.FromIF, o.ToIF, o.RateBps/1e9, o.Reason)
+		}
+	})
+	mux.HandleFunc("GET /cycles", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		hist := c.History()
+		const show = 20
+		if len(hist) > show {
+			hist = hist[len(hist)-show:]
+		}
+		for i := range hist {
+			fmt.Fprintln(w, FormatReport(&hist[i], c.cfg.Inventory))
+		}
+	})
+	mux.HandleFunc("GET /routes", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		tab := c.store.Table()
+		routes, withdraws, unknown := c.store.Stats()
+		fmt.Fprintf(w, "prefixes: %d\nroutes: %d\ningested: %d routes, %d withdraws, %d unknown-peer messages\n",
+			tab.Len(), tab.RouteCount(), routes, withdraws, unknown)
+		counts := make(map[rib.PeerClass]int)
+		tab.EachRoutes(func(_ netip.Prefix, rs []*rib.Route) {
+			for _, r := range rs {
+				counts[r.PeerClass]++
+			}
+		})
+		classes := make([]rib.PeerClass, 0, len(counts))
+		for cl := range counts {
+			classes = append(classes, cl)
+		}
+		sort.Slice(classes, func(a, b int) bool { return classes[a] < classes[b] })
+		for _, cl := range classes {
+			fmt.Fprintf(w, "  %-13s %d routes\n", cl, counts[cl])
+		}
+	})
+	mux.HandleFunc("GET /", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		var b strings.Builder
+		b.WriteString("edgefabric controller status\n\n")
+		b.WriteString("endpoints: /metrics /overrides /cycles /routes\n")
+		fmt.Fprint(w, b.String())
+	})
+	return mux
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"context"
+	"io"
+	"net/http/httptest"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"edgefabric/internal/rib"
+)
+
+func statusController(t *testing.T) (*Controller, *fakePR) {
+	t.Helper()
+	inv := testInventory(t)
+	demand := staticTraffic{}
+	ctrl, err := New(Config{
+		Inventory: inv,
+		Traffic:   demand,
+		LocalAS:   64500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ctrl.Close)
+	pr, conn := newFakePR(t, 64500)
+	if err := ctrl.AddInjectionSession(netip.MustParseAddr("10.255.0.1"), conn); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		prefix := []string{"10.0.0.0/24", "10.0.1.0/24", "10.0.2.0/24", "10.0.3.0/24"}[i]
+		ctrl.Store().Table().Add(route(prefix, "172.20.0.1", rib.ClassPrivate, 0, 65010))
+		ctrl.Store().Table().Add(route(prefix, "172.20.0.9", rib.ClassTransit, 3, 64601, 65010))
+		demand[netip.MustParsePrefix(prefix)] = 3e9 // 12G on a 10G PNI
+	}
+	return ctrl, pr
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestStatusHandlerEndpoints(t *testing.T) {
+	ctrl, _ := statusController(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := ctrl.WaitReady(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctrl.RunCycle(); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(ctrl.StatusHandler())
+	defer srv.Close()
+
+	code, body := get(t, srv, "/")
+	if code != 200 || !strings.Contains(body, "endpoints") {
+		t.Errorf("/ = %d %q", code, body)
+	}
+	code, body = get(t, srv, "/metrics")
+	if code != 200 || !strings.Contains(body, "edgefabric_cycles_total 1") {
+		t.Errorf("/metrics = %d %q", code, body)
+	}
+	code, body = get(t, srv, "/overrides")
+	if code != 200 || !strings.Contains(body, "overrides installed") {
+		t.Errorf("/overrides = %d %q", code, body)
+	}
+	if !strings.Contains(body, "transit") {
+		t.Errorf("/overrides missing detour detail:\n%s", body)
+	}
+	code, body = get(t, srv, "/cycles")
+	if code != 200 || !strings.Contains(body, "cycle 1") {
+		t.Errorf("/cycles = %d %q", code, body)
+	}
+	code, body = get(t, srv, "/routes")
+	if code != 200 || !strings.Contains(body, "prefixes: 4") || !strings.Contains(body, "private") {
+		t.Errorf("/routes = %d %q", code, body)
+	}
+	code, _ = get(t, srv, "/nope")
+	if code != 404 {
+		t.Errorf("/nope = %d, want 404", code)
+	}
+}

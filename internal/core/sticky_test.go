@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+
+	"edgefabric/internal/rib"
+)
+
+// stickyFixture: 10 prefixes on an overloaded PNI, two possible detour
+// targets (IXP if2 and transit if3).
+func stickyFixture(t *testing.T) (*Inventory, *rib.Table, map[netip.Prefix]float64) {
+	t.Helper()
+	inv := testInventory(t)
+	tab := rib.NewTable(rib.DefaultPolicy())
+	demand := make(map[netip.Prefix]float64)
+	for i := 0; i < 10; i++ {
+		prefix := fmt.Sprintf("10.0.%d.0/24", i)
+		tab.Add(route(prefix, "172.20.0.1", rib.ClassPrivate, 0, 65010))
+		tab.Add(route(prefix, "172.20.0.3", rib.ClassPublic, 2, 65012, 65010))
+		tab.Add(route(prefix, "172.20.0.9", rib.ClassTransit, 3, 64601, 65010))
+		demand[netip.MustParsePrefix(prefix)] = 1.2e9
+	}
+	return inv, tab, demand
+}
+
+func TestAllocateStickyRetainsDetours(t *testing.T) {
+	inv, tab, demand := stickyFixture(t)
+	cfg := AllocatorConfig{Threshold: 0.95}
+	first := Allocate(Project(tab, demand), inv, cfg)
+	if len(first.Overrides) == 0 {
+		t.Fatal("no initial overrides")
+	}
+	prior := make(map[netip.Prefix]Override)
+	for _, o := range first.Overrides {
+		prior[o.Prefix] = o
+	}
+
+	// Demand wiggles slightly; a fresh stateless run could pick
+	// different prefixes, but the sticky run must keep the same set.
+	for p := range demand {
+		demand[p] *= 1.01
+	}
+	second := AllocateSticky(Project(tab, demand), inv, cfg, prior)
+	if second.Retained == 0 {
+		t.Fatal("nothing retained")
+	}
+	for _, o := range second.Overrides[:second.Retained] {
+		old, ok := prior[o.Prefix]
+		if !ok {
+			t.Errorf("retained override for %s was not in prior", o.Prefix)
+			continue
+		}
+		if o.Via.PeerAddr != old.Via.PeerAddr {
+			t.Errorf("%s retained onto %s, had %s", o.Prefix, o.Via.PeerAddr, old.Via.PeerAddr)
+		}
+	}
+}
+
+func TestAllocateStickyReleasesWhenOverloadGone(t *testing.T) {
+	inv, tab, demand := stickyFixture(t)
+	cfg := AllocatorConfig{Threshold: 0.95}
+	first := Allocate(Project(tab, demand), inv, cfg)
+	prior := make(map[netip.Prefix]Override)
+	for _, o := range first.Overrides {
+		prior[o.Prefix] = o
+	}
+	// Demand collapses: no interface is hot, every detour must lapse.
+	for p := range demand {
+		demand[p] = 0.1e9
+	}
+	res := AllocateSticky(Project(tab, demand), inv, cfg, prior)
+	if len(res.Overrides) != 0 || res.Retained != 0 {
+		t.Errorf("detours retained with no overload: %+v", res.Overrides)
+	}
+}
+
+func TestAllocateStickyRespectsFeasibility(t *testing.T) {
+	inv, tab, demand := stickyFixture(t)
+	cfg := AllocatorConfig{Threshold: 0.95}
+	first := Allocate(Project(tab, demand), inv, cfg)
+	prior := make(map[netip.Prefix]Override)
+	for _, o := range first.Overrides {
+		prior[o.Prefix] = o
+	}
+	// The previously-used detour target becomes saturated by growing
+	// every prefix hugely: retention must not overload it.
+	for p := range demand {
+		demand[p] = 40e9
+	}
+	res := AllocateSticky(Project(tab, demand), inv, cfg, prior)
+	for _, o := range res.Overrides {
+		info, _ := inv.InterfaceByID(o.ToIF)
+		if o.RateBps > cfg.Threshold*info.CapacityBps {
+			t.Errorf("override %s (%.1fG) exceeds target capacity %s", o.Prefix, o.RateBps/1e9, info.Name)
+		}
+	}
+}
+
+func TestAllocateStickyNoStickyFlag(t *testing.T) {
+	inv, tab, demand := stickyFixture(t)
+	cfg := AllocatorConfig{Threshold: 0.95, NoSticky: true}
+	first := Allocate(Project(tab, demand), inv, cfg)
+	prior := make(map[netip.Prefix]Override)
+	for _, o := range first.Overrides {
+		prior[o.Prefix] = o
+	}
+	res := AllocateSticky(Project(tab, demand), inv, cfg, prior)
+	if res.Retained != 0 {
+		t.Errorf("NoSticky retained %d", res.Retained)
+	}
+}
+
+func TestAllocateStickyDropsVanishedRoute(t *testing.T) {
+	inv, tab, demand := stickyFixture(t)
+	cfg := AllocatorConfig{Threshold: 0.95}
+	first := Allocate(Project(tab, demand), inv, cfg)
+	if len(first.Overrides) == 0 {
+		t.Fatal("no initial overrides")
+	}
+	prior := make(map[netip.Prefix]Override)
+	for _, o := range first.Overrides {
+		prior[o.Prefix] = o
+	}
+	// The detour peer's session dies: its routes vanish.
+	tab.RemovePeer(first.Overrides[0].Via.PeerAddr)
+	res := AllocateSticky(Project(tab, demand), inv, cfg, prior)
+	for _, o := range res.Overrides {
+		if o.Via.PeerAddr == first.Overrides[0].Via.PeerAddr {
+			t.Errorf("override retained onto a withdrawn route: %+v", o)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package exp
+
+import (
+	"testing"
+	"time"
+
+	"edgefabric/internal/rib"
+)
+
+// TestControllerDeathFailsSafe verifies the paper's central safety
+// property: the controller holds no durable state in the routers beyond
+// its BGP sessions, so killing it withdraws every override and the PoP
+// reverts to plain BGP policy.
+func TestControllerDeathFailsSafe(t *testing.T) {
+	h := newTestHarness(t, testConfig(true))
+
+	// Reach a state with live overrides.
+	h.Run(6*30*time.Second, nil)
+	if len(h.Controller.Installed()) == 0 {
+		t.Fatal("no overrides installed before the kill")
+	}
+	countInjected := func() int {
+		n := 0
+		for _, p := range h.PoP.Table.Prefixes() {
+			if best := h.PoP.Table.Best(p); best != nil && best.PeerClass == rib.ClassController {
+				n++
+			}
+		}
+		return n
+	}
+	if countInjected() == 0 {
+		t.Fatal("no controller routes in the PoP table before the kill")
+	}
+
+	// Kill the controller: its iBGP sessions drop, the PRs withdraw
+	// everything learned from it.
+	h.Controller.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && countInjected() > 0 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := countInjected(); n != 0 {
+		t.Fatalf("%d controller routes survive controller death", n)
+	}
+
+	// The dataplane still routes everything — on BGP's own choices.
+	stats := h.PoP.Plane.Tick(h.Clock.Now(), 30*time.Second)
+	if stats.UnroutedBps != 0 {
+		t.Errorf("unrouted demand after fail-back: %g", stats.UnroutedBps)
+	}
+	for _, pt := range stats.Prefix {
+		if pt.Injected {
+			t.Fatal("tick still reports injected traffic after controller death")
+		}
+	}
+	h.Controller = nil // prevent double-close in cleanup
+}

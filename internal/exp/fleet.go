@@ -1,0 +1,166 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Fleet runs several PoPs, each with its own independent controller —
+// the paper's deployment shape (Edge Fabric is strictly per-PoP; there
+// is no global coordination). The fleet exists to reproduce the
+// evaluation's across-PoPs views: distributions of peak utilization,
+// detour volume, and drop behaviour over many differently-provisioned
+// sites.
+type Fleet struct {
+	// PoPs are the member harnesses, one per site.
+	PoPs []*Harness
+}
+
+// FleetConfig parameterizes NewFleet.
+type FleetConfig struct {
+	// Base is the per-PoP harness config; each PoP gets Base with a
+	// distinct seed (Base.Synth.Seed + index) and name.
+	Base HarnessConfig
+	// PoPs is the number of sites. Default 4.
+	PoPs int
+	// PeakHourSpreadH staggers each PoP's demand peak by this many
+	// hours times its index (time zones). Default 2.
+	PeakHourSpreadH float64
+}
+
+// NewFleet builds and converges all member PoPs.
+func NewFleet(ctx context.Context, cfg FleetConfig) (*Fleet, error) {
+	if cfg.PoPs == 0 {
+		cfg.PoPs = 4
+	}
+	if cfg.PeakHourSpreadH == 0 {
+		cfg.PeakHourSpreadH = 2
+	}
+	f := &Fleet{}
+	for i := 0; i < cfg.PoPs; i++ {
+		hc := cfg.Base
+		hc.Synth.Seed = cfg.Base.Synth.Seed + int64(i)*1000
+		hc.Synth.Name = fmt.Sprintf("pop-%d", i+1)
+		hc.Demand.PeakHourUTC = 20 + float64(i)*cfg.PeakHourSpreadH
+		for hc.Demand.PeakHourUTC >= 24 {
+			hc.Demand.PeakHourUTC -= 24
+		}
+		h, err := NewHarness(ctx, hc)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("exp: fleet pop %d: %w", i+1, err)
+		}
+		f.PoPs = append(f.PoPs, h)
+	}
+	return f, nil
+}
+
+// Close tears down all member PoPs.
+func (f *Fleet) Close() {
+	for _, h := range f.PoPs {
+		h.Close()
+	}
+}
+
+// PoPSummary is one site's outcome over a fleet run.
+type PoPSummary struct {
+	Name string
+	// PeakUtil is the hottest interface-tick utilization observed.
+	PeakUtil float64
+	// DroppedFrac is dropped bytes over offered bytes.
+	DroppedFrac float64
+	// PeakDetourFrac is the highest per-cycle detoured share.
+	PeakDetourFrac float64
+	// MeanOverrides is the average simultaneous override count.
+	MeanOverrides float64
+}
+
+// FleetResult aggregates a fleet run — the across-PoPs view the paper's
+// evaluation reports.
+type FleetResult struct {
+	PoPs []PoPSummary
+	// PoPsWithDetours counts sites that needed Edge Fabric at all.
+	PoPsWithDetours int
+	// MedianPeakDetour and MaxPeakDetour summarize peak detour shares
+	// across sites.
+	MedianPeakDetour, MaxPeakDetour float64
+	// WorstDroppedFrac is the worst site's drop share.
+	WorstDroppedFrac float64
+}
+
+// Run steps every PoP through d of virtual time (interleaved round-robin
+// so the sites progress together) and aggregates the outcome.
+func (f *Fleet) Run(d time.Duration) *FleetResult {
+	n := len(f.PoPs)
+	sums := make([]PoPSummary, n)
+	overrides := make([]float64, n)
+	cycles := make([]float64, n)
+	offered := make([]float64, n)
+	dropped := make([]float64, n)
+	ticks := 0
+	if n > 0 {
+		ticks = int(d / f.PoPs[0].Cfg.TickLen)
+	}
+	for t := 0; t < ticks; t++ {
+		for i, h := range f.PoPs {
+			stats, report := h.Step()
+			offered[i] += stats.TotalDemandBps()
+			dropped[i] += stats.TotalDropsBps()
+			for _, ifc := range h.Scenario.Topo.Interfaces {
+				if u := stats.IfLoadBps[ifc.ID] / ifc.CapacityBps; u > sums[i].PeakUtil {
+					sums[i].PeakUtil = u
+				}
+			}
+			if report == nil {
+				continue
+			}
+			cycles[i]++
+			overrides[i] += float64(len(report.Overrides))
+			if report.DemandBps > 0 {
+				if frac := report.DetouredBps / report.DemandBps; frac > sums[i].PeakDetourFrac {
+					sums[i].PeakDetourFrac = frac
+				}
+			}
+		}
+	}
+	res := &FleetResult{}
+	var peaks []float64
+	for i, h := range f.PoPs {
+		sums[i].Name = h.Scenario.Topo.Name
+		if offered[i] > 0 {
+			sums[i].DroppedFrac = dropped[i] / offered[i]
+		}
+		if cycles[i] > 0 {
+			sums[i].MeanOverrides = overrides[i] / cycles[i]
+		}
+		if sums[i].PeakDetourFrac > 0 {
+			res.PoPsWithDetours++
+		}
+		if sums[i].DroppedFrac > res.WorstDroppedFrac {
+			res.WorstDroppedFrac = sums[i].DroppedFrac
+		}
+		peaks = append(peaks, sums[i].PeakDetourFrac)
+	}
+	res.PoPs = sums
+	res.MedianPeakDetour = quantile(append([]float64(nil), peaks...), 0.5)
+	res.MaxPeakDetour = quantile(peaks, 1)
+	return res
+}
+
+// String renders the across-PoPs table.
+func (r *FleetResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fleet: %d PoPs, %d needed detours; peak detour median %.1f%%, max %.1f%%; worst drop rate %.3f%%\n",
+		len(r.PoPs), r.PoPsWithDetours, r.MedianPeakDetour*100, r.MaxPeakDetour*100, r.WorstDroppedFrac*100)
+	rows := append([]PoPSummary(nil), r.PoPs...)
+	sort.Slice(rows, func(a, b int) bool { return rows[a].PeakDetourFrac > rows[b].PeakDetourFrac })
+	fmt.Fprintf(&b, "  %-10s %10s %12s %10s %10s\n", "pop", "peak util", "peak detour", "drops", "overrides")
+	for _, p := range rows {
+		fmt.Fprintf(&b, "  %-10s %9.1f%% %11.1f%% %9.3f%% %10.1f\n",
+			p.Name, p.PeakUtil*100, p.PeakDetourFrac*100, p.DroppedFrac*100, p.MeanOverrides)
+	}
+	return b.String()
+}

@@ -1,0 +1,370 @@
+// Package exp assembles the full Edge Fabric reproduction into runnable
+// experiments: it wires a live emulated PoP (internal/netsim) to the
+// controller (internal/core) over real BGP, BMP, and sFlow transports,
+// steps virtual time, and implements every experiment indexed in
+// DESIGN.md / EXPERIMENTS.md (E1–E10 plus the across-PoPs FLEET view).
+package exp
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"sync/atomic"
+	"time"
+
+	"edgefabric/internal/altpath"
+	"edgefabric/internal/core"
+	"edgefabric/internal/netsim"
+	"edgefabric/internal/rib"
+	"edgefabric/internal/sflow"
+)
+
+// HarnessConfig parameterizes a full closed-loop simulation.
+type HarnessConfig struct {
+	// Synth configures the synthetic PoP scenario.
+	Synth netsim.SynthConfig
+	// Demand configures the traffic model (PeakBps defaults to the
+	// synth peak).
+	Demand netsim.DemandConfig
+	// Perf configures the path performance model.
+	Perf netsim.PathPerfConfig
+	// Allocator configures the controller's overload algorithm.
+	Allocator core.AllocatorConfig
+	// ControllerEnabled wires and runs the controller; when false the
+	// PoP runs on plain BGP (the paper's "without Edge Fabric"
+	// baseline).
+	ControllerEnabled bool
+	// PerfAware additionally enables §6 performance-aware overrides.
+	PerfAware bool
+	// PerfCfg parameterizes performance-aware moves.
+	PerfCfg core.PerfConfig
+	// Start is the virtual start time. Default 2017-03-01 00:00 UTC.
+	Start time.Time
+	// TickLen is the dataplane step. Default 30 s.
+	TickLen time.Duration
+	// CycleEveryTicks runs a controller cycle every N ticks. Default 1
+	// (a cycle per 30 s tick, the paper's cadence).
+	CycleEveryTicks int
+	// SamplingRate is the sFlow 1-in-N rate. Default 8192.
+	SamplingRate uint32
+	// Audit, when set, receives one JSON line per controller cycle.
+	Audit *core.AuditLogger
+	// Logf, when set, receives one-line log events.
+	Logf func(format string, args ...any)
+}
+
+func (c *HarnessConfig) setDefaults() {
+	if c.Start.IsZero() {
+		c.Start = time.Date(2017, 3, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if c.TickLen == 0 {
+		c.TickLen = 30 * time.Second
+	}
+	if c.CycleEveryTicks == 0 {
+		c.CycleEveryTicks = 1
+	}
+	if c.SamplingRate == 0 {
+		c.SamplingRate = 8192
+	}
+}
+
+// Harness is a running closed-loop simulation.
+type Harness struct {
+	Cfg        HarnessConfig
+	Scenario   *netsim.Scenario
+	Demand     *netsim.DemandModel
+	Clock      *netsim.Clock
+	PoP        *netsim.PoP
+	Controller *core.Controller // nil when disabled
+	Traffic    *sflow.Collector
+	Measurer   *altpath.Measurer // nil unless PerfAware or built by an experiment
+	Inventory  *core.Inventory
+
+	cancel context.CancelFunc
+	ticks  int
+}
+
+// lateMapper lets the sFlow collector be constructed before the route
+// store that backs its prefix mapping exists.
+type lateMapper struct {
+	fn atomic.Pointer[sflow.PrefixMapper]
+}
+
+// MapPrefix implements sflow.PrefixMapper.
+func (l *lateMapper) MapPrefix(a netip.Addr) netip.Prefix {
+	if m := l.fn.Load(); m != nil {
+		return (*m).MapPrefix(a)
+	}
+	return netip.Prefix{}
+}
+
+// InventoryFromTopology converts a netsim topology into the controller's
+// inventory, registering the IPv6 next-hop aliases the simulator derives
+// for v4-addressed sessions.
+func InventoryFromTopology(topo *netsim.Topology) (*core.Inventory, error) {
+	var peers []core.PeerInfo
+	for i := range topo.Peers {
+		p := &topo.Peers[i]
+		peers = append(peers, core.PeerInfo{
+			Name:        p.Name,
+			Addr:        p.Addr,
+			AS:          p.AS,
+			Class:       p.Class,
+			InterfaceID: p.InterfaceID,
+			Router:      p.Router,
+		})
+	}
+	var ifs []core.InterfaceInfo
+	for i := range topo.Interfaces {
+		ifc := &topo.Interfaces[i]
+		ifs = append(ifs, core.InterfaceInfo{
+			ID:          ifc.ID,
+			Name:        ifc.Name,
+			CapacityBps: ifc.CapacityBps,
+			Router:      ifc.Router,
+		})
+	}
+	inv, err := core.NewInventory(peers, ifs)
+	if err != nil {
+		return nil, err
+	}
+	for i := range topo.Peers {
+		p := &topo.Peers[i]
+		// Register the derived IPv6 next-hop identity the simulator
+		// uses for v4-addressed sessions, so v6 routes resolve.
+		if v6 := netsim.V6AliasFor(p.Addr); v6 != p.Addr {
+			_ = inv.RegisterPeerAlias(v6, p.Addr) // best effort; aliases may collide
+		}
+	}
+	return inv, nil
+}
+
+// NewHarness synthesizes a scenario, starts the PoP, wires the
+// controller (if enabled), and blocks until BGP has converged and the
+// controller is ready.
+func NewHarness(ctx context.Context, cfg HarnessConfig) (*Harness, error) {
+	cfg.setDefaults()
+	sc, err := netsim.Synthesize(cfg.Synth)
+	if err != nil {
+		return nil, err
+	}
+	demand, err := sc.NewDemand(cfg.Demand)
+	if err != nil {
+		return nil, err
+	}
+	clock := netsim.NewClock(cfg.Start)
+
+	mapper := &lateMapper{}
+	traffic := sflow.NewCollector(sflow.CollectorConfig{
+		Mapper:  mapper,
+		Window:  time.Minute,
+		Buckets: 2,
+		Now:     clock.Now,
+	})
+
+	pop, err := netsim.NewPoP(netsim.PoPConfig{
+		Scenario:     sc,
+		Demand:       demand,
+		Clock:        clock,
+		Perf:         cfg.Perf,
+		SFlowSink:    traffic,
+		SamplingRate: cfg.SamplingRate,
+		Logf:         cfg.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	runCtx, cancel := context.WithCancel(context.Background())
+	h := &Harness{
+		Cfg:      cfg,
+		Scenario: sc,
+		Demand:   demand,
+		Clock:    clock,
+		PoP:      pop,
+		Traffic:  traffic,
+		cancel:   cancel,
+	}
+	if err := pop.Start(runCtx); err != nil {
+		cancel()
+		return nil, err
+	}
+	convergeCtx, ccancel := context.WithTimeout(ctx, 60*time.Second)
+	defer ccancel()
+	if err := pop.WaitConverged(convergeCtx); err != nil {
+		h.Close()
+		return nil, err
+	}
+
+	inv, err := InventoryFromTopology(sc.Topo)
+	if err != nil {
+		h.Close()
+		return nil, err
+	}
+	h.Inventory = inv
+
+	if !cfg.ControllerEnabled {
+		// Demand mapping still needs LPM over known prefixes: use the
+		// PoP table directly.
+		var m sflow.PrefixMapper = sflow.PrefixMapperFunc(pop.Table.LookupPrefix)
+		mapper.fn.Store(&m)
+		return h, nil
+	}
+
+	// The perf-aware hook needs the controller's route store, which only
+	// exists after core.New; bind it through a late-set closure.
+	var extra func(*core.Projection, *core.AllocResult) []core.Override
+	ctrl, err := core.New(core.Config{
+		Inventory: inv,
+		Traffic:   traffic,
+		Allocator: cfg.Allocator,
+		LocalAS:   sc.Topo.LocalAS,
+		Now:       clock.Now,
+		Audit:     cfg.Audit,
+		Logf:      cfg.Logf,
+		ExtraOverrides: func(proj *core.Projection, alloc *core.AllocResult) []core.Override {
+			if extra == nil {
+				return nil
+			}
+			return extra(proj, alloc)
+		},
+	})
+	if err != nil {
+		h.Close()
+		return nil, err
+	}
+	h.Controller = ctrl
+
+	if cfg.PerfAware {
+		meas, err := altpath.NewMeasurer(altpath.Config{
+			Routes: ctrl.Store().Table(),
+			Source: pop.Plane,
+			Seed:   cfg.Synth.Seed,
+		})
+		if err != nil {
+			h.Close()
+			return nil, err
+		}
+		h.Measurer = meas
+		pcfg := cfg.PerfCfg
+		extra = func(proj *core.Projection, alloc *core.AllocResult) []core.Override {
+			// Measure the prefixes that currently have demand, then
+			// fold qualifying gains into this cycle's override set.
+			var prefixes []netip.Prefix
+			for p := range proj.Plans {
+				prefixes = append(prefixes, p)
+			}
+			meas.MeasureRound(prefixes)
+			return core.PerfAllocate(proj, inv, meas.Reports(), alloc, cfg.Allocator, pcfg)
+		}
+	}
+
+	// Route mapping for sFlow now comes from the controller's store.
+	var m sflow.PrefixMapper = h.Controller.Store()
+	mapper.fn.Store(&m)
+
+	// Wire BMP feeds and injection sessions.
+	for _, router := range pop.Routers() {
+		h.Controller.AddBMPFeed(router, pop.BMPConn(router))
+		conn, err := pop.ConnectController(router)
+		if err != nil {
+			h.Close()
+			return nil, err
+		}
+		if err := h.Controller.AddInjectionSession(pop.RouterIP(router), conn); err != nil {
+			h.Close()
+			return nil, err
+		}
+	}
+	readyCtx, rcancel := context.WithTimeout(ctx, 60*time.Second)
+	defer rcancel()
+	if err := h.Controller.WaitReady(readyCtx, pop.ExpectedRoutes()); err != nil {
+		h.Close()
+		return nil, err
+	}
+	return h, nil
+}
+
+// Step advances the simulation by one tick: the dataplane moves demand
+// (feeding sFlow), virtual time advances, and — on cycle boundaries —
+// the controller runs. It returns the tick's dataplane stats and the
+// cycle report if a cycle ran (nil otherwise).
+func (h *Harness) Step() (*netsim.TickStats, *core.CycleReport) {
+	stats := h.PoP.Plane.Tick(h.Clock.Now(), h.Cfg.TickLen)
+	h.Clock.Advance(h.Cfg.TickLen)
+	h.ticks++
+	var report *core.CycleReport
+	if h.Controller != nil && h.ticks%h.Cfg.CycleEveryTicks == 0 {
+		report, _ = h.Controller.RunCycle()
+		h.waitOverridesApplied(report)
+	}
+	return stats, report
+}
+
+// waitOverridesApplied blocks briefly until the PoP table reflects the
+// injector's current override set: injection rides asynchronous BGP
+// sessions, and the simulation's virtual time shouldn't race wall-clock
+// message delivery.
+func (h *Harness) waitOverridesApplied(report *core.CycleReport) {
+	if report == nil {
+		return
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if h.overridesApplied(report) {
+			return
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+func (h *Harness) overridesApplied(report *core.CycleReport) bool {
+	want := make(map[netip.Prefix]bool, len(report.Overrides))
+	for _, o := range report.Overrides {
+		want[o.Prefix] = true
+	}
+	n := 0
+	h.PoP.Table.EachBest(func(p netip.Prefix, r *rib.Route) {
+		if r.PeerClass == rib.ClassController {
+			if !want[p] {
+				n = -1 << 30 // stale override still installed
+			}
+			n++
+		}
+	})
+	return n == len(want)
+}
+
+// Run steps the simulation for the given virtual duration, invoking
+// observe (if non-nil) after every tick.
+func (h *Harness) Run(d time.Duration, observe func(*netsim.TickStats, *core.CycleReport)) {
+	n := int(d / h.Cfg.TickLen)
+	for i := 0; i < n; i++ {
+		stats, report := h.Step()
+		if observe != nil {
+			observe(stats, report)
+		}
+	}
+}
+
+// Close tears the whole harness down.
+func (h *Harness) Close() {
+	if h.Controller != nil {
+		h.Controller.Close()
+	}
+	h.cancel()
+	h.PoP.Close()
+}
+
+// String identifies the harness configuration compactly.
+func (h *Harness) String() string {
+	mode := "bgp-only"
+	if h.Controller != nil {
+		mode = "edge-fabric"
+		if h.Cfg.PerfAware {
+			mode = "edge-fabric+perf"
+		}
+	}
+	return fmt.Sprintf("%s[%s, %d prefixes, %d peers]",
+		h.Scenario.Topo.Name, mode, len(h.Scenario.Prefixes), len(h.Scenario.Topo.Peers))
+}

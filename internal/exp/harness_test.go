@@ -1,0 +1,131 @@
+package exp
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"edgefabric/internal/core"
+	"edgefabric/internal/netsim"
+)
+
+// testConfig builds a small scenario whose PNIs are deliberately
+// underprovisioned so that peak demand overloads them.
+func testConfig(controller bool) HarnessConfig {
+	return HarnessConfig{
+		Synth: netsim.SynthConfig{
+			Seed:               21,
+			Prefixes:           250,
+			EdgeASes:           40,
+			PrivatePeers:       4,
+			PublicPeers:        8,
+			RouteServerMembers: 10,
+			Transits:           2,
+			Routers:            2,
+			PeakBps:            100e9,
+			PNIHeadroomMin:     0.6,
+			PNIHeadroomMax:     0.9, // every PNI under peak demand
+		},
+		Demand:            netsim.DemandConfig{PeakBps: 100e9, NoiseSigma: 0.05},
+		ControllerEnabled: controller,
+		Start:             time.Date(2017, 3, 1, 20, 0, 0, 0, time.UTC), // peak hour
+	}
+}
+
+func TestHarnessClosedLoop(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	h, err := NewHarness(ctx, testConfig(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	var lastStats *netsim.TickStats
+	var lastReport *core.CycleReport
+	overridesSeen := false
+	// A few warmup ticks let sFlow rates accumulate before judging.
+	h.Run(10*30*time.Second, func(s *netsim.TickStats, r *core.CycleReport) {
+		lastStats = s
+		if r != nil {
+			lastReport = r
+			if len(r.Overrides) > 0 {
+				overridesSeen = true
+			}
+		}
+	})
+	if lastReport == nil {
+		t.Fatal("controller never cycled")
+	}
+	if !overridesSeen {
+		t.Fatal("underprovisioned PNIs at peak produced no overrides")
+	}
+	// After convergence, drops should be (near) zero: Edge Fabric keeps
+	// interfaces below capacity.
+	if lastStats.TotalDropsBps() > 0.01*lastStats.TotalDemandBps() {
+		t.Errorf("drops %.3g vs demand %.3g with controller active",
+			lastStats.TotalDropsBps(), lastStats.TotalDemandBps())
+	}
+	// Overrides are live in the PoP table (injected over real BGP).
+	if !overridesInTable(h) {
+		t.Error("no controller routes present in the PoP table")
+	}
+}
+
+func overridesInTable(h *Harness) bool {
+	found := false
+	for p := range h.Controller.Installed() {
+		if best := h.PoP.Table.Best(p); best != nil && best.FromIBGP {
+			found = true
+		}
+	}
+	return found
+}
+
+func TestHarnessBaselineDropsWithoutController(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	h, err := NewHarness(ctx, testConfig(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if h.Controller != nil {
+		t.Fatal("controller should be nil")
+	}
+	var worstDrops float64
+	h.Run(5*30*time.Second, func(s *netsim.TickStats, _ *core.CycleReport) {
+		if d := s.TotalDropsBps(); d > worstDrops {
+			worstDrops = d
+		}
+	})
+	if worstDrops == 0 {
+		t.Error("underprovisioned PNIs at peak should drop without Edge Fabric")
+	}
+}
+
+func TestInventoryFromTopology(t *testing.T) {
+	sc, err := netsim.Synthesize(testConfig(false).Synth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := InventoryFromTopology(sc.Topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(inv.Interfaces()), len(sc.Topo.Interfaces); got != want {
+		t.Errorf("interfaces = %d, want %d", got, want)
+	}
+	for i := range sc.Topo.Peers {
+		p := &sc.Topo.Peers[i]
+		info, ok := inv.PeerByAddr(p.Addr)
+		if !ok || info.InterfaceID != p.InterfaceID {
+			t.Errorf("peer %s missing or wrong: %+v", p.Name, info)
+		}
+		if alias := netsim.V6AliasFor(p.Addr); alias != p.Addr {
+			if _, ok := inv.PeerByAddr(alias); !ok {
+				t.Errorf("v6 alias for %s not registered", p.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Errorf("Value = %d, want 42", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Errorf("Value = %d, want 8000", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	if g.Value() != 0 {
+		t.Error("zero gauge should read 0")
+	}
+	g.Set(-3.5)
+	if got := g.Value(); got != -3.5 {
+		t.Errorf("Value = %g", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	for _, v := range []float64{0.5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if got := h.Sum(); got != 555.5 {
+		t.Errorf("Sum = %g", got)
+	}
+	if got := h.Mean(); math.Abs(got-138.875) > 1e-9 {
+		t.Errorf("Mean = %g", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(10, 20, 30, 40, 50, 60, 70, 80, 90, 100)
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	for _, tc := range []struct{ q, want, tol float64 }{
+		{0.5, 50, 1},
+		{0.9, 90, 1},
+		{0.1, 10, 1},
+	} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("Quantile(%g) = %g, want %g±%g", tc.q, got, tc.want, tc.tol)
+		}
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := NewHistogram(1, 2)
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("Quantile on empty = %g", got)
+	}
+}
+
+func TestHistogramUnsortedBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for unsorted bounds")
+		}
+	}()
+	NewHistogram(5, 1)
+}
+
+func TestRegistryIdentity(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Error("Counter should return the same instance per name")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Error("Gauge should return the same instance per name")
+	}
+	if r.Histogram("h", 1) != r.Histogram("h", 99) {
+		t.Error("Histogram should return the same instance per name")
+	}
+}
+
+func TestRegistryRender(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests_total").Add(3)
+	r.Gauge("util").Set(0.5)
+	r.Histogram("lat", 1, 2).Observe(1.5)
+	out := r.Render()
+	for _, want := range []string{"requests_total 3", "util 0.5", "lat_count 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+}

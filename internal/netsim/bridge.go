@@ -1,0 +1,93 @@
+package netsim
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Bridge exposes an in-memory connection (a PoP's BMP stream or
+// injection session) on a real TCP listener, so that an external
+// controller process can attach: popsim runs bridges, edgefabricd dials
+// them. Exactly one remote connection is served — these are
+// point-to-point control sessions — and later connections are refused.
+type Bridge struct {
+	ln    net.Listener
+	inner net.Conn
+
+	mu     sync.Mutex
+	served bool
+}
+
+// NewBridge listens on addr (e.g. "127.0.0.1:11019") and will splice the
+// first accepted connection to inner.
+func NewBridge(addr string, inner net.Conn) (*Bridge, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: bridge listen %s: %w", addr, err)
+	}
+	return &Bridge{ln: ln, inner: inner}, nil
+}
+
+// Addr returns the listener address.
+func (b *Bridge) Addr() net.Addr { return b.ln.Addr() }
+
+// Serve accepts the single remote connection and splices it with the
+// inner connection until either side closes or ctx ends. It returns nil
+// on a clean end.
+func (b *Bridge) Serve(ctx context.Context) error {
+	stop := context.AfterFunc(ctx, func() { b.ln.Close() })
+	defer stop()
+	for {
+		conn, err := b.ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		b.mu.Lock()
+		if b.served {
+			b.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		b.served = true
+		b.mu.Unlock()
+		b.ln.Close() // single-session: stop accepting
+
+		stopConn := context.AfterFunc(ctx, func() {
+			conn.Close()
+			b.inner.Close()
+		})
+		errs := make(chan error, 2)
+		go func() {
+			_, err := io.Copy(conn, b.inner)
+			conn.Close()
+			errs <- err
+		}()
+		go func() {
+			_, err := io.Copy(b.inner, conn)
+			b.inner.Close()
+			errs <- err
+		}()
+		err1 := <-errs
+		err2 := <-errs
+		stopConn()
+		if ctx.Err() != nil {
+			return nil
+		}
+		if err1 != nil {
+			return err1
+		}
+		return err2
+	}
+}
+
+// Close stops the bridge.
+func (b *Bridge) Close() {
+	b.ln.Close()
+	b.inner.Close()
+}

@@ -1,0 +1,164 @@
+package netsim
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestBridgeSplicesBothDirections(t *testing.T) {
+	inner, farSide := BufferedPipe()
+	br, err := NewBridge("127.0.0.1:0", inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- br.Serve(ctx) }()
+
+	remote, err := net.Dial("tcp", br.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	// remote -> inner
+	if _, err := remote.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	farSide.SetReadDeadline(time.Now().Add(3 * time.Second))
+	if _, err := ioReadFull(farSide, buf); err != nil {
+		t.Fatalf("inner read: %v", err)
+	}
+	if string(buf) != "hello" {
+		t.Errorf("inner got %q", buf)
+	}
+	// inner -> remote
+	if _, err := farSide.Write([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	remote.SetReadDeadline(time.Now().Add(3 * time.Second))
+	if _, err := ioReadFull(remote, buf); err != nil {
+		t.Fatalf("remote read: %v", err)
+	}
+	if string(buf) != "world" {
+		t.Errorf("remote got %q", buf)
+	}
+
+	// Closing the remote ends Serve cleanly.
+	remote.Close()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("Serve did not return after remote close")
+	}
+}
+
+func ioReadFull(r interface{ Read([]byte) (int, error) }, buf []byte) (int, error) {
+	n := 0
+	for n < len(buf) {
+		m, err := r.Read(buf[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+func TestBridgeSingleSession(t *testing.T) {
+	inner, farSide := BufferedPipe()
+	defer farSide.Close()
+	br, err := NewBridge("127.0.0.1:0", inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { _ = br.Serve(ctx) }()
+
+	first, err := net.Dial("tcp", br.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	// Second connection must be refused (listener closed after first).
+	time.Sleep(50 * time.Millisecond)
+	second, err := net.Dial("tcp", br.Addr().String())
+	if err == nil {
+		second.Close()
+		t.Error("second connection should be refused")
+	}
+}
+
+func TestBridgeContextCancel(t *testing.T) {
+	inner, farSide := BufferedPipe()
+	defer farSide.Close()
+	br, err := NewBridge("127.0.0.1:0", inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- br.Serve(ctx) }()
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("Serve after cancel = %v", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("Serve did not return on cancel")
+	}
+}
+
+func TestBufferedPipeDeadline(t *testing.T) {
+	a, b := BufferedPipe()
+	defer a.Close()
+	defer b.Close()
+	a.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	buf := make([]byte, 1)
+	_, err := a.Read(buf)
+	nerr, ok := err.(net.Error)
+	if !ok || !nerr.Timeout() {
+		t.Fatalf("read past deadline = %v, want timeout net.Error", err)
+	}
+	// Clearing the deadline re-arms reads.
+	a.SetReadDeadline(time.Time{})
+	go b.Write([]byte{42}) //nolint:errcheck
+	if _, err := a.Read(buf); err != nil || buf[0] != 42 {
+		t.Fatalf("read after clearing deadline: %v %v", buf, err)
+	}
+}
+
+func TestBufferedPipeEOFAfterClose(t *testing.T) {
+	a, b := BufferedPipe()
+	if _, err := a.Write([]byte("xy")); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	// Buffered data drains, then EOF.
+	buf := make([]byte, 2)
+	if _, err := ioReadFull(b, buf); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if _, err := b.Read(buf); err == nil {
+		t.Error("expected EOF after drain")
+	}
+	// Writes to a closed pipe fail.
+	if _, err := b.Write([]byte("z")); err == nil {
+		t.Error("write to closed pipe should fail")
+	}
+	if a.LocalAddr().Network() != "bufpipe" || a.RemoteAddr().String() == "" {
+		t.Error("addr methods broken")
+	}
+	if err := a.SetDeadline(time.Time{}); err != nil {
+		t.Error(err)
+	}
+	if err := a.SetWriteDeadline(time.Now()); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,42 @@
+// Package netsim emulates the testbed the Edge Fabric paper runs on: a
+// point of presence (PoP) with peering routers, egress interfaces toward
+// private peers, a public IXP fabric, and transit providers; a fleet of
+// remote ASes announcing user prefixes over real BGP sessions; a
+// synthetic traffic demand model (heavy-tailed per-prefix volume with
+// diurnal swing and flash crowds); and a dataplane that assigns demand
+// to egress interfaces by longest-prefix-match, models congestion, and
+// feeds the sFlow agents the controller measures traffic with.
+package netsim
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is a virtual clock the whole simulation shares so that days of
+// traffic can be replayed in milliseconds. It satisfies the `func()
+// time.Time` now-hooks exposed by the sflow and bmp packages.
+type Clock struct {
+	mu sync.RWMutex
+	t  time.Time
+}
+
+// NewClock returns a clock starting at start.
+func NewClock(start time.Time) *Clock {
+	return &Clock{t: start}
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Time {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.t
+}
+
+// Advance moves the clock forward by d and returns the new time.
+func (c *Clock) Advance(d time.Duration) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+	return c.t
+}

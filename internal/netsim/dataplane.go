@@ -1,0 +1,262 @@
+package netsim
+
+import (
+	"net/netip"
+	"time"
+
+	"edgefabric/internal/rib"
+	"edgefabric/internal/sflow"
+)
+
+// PrefixTick is the dataplane's per-prefix result for one tick.
+type PrefixTick struct {
+	// DemandBps is the offered load.
+	DemandBps float64
+	// EgressIF is the interface the traffic left through (-1 if
+	// unrouted).
+	EgressIF int
+	// PeerAddr identifies the route used.
+	PeerAddr netip.Addr
+	// Class is the peering tier of the route used.
+	Class rib.PeerClass
+	// Injected marks traffic carried by a controller override.
+	Injected bool
+	// HasSplit marks a split override: half the demand leaves via
+	// SplitIF instead (the controller announced a more-specific half).
+	HasSplit bool
+	// SplitIF is the egress interface of the split half (valid only
+	// when HasSplit).
+	SplitIF int
+	// SplitBps is the demand carried by the split half.
+	SplitBps float64
+	// RTTms is the experienced round-trip time including congestion
+	// (of the aggregate's primary share).
+	RTTms float64
+	// LossFrac is the fraction of the prefix's primary-share traffic
+	// dropped.
+	LossFrac float64
+}
+
+// TickStats is the dataplane's result for one tick.
+type TickStats struct {
+	// Time is the tick's virtual timestamp.
+	Time time.Time
+	// Duration is the tick length.
+	Duration time.Duration
+	// IfLoadBps is offered load per interface.
+	IfLoadBps map[int]float64
+	// IfDropsBps is dropped load per interface.
+	IfDropsBps map[int]float64
+	// Prefix holds the per-prefix details.
+	Prefix map[netip.Prefix]*PrefixTick
+	// UnroutedBps is demand with no route at all.
+	UnroutedBps float64
+}
+
+// TotalDemandBps sums offered load across interfaces.
+func (s *TickStats) TotalDemandBps() float64 {
+	var t float64
+	for _, v := range s.IfLoadBps {
+		t += v
+	}
+	return t
+}
+
+// TotalDropsBps sums drops across interfaces.
+func (s *TickStats) TotalDropsBps() float64 {
+	var t float64
+	for _, v := range s.IfDropsBps {
+		t += v
+	}
+	return t
+}
+
+// Utilization returns load/capacity for an interface in stats.
+func (s *TickStats) Utilization(topo *Topology, ifID int) float64 {
+	ifc := topo.InterfaceByID(ifID)
+	if ifc == nil || ifc.CapacityBps == 0 {
+		return 0
+	}
+	return s.IfLoadBps[ifID] / ifc.CapacityBps
+}
+
+// Dataplane assigns per-prefix demand to egress interfaces according to
+// the PoP's forwarding table (which includes any controller-injected
+// overrides), models congestion, and feeds the sFlow agents.
+type Dataplane struct {
+	topo   *Topology
+	table  *rib.Table
+	perf   *PathPerf
+	demand *DemandModel
+	// agents maps router name to its sFlow agent; nil disables
+	// sampling.
+	agents map[string]*sflow.Agent
+	// bestClass caches the best available class per prefix for the
+	// anomaly model; computed lazily from the table.
+	bestClass map[netip.Prefix]uint8
+	bestVer   uint64
+}
+
+// NewDataplane wires a dataplane over the PoP's forwarding table.
+func NewDataplane(topo *Topology, table *rib.Table, perf *PathPerf, demand *DemandModel, agents map[string]*sflow.Agent) *Dataplane {
+	return &Dataplane{
+		topo:   topo,
+		table:  table,
+		perf:   perf,
+		demand: demand,
+		agents: agents,
+	}
+}
+
+// refreshBestClass recomputes the best organic class per prefix when the
+// table changed (ignoring controller routes, which do not define the
+// "preferred class" anomalies attach to).
+func (dp *Dataplane) refreshBestClass() {
+	v := dp.table.Version()
+	if dp.bestClass != nil && v == dp.bestVer {
+		return
+	}
+	m := make(map[netip.Prefix]uint8, dp.table.Len())
+	dp.table.EachRoutes(func(p netip.Prefix, routes []*rib.Route) {
+		best := uint8(255)
+		for _, r := range routes {
+			if r.PeerClass == rib.ClassController {
+				continue
+			}
+			if uint8(r.PeerClass) < best {
+				best = uint8(r.PeerClass)
+			}
+		}
+		m[p] = best
+	})
+	dp.bestClass = m
+	dp.bestVer = v
+}
+
+// Tick advances the dataplane by dt at virtual time t: computes offered
+// load per interface from the demand model, derives congestion and
+// drops, reports sampled bytes to the sFlow agents, and returns the tick
+// statistics.
+func (dp *Dataplane) Tick(t time.Time, dt time.Duration) *TickStats {
+	dp.refreshBestClass()
+	stats := &TickStats{
+		Time:       t,
+		Duration:   dt,
+		IfLoadBps:  make(map[int]float64, len(dp.topo.Interfaces)),
+		IfDropsBps: make(map[int]float64),
+		Prefix:     make(map[netip.Prefix]*PrefixTick, len(dp.demand.Prefixes())),
+	}
+	// Pass 1: route each prefix and accumulate interface load.
+	viaPeer := make(map[netip.Prefix]*Peer, len(dp.demand.Prefixes()))
+	for _, pi := range dp.demand.Prefixes() {
+		bps := dp.demand.Rate(pi, t)
+		pt := &PrefixTick{DemandBps: bps, EgressIF: -1}
+		stats.Prefix[pi.Prefix] = pt
+		route := dp.table.Best(pi.Prefix)
+		if route == nil {
+			route = dp.table.Lookup(pi.RepAddr)
+		}
+		if route == nil {
+			stats.UnroutedBps += bps
+			continue
+		}
+		pt.EgressIF = route.EgressIF
+		pt.PeerAddr = route.PeerAddr
+		// Injected overrides identify the underlying peer by next hop;
+		// report the underlying tier so traffic shares stay meaningful.
+		if route.PeerClass == rib.ClassController {
+			pt.Injected = true
+			if peer := dp.topo.PeerByAddr(route.NextHop); peer != nil {
+				viaPeer[pi.Prefix] = peer
+				pt.Class = peer.Class
+			}
+		} else {
+			pt.Class = route.PeerClass
+			viaPeer[pi.Prefix] = dp.topo.PeerByAddr(route.PeerAddr)
+			// Split override: a controller route on a more-specific
+			// half steers half the aggregate's demand via LPM.
+			if lo, hi, ok := rib.Split(pi.Prefix); ok {
+				for _, half := range [2]netip.Prefix{lo, hi} {
+					hr := dp.table.Best(half)
+					if hr == nil || hr.PeerClass != rib.ClassController {
+						continue
+					}
+					pt.Injected = true
+					pt.HasSplit = true
+					pt.SplitIF = hr.EgressIF
+					pt.SplitBps = bps / 2
+					bps -= pt.SplitBps
+					stats.IfLoadBps[hr.EgressIF] += pt.SplitBps
+					break
+				}
+			}
+		}
+		stats.IfLoadBps[route.EgressIF] += bps
+	}
+	// Pass 2: congestion, drops, latency, and sampling.
+	for _, pi := range dp.demand.Prefixes() {
+		pt := stats.Prefix[pi.Prefix]
+		if pt.EgressIF < 0 {
+			continue
+		}
+		primaryBps := pt.DemandBps - pt.SplitBps
+		util := stats.Utilization(dp.topo, pt.EgressIF)
+		pt.LossFrac = LossFraction(util)
+		var rtt float64
+		if peer := viaPeer[pi.Prefix]; peer != nil {
+			rtt = dp.perf.BaseRTT(pi.Prefix, peer, dp.bestClass[pi.Prefix])
+		}
+		pt.RTTms = rtt + CongestionDelay(util)
+		if pt.LossFrac > 0 {
+			stats.IfDropsBps[pt.EgressIF] += primaryBps * pt.LossFrac
+		}
+		if pt.HasSplit {
+			if sUtil := stats.Utilization(dp.topo, pt.SplitIF); sUtil > 1 {
+				stats.IfDropsBps[pt.SplitIF] += pt.SplitBps * LossFraction(sUtil)
+			}
+		}
+		// sFlow sampling happens on the router that owns the egress
+		// interface, against offered load.
+		if dp.agents != nil {
+			dp.observe(pi, pt.EgressIF, primaryBps, dt)
+			if pt.HasSplit {
+				dp.observe(pi, pt.SplitIF, pt.SplitBps, dt)
+			}
+		}
+	}
+	if dp.agents != nil {
+		for _, ag := range dp.agents {
+			_ = ag.Tick(uint32(dt.Milliseconds()))
+		}
+	}
+	return stats
+}
+
+// observe reports offered bytes on an interface to its router's sFlow
+// agent.
+func (dp *Dataplane) observe(pi *PrefixInfo, ifID int, bps float64, dt time.Duration) {
+	ifc := dp.topo.InterfaceByID(ifID)
+	if ifc == nil {
+		return
+	}
+	if ag := dp.agents[ifc.Router]; ag != nil {
+		bytes := uint64(bps / 8 * dt.Seconds())
+		_ = ag.ObserveBytes(pi.RepAddr, ifID, bytes)
+	}
+}
+
+// RTTForRoute exposes the uncongested model RTT the dataplane would
+// assign to prefix via the peer owning the given route — the alternate
+// path measurement subsystem uses it to "measure" candidate paths.
+func (dp *Dataplane) RTTForRoute(p netip.Prefix, r *rib.Route) float64 {
+	dp.refreshBestClass()
+	// Injected copies point at the same next hop as an organic route.
+	peer := dp.topo.PeerByAddr(r.PeerAddr)
+	if peer == nil {
+		peer = dp.topo.PeerByAddr(r.NextHop)
+	}
+	if peer == nil {
+		return 0
+	}
+	return dp.perf.BaseRTT(p, peer, dp.bestClass[p])
+}

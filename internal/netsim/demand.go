@@ -1,0 +1,192 @@
+package netsim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"net/netip"
+	"time"
+)
+
+// FlashEvent is a transient demand spike: every prefix originated by AS
+// gets its demand multiplied by Multiplier during [Start, Start+Duration).
+// Flash crowds are what force Edge Fabric to react between BGP events.
+type FlashEvent struct {
+	AS         uint32
+	Start      time.Time
+	Duration   time.Duration
+	Multiplier float64
+}
+
+// DemandConfig parameterizes the synthetic traffic model.
+type DemandConfig struct {
+	// PeakBps is the PoP's total egress demand at the diurnal peak.
+	PeakBps float64
+	// DiurnalAmplitude in [0,1) is the peak-to-trough swing: trough
+	// demand is Peak×(1−amplitude). Default 0.5.
+	DiurnalAmplitude float64
+	// PeakHourUTC is the hour of day demand peaks. Default 20.
+	PeakHourUTC float64
+	// NoiseSigma is the σ of multiplicative lognormal per-prefix noise
+	// re-drawn every NoisePeriod. Default 0.15.
+	NoiseSigma float64
+	// NoisePeriod is how often noise re-draws. Default 5 minutes.
+	NoisePeriod time.Duration
+	// Flash lists flash-crowd events.
+	Flash []FlashEvent
+	// Seed decorrelates noise across scenarios.
+	Seed int64
+}
+
+func (c *DemandConfig) setDefaults() {
+	if c.PeakBps == 0 {
+		c.PeakBps = 400e9
+	}
+	if c.DiurnalAmplitude == 0 {
+		c.DiurnalAmplitude = 0.5
+	}
+	if c.PeakHourUTC == 0 {
+		c.PeakHourUTC = 20
+	}
+	if c.NoiseSigma == 0 {
+		c.NoiseSigma = 0.15
+	}
+	if c.NoisePeriod == 0 {
+		c.NoisePeriod = 5 * time.Minute
+	}
+}
+
+// PrefixInfo carries the static per-prefix facts the demand model and
+// the experiments need.
+type PrefixInfo struct {
+	// Prefix is the user /24 (or /48) this entry describes.
+	Prefix netip.Prefix
+	// OriginAS is the edge AS originating it.
+	OriginAS uint32
+	// Weight is the normalized share of PoP demand (sums to 1 across
+	// all prefixes).
+	Weight float64
+	// RepAddr is a representative host address inside the prefix, used
+	// for forwarding lookups and sFlow records.
+	RepAddr netip.Addr
+}
+
+// DemandModel produces per-prefix egress demand over time:
+// Zipf-weighted prefix volumes × diurnal curve × lognormal noise ×
+// flash-crowd multipliers. All randomness is a pure function of
+// (Seed, prefix, time), so replays are deterministic and the model needs
+// no mutable state.
+type DemandModel struct {
+	cfg       DemandConfig
+	prefixes  []*PrefixInfo
+	flashByAS map[uint32][]FlashEvent
+}
+
+// NewDemandModel builds a model over the given prefixes. Weights must be
+// normalized (the synthesizer guarantees it; Validate checks loosely).
+func NewDemandModel(cfg DemandConfig, prefixes []*PrefixInfo) (*DemandModel, error) {
+	cfg.setDefaults()
+	if len(prefixes) == 0 {
+		return nil, fmt.Errorf("netsim: demand model needs prefixes")
+	}
+	var sum float64
+	for _, p := range prefixes {
+		if p.Weight < 0 {
+			return nil, fmt.Errorf("netsim: prefix %s has negative weight", p.Prefix)
+		}
+		sum += p.Weight
+	}
+	if math.Abs(sum-1) > 0.01 {
+		return nil, fmt.Errorf("netsim: prefix weights sum to %.4f, want 1", sum)
+	}
+	m := &DemandModel{cfg: cfg, prefixes: prefixes, flashByAS: make(map[uint32][]FlashEvent)}
+	for _, f := range cfg.Flash {
+		m.flashByAS[f.AS] = append(m.flashByAS[f.AS], f)
+	}
+	return m, nil
+}
+
+// Prefixes returns the model's prefix set.
+func (m *DemandModel) Prefixes() []*PrefixInfo { return m.prefixes }
+
+// Diurnal returns the time-of-day multiplier in [1−amplitude, 1].
+func (m *DemandModel) Diurnal(t time.Time) float64 {
+	h := float64(t.Hour()) + float64(t.Minute())/60 + float64(t.Second())/3600
+	phase := 2 * math.Pi * (h - m.cfg.PeakHourUTC) / 24
+	return 1 - m.cfg.DiurnalAmplitude*0.5*(1-math.Cos(phase))
+}
+
+// noise returns the deterministic lognormal noise factor for a prefix in
+// the noise period containing t.
+func (m *DemandModel) noise(p netip.Prefix, t time.Time) float64 {
+	if m.cfg.NoiseSigma == 0 {
+		return 1
+	}
+	epoch := t.UnixNano() / int64(m.cfg.NoisePeriod)
+	h := fnv.New64a()
+	var buf [8]byte
+	putU64(buf[:], uint64(m.cfg.Seed))
+	h.Write(buf[:])
+	b := p.Addr().As16()
+	h.Write(b[:])
+	putU64(buf[:], uint64(p.Bits()))
+	h.Write(buf[:])
+	putU64(buf[:], uint64(epoch))
+	h.Write(buf[:])
+	// Two uniforms from the hash → one standard normal (Box–Muller).
+	v := h.Sum64()
+	u1 := float64(v>>11)/float64(1<<53) + 1e-12
+	u2 := float64(v&((1<<11)-1))/float64(1<<11) + 1e-12
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	// Lognormal with mean 1: exp(σz − σ²/2).
+	s := m.cfg.NoiseSigma
+	return math.Exp(s*z - s*s/2)
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (56 - 8*i))
+	}
+}
+
+// flash returns the flash multiplier for origin AS at t.
+func (m *DemandModel) flash(as uint32, t time.Time) float64 {
+	f := 1.0
+	for _, ev := range m.flashByAS[as] {
+		if !t.Before(ev.Start) && t.Before(ev.Start.Add(ev.Duration)) {
+			f *= ev.Multiplier
+		}
+	}
+	return f
+}
+
+// Rate returns prefix p's demand in bits per second at time t.
+func (m *DemandModel) Rate(p *PrefixInfo, t time.Time) float64 {
+	return m.cfg.PeakBps * p.Weight * m.Diurnal(t) * m.noise(p.Prefix, t) * m.flash(p.OriginAS, t)
+}
+
+// Total returns the PoP's total demand at t (sum over prefixes).
+func (m *DemandModel) Total(t time.Time) float64 {
+	var sum float64
+	for _, p := range m.prefixes {
+		sum += m.Rate(p, t)
+	}
+	return sum
+}
+
+// ZipfWeights returns n weights following a Zipf distribution with
+// exponent s, normalized to sum to 1; rank 0 is the heaviest. The Edge
+// Fabric paper's demand concentrates this way: a small number of user
+// networks carry most traffic.
+func ZipfWeights(n int, s float64) []float64 {
+	w := make([]float64, n)
+	var sum float64
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), s)
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}

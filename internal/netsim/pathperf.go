@@ -1,0 +1,123 @@
+package netsim
+
+import (
+	"math"
+	"net/netip"
+)
+
+// PathPerfConfig parameterizes the path performance model.
+type PathPerfConfig struct {
+	// Seed decorrelates the per-(prefix, peer) skews.
+	Seed int64
+	// GeoSkewMS is the maximum per-prefix distance offset added to all
+	// of a prefix's paths (destination remoteness). Default 40.
+	GeoSkewMS float64
+	// PathSkewMS is the maximum per-(prefix, peer) skew differentiating
+	// paths to the same prefix. Default 12.
+	PathSkewMS float64
+	// AnomalyProb is the probability that a prefix's best-class path is
+	// remotely impaired, making an alternate (often transit) faster by
+	// a clear margin — the §6 phenomenon performance-aware routing
+	// detects. Default 0.06.
+	AnomalyProb float64
+	// AnomalyExtraMS is the impairment range [min,max) added to an
+	// anomalous prefix's preferred-class paths. Defaults 25 and 80.
+	AnomalyExtraMinMS, AnomalyExtraMaxMS float64
+}
+
+func (c *PathPerfConfig) setDefaults() {
+	if c.GeoSkewMS == 0 {
+		c.GeoSkewMS = 40
+	}
+	if c.PathSkewMS == 0 {
+		c.PathSkewMS = 12
+	}
+	if c.AnomalyProb == 0 {
+		c.AnomalyProb = 0.06
+	}
+	if c.AnomalyExtraMinMS == 0 {
+		c.AnomalyExtraMinMS = 25
+	}
+	if c.AnomalyExtraMaxMS == 0 {
+		c.AnomalyExtraMaxMS = 80
+	}
+}
+
+// PathPerf models the propagation RTT of each (prefix, peer) path,
+// before congestion. It is a pure function of the seed, so the whole
+// simulation sees one consistent Internet.
+type PathPerf struct {
+	cfg PathPerfConfig
+}
+
+// NewPathPerf returns a model for cfg.
+func NewPathPerf(cfg PathPerfConfig) *PathPerf {
+	cfg.setDefaults()
+	return &PathPerf{cfg: cfg}
+}
+
+// unit maps a hash to [0,1).
+func unitHash(seed int64, p netip.Prefix, salt uint64) float64 {
+	b := p.Addr().As16()
+	var key uint64
+	for i := 0; i < 8; i++ {
+		key = key<<8 | uint64(b[i]^b[i+8])
+	}
+	v := hash2(seed, key^uint64(p.Bits())<<56, salt)
+	return float64(v>>11) / float64(1<<53)
+}
+
+// geoSkew is the per-prefix remoteness offset shared by all paths.
+func (pp *PathPerf) geoSkew(p netip.Prefix) float64 {
+	return unitHash(pp.cfg.Seed, p, 0x9e01) * pp.cfg.GeoSkewMS
+}
+
+// Anomalous reports whether the prefix's preferred-class paths are
+// remotely impaired.
+func (pp *PathPerf) Anomalous(p netip.Prefix) bool {
+	return unitHash(pp.cfg.Seed, p, 0x517a) < pp.cfg.AnomalyProb
+}
+
+// anomalyExtra is the impairment magnitude for an anomalous prefix.
+func (pp *PathPerf) anomalyExtra(p netip.Prefix) float64 {
+	u := unitHash(pp.cfg.Seed, p, 0xc0de)
+	return pp.cfg.AnomalyExtraMinMS + u*(pp.cfg.AnomalyExtraMaxMS-pp.cfg.AnomalyExtraMinMS)
+}
+
+// BaseRTT returns the uncongested RTT in milliseconds for reaching
+// prefix via peer. bestClass is the best (lowest) peer class among the
+// routes available for the prefix; anomalies impair paths of that class
+// so that a worse-class path can win.
+func (pp *PathPerf) BaseRTT(p netip.Prefix, peer *Peer, bestClass uint8) float64 {
+	rtt := peer.BaseRTTMS + pp.geoSkew(p) +
+		unitHash(pp.cfg.Seed^int64(peer.AS)<<16, p, 0xabcd)*pp.cfg.PathSkewMS
+	if pp.Anomalous(p) && uint8(peer.Class) == bestClass {
+		rtt += pp.anomalyExtra(p)
+	}
+	return rtt
+}
+
+// CongestionDelay returns the added queueing delay in milliseconds for
+// an egress interface at the given utilization (load/capacity). It is
+// negligible below 70 % utilization and grows steeply toward saturation,
+// a standard M/M/1-flavored knee clipped for stability.
+func CongestionDelay(utilization float64) float64 {
+	if utilization <= 0.7 {
+		return 0
+	}
+	if utilization >= 1 {
+		return 50
+	}
+	x := (utilization - 0.7) / 0.3
+	return 50 * math.Pow(x, 3)
+}
+
+// LossFraction returns the fraction of offered load dropped at an
+// interface with the given utilization: zero below saturation, and the
+// excess fraction above it (tail drop of an unbuffered bottleneck).
+func LossFraction(utilization float64) float64 {
+	if utilization <= 1 {
+		return 0
+	}
+	return 1 - 1/utilization
+}

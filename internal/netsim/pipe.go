@@ -1,0 +1,171 @@
+package netsim
+
+import (
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// BufferedPipe returns the two ends of an in-memory, full-duplex,
+// *buffered* connection. Unlike net.Pipe, writes never block: they
+// append to the receiver's inbound buffer and return. That property
+// matters in the simulator, where a router's session goroutine must be
+// able to emit BMP or BGP messages before (or while) the other side is
+// reading, without deadlocking.
+//
+// Both ends implement net.Conn, including read deadlines (the BGP hold
+// timer depends on them). Write deadlines are accepted and ignored,
+// since writes cannot block.
+func BufferedPipe() (net.Conn, net.Conn) {
+	a2b := newPipeBuffer()
+	b2a := newPipeBuffer()
+	a := &bufConn{name: "bufpipe-a", in: b2a, out: a2b}
+	b := &bufConn{name: "bufpipe-b", in: a2b, out: b2a}
+	return a, b
+}
+
+// pipeBuffer is one direction of a BufferedPipe.
+type pipeBuffer struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	data     []byte
+	closed   bool
+	deadline time.Time
+	timer    *time.Timer
+}
+
+func newPipeBuffer() *pipeBuffer {
+	b := &pipeBuffer{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *pipeBuffer) write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return 0, io.ErrClosedPipe
+	}
+	b.data = append(b.data, p...)
+	b.cond.Broadcast()
+	return len(p), nil
+}
+
+func (b *pipeBuffer) read(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if len(b.data) > 0 {
+			n := copy(p, b.data)
+			b.data = b.data[n:]
+			if len(b.data) == 0 {
+				b.data = nil // release the backing array
+			}
+			return n, nil
+		}
+		if b.closed {
+			return 0, io.EOF
+		}
+		if !b.deadline.IsZero() && !time.Now().Before(b.deadline) {
+			return 0, timeoutError{}
+		}
+		b.cond.Wait()
+	}
+}
+
+func (b *pipeBuffer) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.closed = true
+	b.cond.Broadcast()
+}
+
+func (b *pipeBuffer) setDeadline(t time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.deadline = t
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	if !t.IsZero() {
+		d := time.Until(t)
+		if d < 0 {
+			d = 0
+		}
+		b.timer = time.AfterFunc(d, func() {
+			b.mu.Lock()
+			defer b.mu.Unlock()
+			b.cond.Broadcast()
+		})
+	}
+	b.cond.Broadcast()
+}
+
+// timeoutError satisfies net.Error with Timeout() true, which the BGP
+// session layer maps to hold-timer expiry.
+type timeoutError struct{}
+
+func (timeoutError) Error() string { return os.ErrDeadlineExceeded.Error() }
+
+// Timeout reports that this error is a deadline expiry.
+func (timeoutError) Timeout() bool { return true }
+
+// Temporary reports whether retrying may help; deadline expiries are
+// not transient.
+func (timeoutError) Temporary() bool { return false }
+
+// Unwrap exposes os.ErrDeadlineExceeded for errors.Is.
+func (timeoutError) Unwrap() error { return os.ErrDeadlineExceeded }
+
+type bufConn struct {
+	name string
+	in   *pipeBuffer // what this end reads
+	out  *pipeBuffer // what this end writes
+}
+
+// Read implements net.Conn.
+func (c *bufConn) Read(p []byte) (int, error) { return c.in.read(p) }
+
+// Write implements net.Conn.
+func (c *bufConn) Write(p []byte) (int, error) { return c.out.write(p) }
+
+// Close implements net.Conn: both directions stop; the peer's pending
+// reads drain and then see EOF.
+func (c *bufConn) Close() error {
+	c.out.close()
+	c.in.close()
+	return nil
+}
+
+// LocalAddr implements net.Conn.
+func (c *bufConn) LocalAddr() net.Addr { return pipeAddr(c.name) }
+
+// RemoteAddr implements net.Conn.
+func (c *bufConn) RemoteAddr() net.Addr { return pipeAddr(c.name) }
+
+// SetDeadline implements net.Conn.
+func (c *bufConn) SetDeadline(t time.Time) error {
+	c.in.setDeadline(t)
+	return nil
+}
+
+// SetReadDeadline implements net.Conn.
+func (c *bufConn) SetReadDeadline(t time.Time) error {
+	c.in.setDeadline(t)
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn; writes never block, so it is a
+// no-op.
+func (c *bufConn) SetWriteDeadline(time.Time) error { return nil }
+
+type pipeAddr string
+
+// Network implements net.Addr.
+func (pipeAddr) Network() string { return "bufpipe" }
+
+// String implements net.Addr.
+func (a pipeAddr) String() string { return string(a) }

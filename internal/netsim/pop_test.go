@@ -1,0 +1,275 @@
+package netsim
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+	"time"
+
+	"edgefabric/internal/rib"
+	"edgefabric/internal/sflow"
+)
+
+// startPoP builds and converges a small live PoP.
+func startPoP(t *testing.T, sink sflow.Sink) (*PoP, *Scenario, *Clock) {
+	t.Helper()
+	sc, err := Synthesize(SynthConfig{
+		Seed:               11,
+		Prefixes:           200,
+		EdgeASes:           30,
+		PrivatePeers:       3,
+		PublicPeers:        6,
+		RouteServerMembers: 8,
+		Transits:           2,
+		Routers:            2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	demand, err := sc.NewDemand(DemandConfig{PeakBps: 100e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := NewClock(time.Date(2017, 3, 1, 20, 0, 0, 0, time.UTC))
+	pop, err := NewPoP(PoPConfig{
+		Scenario:  sc,
+		Demand:    demand,
+		Clock:     clock,
+		SFlowSink: sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	if err := pop.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	wctx, wcancel := context.WithTimeout(ctx, 30*time.Second)
+	defer wcancel()
+	if err := pop.WaitConverged(wctx); err != nil {
+		t.Fatal(err)
+	}
+	return pop, sc, clock
+}
+
+func TestPoPConvergesOverRealBGP(t *testing.T) {
+	pop, sc, _ := startPoP(t, nil)
+	if got, want := pop.Table.RouteCount(), pop.ExpectedRoutes(); got != want {
+		t.Errorf("RouteCount = %d, want %d", got, want)
+	}
+	// Every prefix has a route, and every prefix is reachable via
+	// transit at minimum.
+	for _, pi := range sc.Prefixes {
+		routes := pop.Table.Routes(pi.Prefix)
+		if len(routes) == 0 {
+			t.Fatalf("no routes for %s", pi.Prefix)
+		}
+		hasTransit := false
+		for _, r := range routes {
+			if r.PeerClass == rib.ClassTransit {
+				hasTransit = true
+			}
+		}
+		if !hasTransit {
+			t.Errorf("%s lacks a transit route", pi.Prefix)
+		}
+		// Best route class must be the minimum class present.
+		best := routes[0]
+		for _, r := range routes[1:] {
+			if r.PeerClass < best.PeerClass {
+				t.Errorf("%s best is %v but %v available", pi.Prefix, best.PeerClass, r.PeerClass)
+			}
+		}
+	}
+	// Prefixes of private-peer ASes are preferred via the PNI.
+	for _, as := range sc.ASes {
+		if as.Class != rib.ClassPrivate {
+			continue
+		}
+		for _, p := range as.Prefixes {
+			best := pop.Table.Best(p)
+			if best == nil || best.PeerClass != rib.ClassPrivate {
+				t.Errorf("prefix %s of private AS%d routed via %v", p, as.AS, best)
+			}
+		}
+	}
+}
+
+func TestPoPDataplaneTick(t *testing.T) {
+	pop, sc, clock := startPoP(t, nil)
+	stats := pop.Plane.Tick(clock.Now(), 30*time.Second)
+	if stats.UnroutedBps != 0 {
+		t.Errorf("unrouted demand = %g", stats.UnroutedBps)
+	}
+	total := stats.TotalDemandBps()
+	if total < 50e9 || total > 150e9 {
+		t.Errorf("total demand at peak = %.3g, want ~100G", total)
+	}
+	// Per-prefix stats populated with RTTs.
+	n := 0
+	for _, pt := range stats.Prefix {
+		if pt.EgressIF >= 0 && pt.RTTms > 0 {
+			n++
+		}
+	}
+	if n < len(sc.Prefixes)*9/10 {
+		t.Errorf("only %d/%d prefixes got RTTs", n, len(sc.Prefixes))
+	}
+}
+
+func TestPoPSFlowPipeline(t *testing.T) {
+	clockStart := time.Date(2017, 3, 1, 20, 0, 0, 0, time.UTC)
+	var col *sflow.Collector
+	var pop *PoP
+	// The collector maps destinations through the PoP table; build it
+	// lazily once the PoP exists.
+	col = sflow.NewCollector(sflow.CollectorConfig{
+		Mapper: sflow.PrefixMapperFunc(func(a netip.Addr) netip.Prefix {
+			if pop == nil {
+				return netip.Prefix{}
+			}
+			return pop.Table.LookupPrefix(a)
+		}),
+		Window: 2 * time.Minute,
+		Now:    func() time.Time { return clockStart },
+	})
+	p, _, clock := startPoP(t, col)
+	pop = p
+	clockStart = clock.Now()
+	var demandTotal float64
+	for i := 0; i < 4; i++ {
+		stats := pop.Plane.Tick(clock.Now(), 30*time.Second)
+		demandTotal = stats.TotalDemandBps()
+		clock.Advance(30 * time.Second)
+		clockStart = clock.Now()
+	}
+	rates := col.Rates()
+	if len(rates) == 0 {
+		t.Fatal("collector saw no traffic")
+	}
+	var est float64
+	for _, bps := range rates {
+		est += bps
+	}
+	// The sFlow estimate should be within ~25% of true demand.
+	if est < demandTotal*0.75 || est > demandTotal*1.25 {
+		t.Errorf("sflow estimate %.3g vs demand %.3g", est, demandTotal)
+	}
+}
+
+func TestPoPControllerInjection(t *testing.T) {
+	pop, sc, clock := startPoP(t, nil)
+	// Pick a prefix preferred via a private peer and a transit
+	// alternate for it.
+	var prefix netip.Prefix
+	var alt *rib.Route
+	for _, pi := range sc.Prefixes {
+		routes := pop.Table.Routes(pi.Prefix)
+		if len(routes) < 2 || routes[0].PeerClass != rib.ClassPrivate {
+			continue
+		}
+		for _, r := range routes[1:] {
+			if r.PeerClass == rib.ClassTransit {
+				prefix, alt = pi.Prefix, r
+				break
+			}
+		}
+		if alt != nil {
+			break
+		}
+	}
+	if alt == nil {
+		t.Fatal("no private-preferred prefix with transit alternate")
+	}
+
+	// Inject an override the way the controller does: iBGP session to
+	// each PR announcing the prefix with controller-tier local-pref and
+	// the alternate's next hop.
+	import1 := &rib.Route{
+		Prefix:    prefix,
+		NextHop:   alt.NextHop,
+		PeerAddr:  ControllerAddr,
+		PeerAS:    pop.Topo.LocalAS,
+		PeerClass: rib.ClassController,
+		FromIBGP:  true,
+		LocalPref: rib.PrefController,
+		ASPath:    alt.ASPath,
+		EgressIF:  alt.EgressIF,
+	}
+	pop.Table.Add(import1)
+
+	best := pop.Table.Best(prefix)
+	if best == nil || best.PeerClass != rib.ClassController {
+		t.Fatalf("override not preferred: %v", best)
+	}
+	stats := pop.Plane.Tick(clock.Now(), 30*time.Second)
+	pt := stats.Prefix[prefix]
+	if !pt.Injected {
+		t.Error("tick should mark the prefix as injected")
+	}
+	if pt.EgressIF != alt.EgressIF {
+		t.Errorf("traffic egressed via IF %d, want %d", pt.EgressIF, alt.EgressIF)
+	}
+	if pt.Class != rib.ClassTransit {
+		t.Errorf("underlying class = %v, want transit", pt.Class)
+	}
+
+	// Withdraw: behavior falls back to BGP's choice.
+	pop.Table.Remove(prefix, ControllerAddr)
+	stats = pop.Plane.Tick(clock.Now(), 30*time.Second)
+	if stats.Prefix[prefix].Injected {
+		t.Error("override still active after withdraw")
+	}
+}
+
+func TestPoPPeerSessionDownWithdraws(t *testing.T) {
+	pop, sc, _ := startPoP(t, nil)
+	// Kill the first private peer's session.
+	var victim *Peer
+	for i := range pop.Topo.Peers {
+		if pop.Topo.Peers[i].Class == rib.ClassPrivate {
+			victim = &pop.Topo.Peers[i]
+			break
+		}
+	}
+	if victim == nil {
+		t.Fatal("no private peer")
+	}
+	if err := pop.PeerSessionDown(victim.Addr); err != nil {
+		t.Fatal(err)
+	}
+	// The PR withdraws the peer's routes; its AS's prefixes fail over
+	// to another tier (transit at worst).
+	deadline := time.Now().Add(5 * time.Second)
+	as := sc.ASes[victim.AS]
+	for {
+		allFailedOver := true
+		for _, p := range as.Prefixes {
+			best := pop.Table.Best(p)
+			if best == nil || best.PeerAddr == victim.Addr {
+				allFailedOver = false
+				break
+			}
+		}
+		if allFailedOver {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("routes did not fail over after session down")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestPoPConnectController(t *testing.T) {
+	pop, _, _ := startPoP(t, nil)
+	conn, err := pop.ConnectController("pr1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := pop.ConnectController("nope"); err == nil {
+		t.Error("unknown router should error")
+	}
+}

@@ -1,0 +1,212 @@
+package netsim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/netip"
+	"os"
+
+	"edgefabric/internal/rib"
+)
+
+// ScenarioFile is the JSON form of a hand-written testbed: explicit
+// routers, interfaces, peers, and demand-weighted announcements. It
+// exists so popsim (and experiments) can run operator-authored
+// topologies instead of the synthesizer's.
+//
+// Announcement weights define the demand distribution: each announced
+// prefix's demand share is its weight divided by the sum of all weights
+// (prefixes announced by several peers count once, keyed by the first
+// announcement's weight).
+type ScenarioFile struct {
+	// Name labels the PoP.
+	Name string `json:"name"`
+	// LocalAS is the content provider AS.
+	LocalAS uint32 `json:"local_as"`
+	// Routers lists the peering routers.
+	Routers []RouterFile `json:"routers"`
+	// Interfaces lists egress ports.
+	Interfaces []InterfaceFile `json:"interfaces"`
+	// Peers lists BGP neighbors with their announcements.
+	Peers []PeerFile `json:"peers"`
+}
+
+// RouterFile is one peering router.
+type RouterFile struct {
+	Name     string `json:"name"`
+	RouterID string `json:"router_id"`
+}
+
+// InterfaceFile is one egress port.
+type InterfaceFile struct {
+	ID           int     `json:"id"`
+	Router       string  `json:"router"`
+	Name         string  `json:"name"`
+	CapacityGbps float64 `json:"capacity_gbps"`
+}
+
+// PeerFile is one BGP neighbor.
+type PeerFile struct {
+	Name      string         `json:"name"`
+	AS        uint32         `json:"as"`
+	Addr      string         `json:"addr"`
+	Class     rib.PeerClass  `json:"class"`
+	Interface int            `json:"interface"`
+	Router    string         `json:"router"`
+	BaseRTTMS float64        `json:"base_rtt_ms"`
+	Announces []AnnounceFile `json:"announces"`
+}
+
+// AnnounceFile is one announcement with its demand weight.
+type AnnounceFile struct {
+	Prefix string   `json:"prefix"`
+	Path   []uint32 `json:"path"`
+	MED    uint32   `json:"med,omitempty"`
+	// Weight is the prefix's unnormalized demand share; zero means the
+	// prefix receives no demand (e.g. a transit's copy of another
+	// peer's prefix — leave Weight on one announcement only).
+	Weight float64 `json:"weight,omitempty"`
+}
+
+// ReadScenarioFile parses a scenario from r.
+func ReadScenarioFile(r io.Reader) (*ScenarioFile, error) {
+	var f ScenarioFile
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("netsim: decode scenario: %w", err)
+	}
+	return &f, nil
+}
+
+// LoadScenarioFile reads and builds a scenario from a JSON file.
+func LoadScenarioFile(path string) (*Scenario, error) {
+	in, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	f, err := ReadScenarioFile(in)
+	if err != nil {
+		return nil, err
+	}
+	return f.Build()
+}
+
+// Build materializes and validates the scenario.
+func (f *ScenarioFile) Build() (*Scenario, error) {
+	topo := &Topology{Name: f.Name, LocalAS: f.LocalAS}
+	for _, r := range f.Routers {
+		id, err := netip.ParseAddr(r.RouterID)
+		if err != nil {
+			return nil, fmt.Errorf("netsim: router %q: %w", r.Name, err)
+		}
+		topo.Routers = append(topo.Routers, Router{Name: r.Name, RouterID: id})
+	}
+	for _, i := range f.Interfaces {
+		topo.Interfaces = append(topo.Interfaces, Interface{
+			ID:          i.ID,
+			Router:      i.Router,
+			Name:        i.Name,
+			CapacityBps: i.CapacityGbps * 1e9,
+		})
+	}
+	prefixSeen := make(map[netip.Prefix]*PrefixInfo)
+	var prefixes []*PrefixInfo
+	ases := make(map[uint32]*EdgeAS)
+	for _, p := range f.Peers {
+		addr, err := netip.ParseAddr(p.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("netsim: peer %q: %w", p.Name, err)
+		}
+		peer := Peer{
+			Name:        p.Name,
+			AS:          p.AS,
+			Addr:        addr,
+			Class:       p.Class,
+			InterfaceID: p.Interface,
+			Router:      p.Router,
+			BaseRTTMS:   p.BaseRTTMS,
+		}
+		if peer.BaseRTTMS == 0 {
+			peer.BaseRTTMS = 20
+		}
+		for _, a := range p.Announces {
+			prefix, err := netip.ParsePrefix(a.Prefix)
+			if err != nil {
+				return nil, fmt.Errorf("netsim: peer %q announce: %w", p.Name, err)
+			}
+			prefix = prefix.Masked()
+			peer.Announces = append(peer.Announces, Announcement{
+				Prefix: prefix,
+				Path:   a.Path,
+				MED:    a.MED,
+			})
+			if a.Weight <= 0 {
+				continue
+			}
+			if _, dup := prefixSeen[prefix]; dup {
+				return nil, fmt.Errorf("netsim: prefix %s has weight on multiple announcements", prefix)
+			}
+			origin := uint32(0)
+			if len(a.Path) > 0 {
+				origin = a.Path[len(a.Path)-1]
+			}
+			pi := &PrefixInfo{
+				Prefix:   prefix,
+				OriginAS: origin,
+				Weight:   a.Weight,
+				RepAddr:  repAddr(prefix),
+			}
+			prefixSeen[prefix] = pi
+			prefixes = append(prefixes, pi)
+			as, ok := ases[origin]
+			if !ok {
+				as = &EdgeAS{AS: origin, Class: rib.ClassTransit}
+				ases[origin] = as
+			}
+			as.Prefixes = append(as.Prefixes, prefix)
+			as.Weight += a.Weight
+			if p.Class < as.Class {
+				as.Class = p.Class
+			}
+		}
+		topo.Peers = append(topo.Peers, peer)
+	}
+	if len(prefixes) == 0 {
+		return nil, fmt.Errorf("netsim: scenario %q announces no weighted prefixes", f.Name)
+	}
+	var sum float64
+	for _, pi := range prefixes {
+		sum += pi.Weight
+	}
+	for _, pi := range prefixes {
+		pi.Weight /= sum
+	}
+	for _, as := range ases {
+		as.Weight /= sum
+	}
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	return &Scenario{
+		Topo:     topo,
+		Prefixes: prefixes,
+		ASes:     ases,
+		Config:   SynthConfig{Name: f.Name, LocalAS: f.LocalAS, Seed: 1},
+	}, nil
+}
+
+// repAddr picks a representative host address inside a prefix.
+func repAddr(p netip.Prefix) netip.Addr {
+	a := p.Addr()
+	if a.Is4() {
+		b := a.As4()
+		b[3] |= 1
+		return netip.AddrFrom4(b)
+	}
+	b := a.As16()
+	b[15] |= 1
+	return netip.AddrFrom16(b)
+}

@@ -1,0 +1,176 @@
+package netsim
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"edgefabric/internal/rib"
+)
+
+const scenarioJSON = `{
+  "name": "pop-test",
+  "local_as": 64500,
+  "routers": [
+    {"name": "pr1", "router_id": "10.255.0.1"}
+  ],
+  "interfaces": [
+    {"id": 0, "router": "pr1", "name": "pr1:pni", "capacity_gbps": 10},
+    {"id": 1, "router": "pr1", "name": "pr1:transit", "capacity_gbps": 100}
+  ],
+  "peers": [
+    {
+      "name": "as65010-pni", "as": 65010, "addr": "172.20.0.1",
+      "class": "private", "interface": 0, "router": "pr1", "base_rtt_ms": 9,
+      "announces": [
+        {"prefix": "198.51.100.0/24", "path": [65010], "weight": 3},
+        {"prefix": "198.51.101.0/24", "path": [65010], "weight": 1}
+      ]
+    },
+    {
+      "name": "transit", "as": 64601, "addr": "172.20.0.9",
+      "class": "transit", "interface": 1, "router": "pr1",
+      "announces": [
+        {"prefix": "198.51.100.0/24", "path": [64601, 65010]},
+        {"prefix": "198.51.101.0/24", "path": [64601, 65010]},
+        {"prefix": "203.0.113.0/24", "path": [64601, 65099], "weight": 4}
+      ]
+    }
+  ]
+}`
+
+func TestScenarioFileBuild(t *testing.T) {
+	f, err := ReadScenarioFile(strings.NewReader(scenarioJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := f.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Topo.Name != "pop-test" || sc.Topo.LocalAS != 64500 {
+		t.Errorf("topo header = %+v", sc.Topo)
+	}
+	if len(sc.Prefixes) != 3 {
+		t.Fatalf("prefixes = %d", len(sc.Prefixes))
+	}
+	var sum float64
+	byPrefix := map[string]float64{}
+	for _, pi := range sc.Prefixes {
+		sum += pi.Weight
+		byPrefix[pi.Prefix.String()] = pi.Weight
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("weights sum to %f", sum)
+	}
+	if math.Abs(byPrefix["198.51.100.0/24"]-3.0/8) > 1e-9 {
+		t.Errorf("weight = %f, want 3/8", byPrefix["198.51.100.0/24"])
+	}
+	// AS metadata: 65010 is privately peered, 65099 transit-only.
+	if sc.ASes[65010].Class != rib.ClassPrivate {
+		t.Errorf("AS65010 class = %v", sc.ASes[65010].Class)
+	}
+	if sc.ASes[65099].Class != rib.ClassTransit {
+		t.Errorf("AS65099 class = %v", sc.ASes[65099].Class)
+	}
+	// The scenario drives a demand model and a PoP.
+	demand, err := sc.NewDemand(DemandConfig{PeakBps: 10e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if demand == nil {
+		t.Fatal("no demand model")
+	}
+	if capBps := sc.Topo.InterfaceByID(0).CapacityBps; capBps != 10e9 {
+		t.Errorf("capacity = %g", capBps)
+	}
+}
+
+func TestScenarioFileErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+	}{
+		{"bad json", `{`},
+		{"unknown field", `{"nope": 1}`},
+		{"no weights", `{
+			"name":"x","local_as":1,
+			"routers":[{"name":"r","router_id":"1.1.1.1"}],
+			"interfaces":[{"id":0,"router":"r","name":"i","capacity_gbps":1}],
+			"peers":[{"name":"p","as":2,"addr":"172.20.0.1","class":"private","interface":0,"router":"r",
+				"announces":[{"prefix":"10.0.0.0/24","path":[2]}]}]}`},
+		{"dup weight", `{
+			"name":"x","local_as":1,
+			"routers":[{"name":"r","router_id":"1.1.1.1"}],
+			"interfaces":[{"id":0,"router":"r","name":"i","capacity_gbps":1}],
+			"peers":[{"name":"p","as":2,"addr":"172.20.0.1","class":"private","interface":0,"router":"r",
+				"announces":[{"prefix":"10.0.0.0/24","path":[2],"weight":1},
+				             {"prefix":"10.0.0.0/24","path":[2],"weight":1}]}]}`},
+		{"bad class", `{
+			"name":"x","local_as":1,
+			"routers":[{"name":"r","router_id":"1.1.1.1"}],
+			"interfaces":[{"id":0,"router":"r","name":"i","capacity_gbps":1}],
+			"peers":[{"name":"p","as":2,"addr":"172.20.0.1","class":"wat","interface":0,"router":"r",
+				"announces":[{"prefix":"10.0.0.0/24","path":[2],"weight":1}]}]}`},
+		{"bad addr", `{
+			"name":"x","local_as":1,
+			"routers":[{"name":"r","router_id":"1.1.1.1"}],
+			"interfaces":[{"id":0,"router":"r","name":"i","capacity_gbps":1}],
+			"peers":[{"name":"p","as":2,"addr":"nope","class":"private","interface":0,"router":"r",
+				"announces":[{"prefix":"10.0.0.0/24","path":[2],"weight":1}]}]}`},
+	}
+	for _, tc := range cases {
+		f, err := ReadScenarioFile(strings.NewReader(tc.json))
+		if err != nil {
+			continue // decode-stage rejection is fine
+		}
+		if _, err := f.Build(); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestScenarioFileRoundTripThroughPoP(t *testing.T) {
+	f, err := ReadScenarioFile(strings.NewReader(scenarioJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := f.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	demand, err := sc.NewDemand(DemandConfig{PeakBps: 12e9, NoiseSigma: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := NewClock(timeAtHour(20))
+	pop, err := NewPoP(PoPConfig{Scenario: sc, Demand: demand, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pop.Close()
+	ctx, cancel := contextWithTimeout(t)
+	defer cancel()
+	if err := pop.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := pop.WaitConverged(ctx); err != nil {
+		t.Fatal(err)
+	}
+	stats := pop.Plane.Tick(clock.Now(), 30*time.Second)
+	if stats.UnroutedBps != 0 {
+		t.Errorf("unrouted = %g", stats.UnroutedBps)
+	}
+}
+
+// test helpers shared by the file-scenario tests.
+func timeAtHour(h int) time.Time {
+	return time.Date(2017, 3, 1, h, 0, 0, 0, time.UTC)
+}
+
+func contextWithTimeout(t *testing.T) (context.Context, context.CancelFunc) {
+	t.Helper()
+	return context.WithTimeout(context.Background(), 30*time.Second)
+}

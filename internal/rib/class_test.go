@@ -1,0 +1,41 @@
+package rib
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestPeerClassTextMarshal(t *testing.T) {
+	for _, c := range []PeerClass{ClassController, ClassPrivate, ClassPublic, ClassRouteServer, ClassTransit} {
+		b, err := c.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back PeerClass
+		if err := back.UnmarshalText(b); err != nil {
+			t.Fatal(err)
+		}
+		if back != c {
+			t.Errorf("round trip %v -> %s -> %v", c, b, back)
+		}
+	}
+	var c PeerClass
+	if err := c.UnmarshalText([]byte("bogus")); err == nil {
+		t.Error("bogus class should fail")
+	}
+	// JSON integration: struct fields serialize as mnemonics.
+	type wrap struct {
+		C PeerClass `json:"c"`
+	}
+	out, err := json.Marshal(wrap{C: ClassRouteServer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != `{"c":"route-server"}` {
+		t.Errorf("json = %s", out)
+	}
+	var w wrap
+	if err := json.Unmarshal([]byte(`{"c":"transit"}`), &w); err != nil || w.C != ClassTransit {
+		t.Errorf("unmarshal = %+v, %v", w, err)
+	}
+}

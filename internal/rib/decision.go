@@ -1,0 +1,82 @@
+package rib
+
+import "sort"
+
+// Better reports whether route a is preferred over route b by the BGP
+// decision process (RFC 4271 §9.1.2 order, with the IGP-metric step
+// omitted — the simulated PoP is flat):
+//
+//  1. higher LOCAL_PREF
+//  2. shorter AS path
+//  3. lower ORIGIN
+//  4. lower MED (same neighbor AS only, unless cfg.AlwaysCompareMED;
+//     a missing MED compares as 0, the common vendor default)
+//  5. eBGP over iBGP
+//  6. lower peer address (deterministic router-ID stand-in)
+//
+// Both routes must be for the same prefix; Better does not check.
+func Better(a, b *Route, cfg *Policy) bool {
+	if a.LocalPref != b.LocalPref {
+		return a.LocalPref > b.LocalPref
+	}
+	ah, bh := a.PathHops, b.PathHops
+	if ah == 0 {
+		ah = len(a.ASPath)
+	}
+	if bh == 0 {
+		bh = len(b.ASPath)
+	}
+	if ah != bh {
+		return ah < bh
+	}
+	if a.Origin != b.Origin {
+		return a.Origin < b.Origin
+	}
+	compareMED := a.NextHopAS() == b.NextHopAS() && a.NextHopAS() != 0
+	if cfg != nil && cfg.AlwaysCompareMED {
+		compareMED = true
+	}
+	if compareMED {
+		am, bm := uint32(0), uint32(0)
+		if a.HasMED {
+			am = a.MED
+		}
+		if b.HasMED {
+			bm = b.MED
+		}
+		if am != bm {
+			return am < bm
+		}
+	}
+	if a.FromIBGP != b.FromIBGP {
+		return !a.FromIBGP
+	}
+	return a.PeerAddr.Less(b.PeerAddr)
+}
+
+// SelectBest returns the index of the best route among candidates, or -1
+// if candidates is empty. Ties are impossible because the peer-address
+// comparison is total for distinct neighbors; two routes from the same
+// neighbor for the same prefix cannot coexist in a RIB.
+func SelectBest(candidates []*Route, cfg *Policy) int {
+	best := -1
+	for i, r := range candidates {
+		if r == nil {
+			continue
+		}
+		if best < 0 || Better(r, candidates[best], cfg) {
+			best = i
+		}
+	}
+	return best
+}
+
+// SortByPreference sorts routes best-first under the decision process.
+// The controller uses the sorted order to pick detour targets: the first
+// element is BGP's choice, subsequent elements are the preference-ordered
+// alternates.
+func SortByPreference(routes []*Route, cfg *Policy) {
+	sort.SliceStable(routes, func(i, j int) bool {
+		return Better(routes[i], routes[j], cfg)
+	})
+}

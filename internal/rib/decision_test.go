@@ -1,0 +1,344 @@
+package rib
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func mkRoute(prefix string, peer string, class PeerClass, path ...uint32) *Route {
+	r := &Route{
+		Prefix:    netip.MustParsePrefix(prefix),
+		NextHop:   netip.MustParseAddr(peer),
+		PeerAddr:  netip.MustParseAddr(peer),
+		PeerClass: class,
+		ASPath:    path,
+	}
+	if len(path) > 0 {
+		r.PeerAS = path[0]
+	}
+	DefaultPolicy().Import(r)
+	return r
+}
+
+func TestBetterLocalPref(t *testing.T) {
+	private := mkRoute("10.0.0.0/24", "192.0.2.1", ClassPrivate, 65001)
+	transit := mkRoute("10.0.0.0/24", "192.0.2.2", ClassTransit, 65002)
+	if !Better(private, transit, nil) {
+		t.Error("private peer route should beat transit on LOCAL_PREF")
+	}
+	if Better(transit, private, nil) {
+		t.Error("Better must be asymmetric")
+	}
+}
+
+func TestBetterTierOrdering(t *testing.T) {
+	// Full Edge Fabric tier order: controller > private > public >
+	// route-server > transit.
+	classes := []PeerClass{ClassController, ClassPrivate, ClassPublic, ClassRouteServer, ClassTransit}
+	routes := make([]*Route, len(classes))
+	for i, c := range classes {
+		routes[i] = mkRoute("10.0.0.0/24", "192.0.2."+string(rune('1'+i)), c, 65001)
+	}
+	// The controller route is injected over iBGP with its own pref.
+	routes[0].FromIBGP = true
+	routes[0].LocalPref = PrefController
+	for i := 0; i < len(routes); i++ {
+		for j := i + 1; j < len(routes); j++ {
+			if !Better(routes[i], routes[j], nil) {
+				t.Errorf("class %v should beat class %v", classes[i], classes[j])
+			}
+		}
+	}
+}
+
+func TestBetterASPathLength(t *testing.T) {
+	short := mkRoute("10.0.0.0/24", "192.0.2.1", ClassTransit, 65001, 65002)
+	long := mkRoute("10.0.0.0/24", "192.0.2.2", ClassTransit, 65003, 65004, 65005)
+	if !Better(short, long, nil) {
+		t.Error("shorter AS path should win at equal LOCAL_PREF")
+	}
+}
+
+func TestBetterASSetHopCount(t *testing.T) {
+	// A path of 4 ASes where 3 form an AS_SET counts as 2 hops and must
+	// beat a 3-hop sequence.
+	aggregated := mkRoute("10.0.0.0/24", "192.0.2.1", ClassTransit, 65001, 65002, 65003, 65004)
+	aggregated.PathHops = 2
+	plain := mkRoute("10.0.0.0/24", "192.0.2.2", ClassTransit, 65005, 65006, 65007)
+	if !Better(aggregated, plain, nil) {
+		t.Error("AS_SET-aggregated 2-hop path should beat a 3-hop sequence")
+	}
+}
+
+func TestBetterOrigin(t *testing.T) {
+	igp := mkRoute("10.0.0.0/24", "192.0.2.1", ClassTransit, 65001)
+	inc := mkRoute("10.0.0.0/24", "192.0.2.2", ClassTransit, 65002)
+	igp.Origin = OriginIGP
+	inc.Origin = OriginIncomplete
+	if !Better(igp, inc, nil) {
+		t.Error("IGP origin should beat incomplete")
+	}
+}
+
+func TestBetterMEDSameNeighborOnly(t *testing.T) {
+	a := mkRoute("10.0.0.0/24", "192.0.2.1", ClassTransit, 65001)
+	b := mkRoute("10.0.0.0/24", "192.0.2.2", ClassTransit, 65001)
+	a.MED, a.HasMED = 100, true
+	b.MED, b.HasMED = 5, true
+	if !Better(b, a, nil) {
+		t.Error("lower MED should win between routes from the same neighbor AS")
+	}
+
+	// Different neighbor AS: MED ignored, falls through to peer address.
+	c := mkRoute("10.0.0.0/24", "192.0.2.3", ClassTransit, 65009)
+	c.MED, c.HasMED = 0, true
+	if !Better(a, c, nil) {
+		t.Error("MED must not compare across neighbor ASes by default; lower peer addr wins")
+	}
+	// With AlwaysCompareMED, c's MED 0 beats a's 100.
+	cfg := &Policy{AlwaysCompareMED: true}
+	if !Better(c, a, cfg) {
+		t.Error("AlwaysCompareMED should compare across neighbor ASes")
+	}
+}
+
+func TestBetterMissingMEDIsZero(t *testing.T) {
+	withMED := mkRoute("10.0.0.0/24", "192.0.2.1", ClassTransit, 65001)
+	withMED.MED, withMED.HasMED = 10, true
+	noMED := mkRoute("10.0.0.0/24", "192.0.2.2", ClassTransit, 65001)
+	if !Better(noMED, withMED, nil) {
+		t.Error("missing MED compares as 0 and should beat MED 10")
+	}
+}
+
+func TestBetterEBGPOverIBGP(t *testing.T) {
+	e := mkRoute("10.0.0.0/24", "192.0.2.2", ClassTransit, 65001)
+	i := mkRoute("10.0.0.0/24", "192.0.2.1", ClassTransit, 65001)
+	i.FromIBGP = true
+	i.LocalPref = e.LocalPref
+	if !Better(e, i, nil) {
+		t.Error("eBGP should beat iBGP even with a higher peer address")
+	}
+}
+
+func TestBetterPeerAddrTiebreak(t *testing.T) {
+	a := mkRoute("10.0.0.0/24", "192.0.2.1", ClassTransit, 65001)
+	b := mkRoute("10.0.0.0/24", "192.0.2.2", ClassTransit, 65001)
+	if !Better(a, b, nil) {
+		t.Error("lower peer address should win the final tiebreak")
+	}
+}
+
+func TestSelectBest(t *testing.T) {
+	routes := []*Route{
+		mkRoute("10.0.0.0/24", "192.0.2.9", ClassTransit, 65001),
+		mkRoute("10.0.0.0/24", "192.0.2.5", ClassPublic, 65002),
+		mkRoute("10.0.0.0/24", "192.0.2.7", ClassPrivate, 65003),
+	}
+	if got := SelectBest(routes, nil); got != 2 {
+		t.Errorf("SelectBest = %d, want 2 (private peer)", got)
+	}
+	if got := SelectBest(nil, nil); got != -1 {
+		t.Errorf("SelectBest(empty) = %d, want -1", got)
+	}
+	if got := SelectBest([]*Route{nil, routes[0], nil}, nil); got != 1 {
+		t.Errorf("SelectBest skips nils: got %d", got)
+	}
+}
+
+func TestSortByPreference(t *testing.T) {
+	routes := []*Route{
+		mkRoute("10.0.0.0/24", "192.0.2.9", ClassTransit, 65001),
+		mkRoute("10.0.0.0/24", "192.0.2.5", ClassPrivate, 65002),
+		mkRoute("10.0.0.0/24", "192.0.2.7", ClassPublic, 65003),
+	}
+	SortByPreference(routes, nil)
+	want := []PeerClass{ClassPrivate, ClassPublic, ClassTransit}
+	for i, c := range want {
+		if routes[i].PeerClass != c {
+			t.Errorf("routes[%d].PeerClass = %v, want %v", i, routes[i].PeerClass, c)
+		}
+	}
+}
+
+// Property: Better is a strict weak order — irreflexive and asymmetric —
+// over a set of distinct-neighbor routes, and SelectBest picks a route no
+// other route beats.
+func TestBetterStrictOrderProperty(t *testing.T) {
+	var routes []*Route
+	classes := []PeerClass{ClassPrivate, ClassPublic, ClassRouteServer, ClassTransit}
+	for i := 0; i < 24; i++ {
+		r := mkRoute("10.0.0.0/24",
+			netip.AddrFrom4([4]byte{192, 0, 2, byte(i + 1)}).String(),
+			classes[i%len(classes)],
+			uint32(65000+i%5), uint32(64000+i%3))
+		r.MED = uint32(i * 7 % 40)
+		r.HasMED = i%2 == 0
+		r.Origin = Origin(i % 3)
+		routes = append(routes, r)
+	}
+	for _, a := range routes {
+		if Better(a, a, nil) {
+			t.Fatalf("Better must be irreflexive: %v", a)
+		}
+		for _, b := range routes {
+			if a != b && Better(a, b, nil) && Better(b, a, nil) {
+				t.Fatalf("Better must be asymmetric:\n a=%v\n b=%v", a, b)
+			}
+		}
+	}
+	best := SelectBest(routes, nil)
+	for i, r := range routes {
+		if i != best && Better(r, routes[best], nil) {
+			t.Fatalf("route %d beats SelectBest winner %d", i, best)
+		}
+	}
+}
+
+func TestPolicyImportRejects(t *testing.T) {
+	p := DefaultPolicy()
+	tests := []struct {
+		name string
+		r    *Route
+		want bool
+	}{
+		{"valid", mkRawRoute("10.0.0.0/24", "192.0.2.1"), true},
+		{"loopback", mkRawRoute("127.0.0.0/8", "192.0.2.1"), false},
+		{"multicast", mkRawRoute("224.0.0.0/4", "192.0.2.1"), false},
+		{"invalid prefix", &Route{NextHop: netip.MustParseAddr("192.0.2.1")}, false},
+		{"invalid nexthop", &Route{Prefix: netip.MustParsePrefix("10.0.0.0/24")}, false},
+	}
+	for _, tc := range tests {
+		if got := p.Import(tc.r); got != tc.want {
+			t.Errorf("%s: Import = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+
+	long := mkRawRoute("10.0.0.0/24", "192.0.2.1")
+	long.ASPath = make([]uint32, 65)
+	if p.Import(long) {
+		t.Error("over-long AS path should be rejected")
+	}
+}
+
+func mkRawRoute(prefix, nh string) *Route {
+	return &Route{
+		Prefix:   netip.MustParsePrefix(prefix),
+		NextHop:  netip.MustParseAddr(nh),
+		PeerAddr: netip.MustParseAddr(nh),
+		ASPath:   []uint32{65001},
+	}
+}
+
+func TestPolicyImportAssignsLocalPref(t *testing.T) {
+	p := DefaultPolicy()
+	for class, want := range map[PeerClass]uint32{
+		ClassPrivate:     PrefPrivate,
+		ClassPublic:      PrefPublic,
+		ClassRouteServer: PrefRouteSrv,
+		ClassTransit:     PrefTransit,
+	} {
+		r := mkRawRoute("10.0.0.0/24", "192.0.2.1")
+		r.PeerClass = class
+		if !p.Import(r) {
+			t.Fatalf("class %v rejected", class)
+		}
+		if r.LocalPref != want {
+			t.Errorf("class %v: LocalPref = %d, want %d", class, r.LocalPref, want)
+		}
+	}
+	// iBGP keeps its carried pref.
+	r := mkRawRoute("10.0.0.0/24", "192.0.2.1")
+	r.FromIBGP = true
+	r.LocalPref = 777
+	p.Import(r)
+	if r.LocalPref != 777 {
+		t.Errorf("iBGP LocalPref overwritten: %d", r.LocalPref)
+	}
+}
+
+func TestRouteHelpers(t *testing.T) {
+	r := mkRoute("10.0.0.0/24", "192.0.2.1", ClassPrivate, 65001, 65002, 65003)
+	if r.OriginAS() != 65003 {
+		t.Errorf("OriginAS = %d", r.OriginAS())
+	}
+	if r.NextHopAS() != 65001 {
+		t.Errorf("NextHopAS = %d", r.NextHopAS())
+	}
+	var empty Route
+	if empty.OriginAS() != 0 || empty.NextHopAS() != 0 {
+		t.Error("empty path helpers should return 0")
+	}
+
+	c := r.Clone()
+	c.ASPath[0] = 1
+	if r.ASPath[0] == 1 {
+		t.Error("Clone must deep-copy ASPath")
+	}
+
+	r.Communities = []uint32{Community(65001, 42)}
+	if !r.HasCommunity(Community(65001, 42)) || r.HasCommunity(Community(65001, 43)) {
+		t.Error("HasCommunity mismatch")
+	}
+}
+
+func TestSplitAndParent(t *testing.T) {
+	lo, hi, ok := Split(netip.MustParsePrefix("10.0.0.0/24"))
+	if !ok || lo.String() != "10.0.0.0/25" || hi.String() != "10.0.0.128/25" {
+		t.Errorf("Split v4 = %v %v %v", lo, hi, ok)
+	}
+	lo, hi, ok = Split(netip.MustParsePrefix("2001:db8::/48"))
+	if !ok || lo.String() != "2001:db8::/49" || hi.String() != "2001:db8:0:8000::/49" {
+		t.Errorf("Split v6 = %v %v %v", lo, hi, ok)
+	}
+	if _, _, ok := Split(netip.MustParsePrefix("10.0.0.0/31")); ok {
+		t.Error("/31 should not split")
+	}
+	if _, _, ok := Split(netip.MustParsePrefix("10.0.0.1/32")); ok {
+		t.Error("/32 should not split")
+	}
+
+	for _, tc := range []string{"10.0.0.0/24", "2001:db8::/48", "10.0.0.0/8"} {
+		p := netip.MustParsePrefix(tc)
+		lo, hi, ok := Split(p)
+		if !ok {
+			t.Fatalf("Split(%s) failed", tc)
+		}
+		for _, half := range []netip.Prefix{lo, hi} {
+			parent, ok := Parent(half)
+			if !ok || parent != p {
+				t.Errorf("Parent(%s) = %v, want %s", half, parent, p)
+			}
+			if !p.Contains(half.Addr()) {
+				t.Errorf("half %s not inside %s", half, p)
+			}
+		}
+	}
+	if _, ok := Parent(netip.MustParsePrefix("0.0.0.0/0")); ok {
+		t.Error("default route has no parent")
+	}
+}
+
+func TestRouteString(t *testing.T) {
+	r := mkRoute("10.0.0.0/24", "192.0.2.1", ClassPrivate, 65001)
+	r.MED, r.HasMED = 5, true
+	s := r.String()
+	for _, want := range []string{"10.0.0.0/24", "private", "65001", "med 5"} {
+		if !contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,91 @@
+package rib
+
+import "net/netip"
+
+// Policy is the import policy a peering router applies to routes as they
+// are accepted into the RIB. Its main job, per the Edge Fabric paper, is
+// assigning LOCAL_PREF by peering tier so that the decision process
+// prefers private peers over public peers over route servers over
+// transit, with controller-injected routes above everything.
+//
+// The zero Policy is not useful; use DefaultPolicy.
+type Policy struct {
+	// LocalPref maps each peer class to the LOCAL_PREF assigned on
+	// import. Higher wins in the decision process.
+	LocalPref map[PeerClass]uint32
+	// AlwaysCompareMED, when true, compares MED between routes from
+	// different neighbor ASes (the "always-compare-med" knob). When
+	// false (default, per BGP), MED only breaks ties between routes
+	// from the same neighbor AS.
+	AlwaysCompareMED bool
+	// RejectMartians drops routes for non-global prefixes (loopback,
+	// multicast, etc.) on import.
+	RejectMartians bool
+	// MaxASPathLen drops routes with an implausibly long AS path
+	// (loop/poisoning guard). Zero means no limit.
+	MaxASPathLen int
+}
+
+// Default LOCAL_PREF tiers. The absolute values are arbitrary; only the
+// order matters. The controller tier sits far above the organic tiers so
+// that no policy change can accidentally outrank an override.
+const (
+	PrefController uint32 = 1000
+	PrefPrivate    uint32 = 400
+	PrefPublic     uint32 = 300
+	PrefRouteSrv   uint32 = 200
+	PrefTransit    uint32 = 100
+)
+
+// DefaultPolicy returns the Edge Fabric peering-tier policy.
+func DefaultPolicy() *Policy {
+	return &Policy{
+		LocalPref: map[PeerClass]uint32{
+			ClassController:  PrefController,
+			ClassPrivate:     PrefPrivate,
+			ClassPublic:      PrefPublic,
+			ClassRouteServer: PrefRouteSrv,
+			ClassTransit:     PrefTransit,
+		},
+		RejectMartians: true,
+		MaxASPathLen:   64,
+	}
+}
+
+// Import applies the policy to a route in place and reports whether the
+// route is accepted. Rejected routes must not enter the RIB.
+func (p *Policy) Import(r *Route) bool {
+	if !r.Prefix.IsValid() || !r.NextHop.IsValid() {
+		return false
+	}
+	if p.RejectMartians && !globalUnicast(r.Prefix) {
+		return false
+	}
+	if p.MaxASPathLen > 0 && len(r.ASPath) > p.MaxASPathLen {
+		return false
+	}
+	// iBGP routes (controller injections) carry their own LOCAL_PREF;
+	// everything else gets the tier value.
+	if !r.FromIBGP {
+		if lp, ok := p.LocalPref[r.PeerClass]; ok {
+			r.LocalPref = lp
+		} else {
+			r.LocalPref = PrefTransit
+		}
+	}
+	return true
+}
+
+// globalUnicast reports whether the prefix lies in globally routable
+// unicast space. The simulator uses RFC 1918/ULA space for its synthetic
+// user prefixes, so private space is considered routable here; only
+// clearly invalid destinations (loopback, multicast, link-local,
+// unspecified) are rejected.
+func globalUnicast(p netip.Prefix) bool {
+	a := p.Addr()
+	switch {
+	case a.IsLoopback(), a.IsMulticast(), a.IsLinkLocalUnicast(), a.IsUnspecified():
+		return false
+	}
+	return true
+}

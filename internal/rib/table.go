@@ -1,0 +1,347 @@
+package rib
+
+import (
+	"net/netip"
+	"sync"
+)
+
+// BestChange describes a change to the best route for a prefix, as
+// delivered to a Table's OnBestChange callback. Old and New may each be
+// nil (route appeared / disappeared); they are never both nil.
+type BestChange struct {
+	Prefix netip.Prefix
+	Old    *Route
+	New    *Route
+}
+
+// Table is a concurrency-safe routing table holding every known route
+// per prefix (the union of Adj-RIB-Ins), the best route under the BGP
+// decision process (the Loc-RIB view), and a longest-prefix-match index
+// for forwarding lookups.
+type Table struct {
+	// OnBestChange, if non-nil, is invoked synchronously (with the
+	// table lock held) whenever the best route for a prefix changes.
+	// Callbacks must not call back into the Table. Set before use.
+	OnBestChange func(BestChange)
+
+	mu      sync.RWMutex
+	policy  *Policy
+	entries map[netip.Prefix]*tableEntry
+	// lens tracks which prefix lengths are populated, per family, so
+	// LPM probes only lengths that can match.
+	lens4   [33]int  // count of IPv4 prefixes per bit length
+	lens6   [129]int // count of IPv6 prefixes per bit length
+	version uint64
+}
+
+type tableEntry struct {
+	routes []*Route
+	best   int // index into routes, -1 if empty
+}
+
+// NewTable returns an empty table using the given decision-process
+// configuration. A nil policy uses default MED semantics.
+func NewTable(policy *Policy) *Table {
+	return &Table{policy: policy, entries: make(map[netip.Prefix]*tableEntry)}
+}
+
+// Policy returns the table's decision-process configuration.
+func (t *Table) Policy() *Policy { return t.policy }
+
+// Version reports a counter incremented on every mutation, usable for
+// cheap change detection.
+func (t *Table) Version() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.version
+}
+
+// Len reports the number of prefixes with at least one route.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.entries)
+}
+
+// RouteCount reports the total number of routes across all prefixes.
+func (t *Table) RouteCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := 0
+	for _, e := range t.entries {
+		n += len(e.routes)
+	}
+	return n
+}
+
+// Add inserts or replaces a route. Route identity is (prefix, peer
+// address): a route from the same neighbor for the same prefix replaces
+// the previous one, per BGP implicit-withdraw semantics. Add does not
+// apply import policy; see Accept. It reports whether the best route for
+// the prefix changed. The table takes ownership of r; the caller must
+// not mutate it afterward.
+func (t *Table) Add(r *Route) bool {
+	if r == nil || !r.Prefix.IsValid() {
+		return false
+	}
+	p := r.Prefix.Masked()
+	if p != r.Prefix {
+		r = r.Clone()
+		r.Prefix = p
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.version++
+	e, ok := t.entries[p]
+	if !ok {
+		e = &tableEntry{best: -1}
+		t.entries[p] = e
+		t.lenCount(p, +1)
+	}
+	oldBest := e.bestRoute()
+	replaced := false
+	for i, existing := range e.routes {
+		if existing.PeerAddr == r.PeerAddr {
+			e.routes[i] = r
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		e.routes = append(e.routes, r)
+	}
+	e.best = SelectBest(e.routes, t.policy)
+	return t.finishBest(p, oldBest, e)
+}
+
+// Accept applies the table's import policy to r and, if accepted, adds
+// it. It reports (accepted, bestChanged).
+func (t *Table) Accept(r *Route) (accepted, bestChanged bool) {
+	if t.policy != nil && !t.policy.Import(r) {
+		return false, false
+	}
+	return true, t.Add(r)
+}
+
+// Remove withdraws the route for prefix learned from peer. It reports
+// whether the best route changed.
+func (t *Table) Remove(prefix netip.Prefix, peer netip.Addr) bool {
+	p := prefix.Masked()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[p]
+	if !ok {
+		return false
+	}
+	oldBest := e.bestRoute()
+	found := false
+	for i, r := range e.routes {
+		if r.PeerAddr == peer {
+			e.routes = append(e.routes[:i], e.routes[i+1:]...)
+			found = true
+			break
+		}
+	}
+	if !found {
+		return false
+	}
+	t.version++
+	if len(e.routes) == 0 {
+		delete(t.entries, p)
+		t.lenCount(p, -1)
+		if oldBest != nil && t.OnBestChange != nil {
+			t.OnBestChange(BestChange{Prefix: p, Old: oldBest})
+		}
+		return oldBest != nil
+	}
+	e.best = SelectBest(e.routes, t.policy)
+	return t.finishBest(p, oldBest, e)
+}
+
+// RemovePeer withdraws every route learned from the given neighbor, as
+// when its session goes down. It returns the number of prefixes whose
+// best route changed.
+func (t *Table) RemovePeer(peer netip.Addr) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	changed := 0
+	for p, e := range t.entries {
+		oldBest := e.bestRoute()
+		kept := e.routes[:0]
+		removed := false
+		for _, r := range e.routes {
+			if r.PeerAddr == peer {
+				removed = true
+				continue
+			}
+			kept = append(kept, r)
+		}
+		if !removed {
+			continue
+		}
+		t.version++
+		e.routes = kept
+		if len(e.routes) == 0 {
+			delete(t.entries, p)
+			t.lenCount(p, -1)
+			if oldBest != nil {
+				changed++
+				if t.OnBestChange != nil {
+					t.OnBestChange(BestChange{Prefix: p, Old: oldBest})
+				}
+			}
+			continue
+		}
+		e.best = SelectBest(e.routes, t.policy)
+		if t.finishBest(p, oldBest, e) {
+			changed++
+		}
+	}
+	return changed
+}
+
+func (e *tableEntry) bestRoute() *Route {
+	if e.best < 0 || e.best >= len(e.routes) {
+		return nil
+	}
+	return e.routes[e.best]
+}
+
+// finishBest fires the change callback if needed; the caller holds the
+// write lock.
+func (t *Table) finishBest(p netip.Prefix, oldBest *Route, e *tableEntry) bool {
+	newBest := e.bestRoute()
+	if oldBest == newBest {
+		return false
+	}
+	if t.OnBestChange != nil {
+		t.OnBestChange(BestChange{Prefix: p, Old: oldBest, New: newBest})
+	}
+	return true
+}
+
+func (t *Table) lenCount(p netip.Prefix, d int) {
+	if p.Addr().Is4() {
+		t.lens4[p.Bits()] += d
+	} else {
+		t.lens6[p.Bits()] += d
+	}
+}
+
+// Best returns the best route for exactly the given prefix, or nil.
+func (t *Table) Best(prefix netip.Prefix) *Route {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	e, ok := t.entries[prefix.Masked()]
+	if !ok {
+		return nil
+	}
+	return e.bestRoute()
+}
+
+// Routes returns a copy of the route list for exactly the given prefix,
+// sorted best-first.
+func (t *Table) Routes(prefix netip.Prefix) []*Route {
+	t.mu.RLock()
+	e, ok := t.entries[prefix.Masked()]
+	if !ok {
+		t.mu.RUnlock()
+		return nil
+	}
+	out := append([]*Route(nil), e.routes...)
+	t.mu.RUnlock()
+	SortByPreference(out, t.policy)
+	return out
+}
+
+// Lookup performs a longest-prefix-match forwarding lookup and returns
+// the best route for the most specific covering prefix, or nil.
+func (t *Table) Lookup(addr netip.Addr) *Route {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	e := t.lookupEntry(addr)
+	if e == nil {
+		return nil
+	}
+	return e.bestRoute()
+}
+
+// LookupPrefix returns the most specific prefix in the table covering
+// addr, or the invalid prefix if none.
+func (t *Table) LookupPrefix(addr netip.Addr) netip.Prefix {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	maxBits, lens := t.family(addr)
+	for bits := maxBits; bits >= 0; bits-- {
+		if lens[bits] == 0 {
+			continue
+		}
+		p, err := addr.Prefix(bits)
+		if err != nil {
+			continue
+		}
+		if _, ok := t.entries[p]; ok {
+			return p
+		}
+	}
+	return netip.Prefix{}
+}
+
+func (t *Table) family(addr netip.Addr) (int, []int) {
+	if addr.Is4() {
+		return 32, t.lens4[:]
+	}
+	return 128, t.lens6[:]
+}
+
+func (t *Table) lookupEntry(addr netip.Addr) *tableEntry {
+	maxBits, lens := t.family(addr)
+	for bits := maxBits; bits >= 0; bits-- {
+		if lens[bits] == 0 {
+			continue
+		}
+		p, err := addr.Prefix(bits)
+		if err != nil {
+			continue
+		}
+		if e, ok := t.entries[p]; ok {
+			return e
+		}
+	}
+	return nil
+}
+
+// EachBest calls fn with every prefix and its best route. Iteration
+// order is unspecified. fn must not call back into the Table.
+func (t *Table) EachBest(fn func(netip.Prefix, *Route)) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for p, e := range t.entries {
+		if b := e.bestRoute(); b != nil {
+			fn(p, b)
+		}
+	}
+}
+
+// EachRoutes calls fn with every prefix and its full route slice. The
+// slice must not be mutated or retained. fn must not call back into the
+// Table.
+func (t *Table) EachRoutes(fn func(netip.Prefix, []*Route)) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for p, e := range t.entries {
+		fn(p, e.routes)
+	}
+}
+
+// Prefixes returns all prefixes with at least one route, in unspecified
+// order.
+func (t *Table) Prefixes() []netip.Prefix {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]netip.Prefix, 0, len(t.entries))
+	for p := range t.entries {
+		out = append(out, p)
+	}
+	return out
+}

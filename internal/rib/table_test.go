@@ -1,0 +1,349 @@
+package rib
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableAddBest(t *testing.T) {
+	tab := NewTable(DefaultPolicy())
+	transit := mkRoute("10.1.0.0/24", "192.0.2.2", ClassTransit, 65002)
+	if changed := tab.Add(transit); !changed {
+		t.Error("first route should change best")
+	}
+	if got := tab.Best(netip.MustParsePrefix("10.1.0.0/24")); got != transit {
+		t.Fatalf("Best = %v", got)
+	}
+	private := mkRoute("10.1.0.0/24", "192.0.2.1", ClassPrivate, 65001)
+	if changed := tab.Add(private); !changed {
+		t.Error("better route should change best")
+	}
+	if got := tab.Best(netip.MustParsePrefix("10.1.0.0/24")); got != private {
+		t.Fatalf("Best after private = %v", got)
+	}
+	// A worse route does not change best.
+	public := mkRoute("10.1.0.0/24", "192.0.2.3", ClassPublic, 65003)
+	if changed := tab.Add(public); changed {
+		t.Error("worse route must not change best")
+	}
+	if tab.Len() != 1 || tab.RouteCount() != 3 {
+		t.Errorf("Len=%d RouteCount=%d, want 1/3", tab.Len(), tab.RouteCount())
+	}
+}
+
+func TestTableImplicitWithdraw(t *testing.T) {
+	tab := NewTable(DefaultPolicy())
+	r1 := mkRoute("10.1.0.0/24", "192.0.2.1", ClassPrivate, 65001)
+	tab.Add(r1)
+	// Same peer re-announces with a longer path; replaces, count stays 1.
+	r2 := mkRoute("10.1.0.0/24", "192.0.2.1", ClassPrivate, 65001, 64999)
+	tab.Add(r2)
+	if tab.RouteCount() != 1 {
+		t.Errorf("RouteCount = %d, want 1 (implicit withdraw)", tab.RouteCount())
+	}
+	if got := tab.Best(netip.MustParsePrefix("10.1.0.0/24")); got != r2 {
+		t.Errorf("Best = %v, want replacement", got)
+	}
+}
+
+func TestTableRemove(t *testing.T) {
+	tab := NewTable(DefaultPolicy())
+	p := netip.MustParsePrefix("10.1.0.0/24")
+	private := mkRoute("10.1.0.0/24", "192.0.2.1", ClassPrivate, 65001)
+	transit := mkRoute("10.1.0.0/24", "192.0.2.2", ClassTransit, 65002)
+	tab.Add(private)
+	tab.Add(transit)
+	if changed := tab.Remove(p, private.PeerAddr); !changed {
+		t.Error("removing best should report change")
+	}
+	if got := tab.Best(p); got != transit {
+		t.Errorf("Best after remove = %v", got)
+	}
+	if changed := tab.Remove(p, transit.PeerAddr); !changed {
+		t.Error("removing last route should report change")
+	}
+	if tab.Len() != 0 {
+		t.Errorf("Len = %d after removing all", tab.Len())
+	}
+	if changed := tab.Remove(p, transit.PeerAddr); changed {
+		t.Error("removing absent route must not report change")
+	}
+}
+
+func TestTableRemovePeer(t *testing.T) {
+	tab := NewTable(DefaultPolicy())
+	for i := 0; i < 10; i++ {
+		prefix := fmt.Sprintf("10.%d.0.0/24", i)
+		tab.Add(mkRoute(prefix, "192.0.2.1", ClassPrivate, 65001))
+		tab.Add(mkRoute(prefix, "192.0.2.2", ClassTransit, 65002))
+	}
+	changed := tab.RemovePeer(netip.MustParseAddr("192.0.2.1"))
+	if changed != 10 {
+		t.Errorf("RemovePeer changed %d prefixes, want 10", changed)
+	}
+	if tab.RouteCount() != 10 {
+		t.Errorf("RouteCount = %d, want 10 transit left", tab.RouteCount())
+	}
+	// All bests are now transit.
+	tab.EachBest(func(_ netip.Prefix, r *Route) {
+		if r.PeerClass != ClassTransit {
+			t.Errorf("best after peer removal should be transit, got %v", r.PeerClass)
+		}
+	})
+}
+
+func TestTableLookupLPM(t *testing.T) {
+	tab := NewTable(DefaultPolicy())
+	wide := mkRoute("10.0.0.0/8", "192.0.2.1", ClassTransit, 65001)
+	mid := mkRoute("10.1.0.0/16", "192.0.2.2", ClassTransit, 65002)
+	narrow := mkRoute("10.1.2.0/24", "192.0.2.3", ClassTransit, 65003)
+	tab.Add(wide)
+	tab.Add(mid)
+	tab.Add(narrow)
+
+	tests := []struct {
+		addr string
+		want *Route
+	}{
+		{"10.1.2.3", narrow},
+		{"10.1.9.9", mid},
+		{"10.200.0.1", wide},
+		{"11.0.0.1", nil},
+	}
+	for _, tc := range tests {
+		got := tab.Lookup(netip.MustParseAddr(tc.addr))
+		if got != tc.want {
+			t.Errorf("Lookup(%s) = %v, want %v", tc.addr, got, tc.want)
+		}
+	}
+	if p := tab.LookupPrefix(netip.MustParseAddr("10.1.2.3")); p != narrow.Prefix {
+		t.Errorf("LookupPrefix = %v", p)
+	}
+	if p := tab.LookupPrefix(netip.MustParseAddr("11.0.0.1")); p.IsValid() {
+		t.Errorf("LookupPrefix miss = %v, want invalid", p)
+	}
+}
+
+func TestTableLookupIPv6(t *testing.T) {
+	tab := NewTable(DefaultPolicy())
+	r := &Route{
+		Prefix:    netip.MustParsePrefix("2001:db8::/48"),
+		NextHop:   netip.MustParseAddr("2001:db8:ffff::1"),
+		PeerAddr:  netip.MustParseAddr("2001:db8:ffff::1"),
+		PeerClass: ClassPrivate,
+		ASPath:    []uint32{65001},
+	}
+	if ok, _ := tab.Accept(r); !ok {
+		t.Fatal("v6 route rejected")
+	}
+	if got := tab.Lookup(netip.MustParseAddr("2001:db8::42")); got != r {
+		t.Errorf("v6 Lookup = %v", got)
+	}
+	if got := tab.Lookup(netip.MustParseAddr("2001:db9::42")); got != nil {
+		t.Errorf("v6 Lookup miss = %v", got)
+	}
+}
+
+func TestTableMasksPrefix(t *testing.T) {
+	tab := NewTable(DefaultPolicy())
+	r := mkRoute("10.1.2.3/16", "192.0.2.1", ClassPrivate, 65001)
+	tab.Add(r)
+	if got := tab.Best(netip.MustParsePrefix("10.1.0.0/16")); got == nil {
+		t.Error("unmasked prefix should be stored masked")
+	}
+}
+
+func TestTableOnBestChange(t *testing.T) {
+	tab := NewTable(DefaultPolicy())
+	var events []BestChange
+	tab.OnBestChange = func(c BestChange) { events = append(events, c) }
+
+	transit := mkRoute("10.1.0.0/24", "192.0.2.2", ClassTransit, 65002)
+	private := mkRoute("10.1.0.0/24", "192.0.2.1", ClassPrivate, 65001)
+	tab.Add(transit)                                                 // nil -> transit
+	tab.Add(private)                                                 // transit -> private
+	tab.Add(mkRoute("10.1.0.0/24", "192.0.2.3", ClassPublic, 65003)) // no change
+	tab.Remove(private.Prefix, private.PeerAddr)                     // private -> public
+	tab.RemovePeer(netip.MustParseAddr("192.0.2.3"))                 // public -> transit
+	tab.RemovePeer(netip.MustParseAddr("192.0.2.2"))                 // transit -> nil
+
+	if len(events) != 5 {
+		t.Fatalf("got %d events, want 5: %+v", len(events), events)
+	}
+	if events[0].Old != nil || events[0].New != transit {
+		t.Errorf("event 0 = %+v", events[0])
+	}
+	last := events[len(events)-1]
+	if last.New != nil || last.Old == nil {
+		t.Errorf("final event should be disappearance, got %+v", last)
+	}
+}
+
+func TestTableVersionAdvances(t *testing.T) {
+	tab := NewTable(DefaultPolicy())
+	v0 := tab.Version()
+	tab.Add(mkRoute("10.1.0.0/24", "192.0.2.1", ClassPrivate, 65001))
+	if tab.Version() == v0 {
+		t.Error("Version should advance on Add")
+	}
+}
+
+func TestTableRoutesSorted(t *testing.T) {
+	tab := NewTable(DefaultPolicy())
+	tab.Add(mkRoute("10.1.0.0/24", "192.0.2.9", ClassTransit, 65001))
+	tab.Add(mkRoute("10.1.0.0/24", "192.0.2.5", ClassPrivate, 65002))
+	tab.Add(mkRoute("10.1.0.0/24", "192.0.2.7", ClassPublic, 65003))
+	routes := tab.Routes(netip.MustParsePrefix("10.1.0.0/24"))
+	if len(routes) != 3 {
+		t.Fatalf("Routes len = %d", len(routes))
+	}
+	if routes[0].PeerClass != ClassPrivate || routes[2].PeerClass != ClassTransit {
+		t.Errorf("Routes not preference-sorted: %v %v %v",
+			routes[0].PeerClass, routes[1].PeerClass, routes[2].PeerClass)
+	}
+}
+
+// Property: after any sequence of adds and removes, (a) Best equals
+// SelectBest over the stored routes, (b) Lookup agrees with a brute-force
+// longest-prefix scan.
+func TestTableInvariantsQuick(t *testing.T) {
+	type op struct {
+		Add     bool
+		Prefix  uint8 // selects from a small prefix pool
+		Peer    uint8 // selects from a small peer pool
+		Class   uint8
+		PathLen uint8
+	}
+	prefixes := []netip.Prefix{
+		netip.MustParsePrefix("10.0.0.0/8"),
+		netip.MustParsePrefix("10.1.0.0/16"),
+		netip.MustParsePrefix("10.1.2.0/24"),
+		netip.MustParsePrefix("10.2.0.0/16"),
+		netip.MustParsePrefix("192.168.0.0/24"),
+	}
+	f := func(ops []op) bool {
+		tab := NewTable(DefaultPolicy())
+		shadow := make(map[netip.Prefix][]*Route)
+		for _, o := range ops {
+			p := prefixes[int(o.Prefix)%len(prefixes)]
+			peer := netip.AddrFrom4([4]byte{192, 0, 2, o.Peer%8 + 1})
+			if o.Add {
+				r := &Route{
+					Prefix:    p,
+					NextHop:   peer,
+					PeerAddr:  peer,
+					PeerClass: PeerClass(o.Class%4) + ClassPrivate,
+					ASPath:    make([]uint32, int(o.PathLen%5)+1),
+				}
+				for i := range r.ASPath {
+					r.ASPath[i] = uint32(65000 + i)
+				}
+				if ok, _ := tab.Accept(r.Clone()); ok {
+					rr := r.Clone()
+					DefaultPolicy().Import(rr)
+					list := shadow[p]
+					replaced := false
+					for i, ex := range list {
+						if ex.PeerAddr == peer {
+							list[i] = rr
+							replaced = true
+							break
+						}
+					}
+					if !replaced {
+						list = append(list, rr)
+					}
+					shadow[p] = list
+				}
+			} else {
+				tab.Remove(p, peer)
+				list := shadow[p]
+				for i, ex := range list {
+					if ex.PeerAddr == peer {
+						shadow[p] = append(list[:i], list[i+1:]...)
+						break
+					}
+				}
+				if len(shadow[p]) == 0 {
+					delete(shadow, p)
+				}
+			}
+		}
+		// (a) best agreement
+		for p, list := range shadow {
+			want := list[SelectBest(list, nil)]
+			got := tab.Best(p)
+			if got == nil || got.PeerAddr != want.PeerAddr {
+				return false
+			}
+		}
+		if tab.Len() != len(shadow) {
+			return false
+		}
+		// (b) LPM agreement on a few probe addresses
+		probes := []netip.Addr{
+			netip.MustParseAddr("10.1.2.3"),
+			netip.MustParseAddr("10.1.9.9"),
+			netip.MustParseAddr("10.2.0.1"),
+			netip.MustParseAddr("10.200.0.1"),
+			netip.MustParseAddr("192.168.0.5"),
+			netip.MustParseAddr("172.16.0.1"),
+		}
+		for _, addr := range probes {
+			var bestP netip.Prefix
+			for p := range shadow {
+				if p.Contains(addr) && (!bestP.IsValid() || p.Bits() > bestP.Bits()) {
+					bestP = p
+				}
+			}
+			got := tab.Lookup(addr)
+			if bestP.IsValid() {
+				if got == nil || got.Prefix != bestP {
+					return false
+				}
+			} else if got != nil {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTableAdd(b *testing.B) {
+	tab := NewTable(DefaultPolicy())
+	routes := make([]*Route, 1024)
+	for i := range routes {
+		routes[i] = mkRoute(
+			fmt.Sprintf("10.%d.%d.0/24", i/256, i%256),
+			fmt.Sprintf("192.0.2.%d", i%4+1), ClassPrivate, 65001)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Add(routes[i%len(routes)])
+	}
+}
+
+func BenchmarkTableLookup(b *testing.B) {
+	tab := NewTable(DefaultPolicy())
+	for i := 0; i < 4096; i++ {
+		tab.Add(mkRoute(
+			fmt.Sprintf("10.%d.%d.0/24", i/256, i%256),
+			"192.0.2.1", ClassPrivate, 65001))
+	}
+	addr := netip.MustParseAddr("10.3.7.9")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tab.Lookup(addr) == nil {
+			b.Fatal("lookup miss")
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package sflow
+
+import (
+	"net/netip"
+	"sync"
+	"time"
+)
+
+// PrefixMapper maps a sampled destination address to the routing prefix
+// it belongs to. The controller plugs in the PoP's longest-prefix-match
+// table; tests can use a fixed-length mask.
+type PrefixMapper interface {
+	// MapPrefix returns the prefix covering addr; the invalid prefix
+	// drops the sample.
+	MapPrefix(addr netip.Addr) netip.Prefix
+}
+
+// PrefixMapperFunc adapts a function to PrefixMapper.
+type PrefixMapperFunc func(addr netip.Addr) netip.Prefix
+
+// MapPrefix implements PrefixMapper.
+func (f PrefixMapperFunc) MapPrefix(addr netip.Addr) netip.Prefix { return f(addr) }
+
+// CollectorConfig configures a Collector.
+type CollectorConfig struct {
+	// Mapper maps sampled destinations to prefixes; required.
+	Mapper PrefixMapper
+	// Window is the averaging window. Default 60 s.
+	Window time.Duration
+	// Buckets subdivide the window. Default 6.
+	Buckets int
+	// Now supplies time; nil means time.Now. The simulator injects its
+	// virtual clock.
+	Now func() time.Time
+}
+
+// Collector aggregates sampled flow records into per-prefix egress byte
+// rates over a sliding window — the traffic matrix half of the
+// controller's input. Safe for concurrent use.
+type Collector struct {
+	cfg        CollectorConfig
+	bucketSpan time.Duration
+
+	mu       sync.Mutex
+	buckets  []map[netip.Prefix]float64 // scaled bytes per bucket
+	times    []time.Time                // start time of each bucket
+	cur      int
+	datagram uint64
+	dropped  uint64
+}
+
+// NewCollector returns a Collector for cfg.
+func NewCollector(cfg CollectorConfig) *Collector {
+	if cfg.Window == 0 {
+		cfg.Window = time.Minute
+	}
+	if cfg.Buckets == 0 {
+		cfg.Buckets = 6
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	c := &Collector{
+		cfg:        cfg,
+		bucketSpan: cfg.Window / time.Duration(cfg.Buckets),
+		buckets:    make([]map[netip.Prefix]float64, cfg.Buckets),
+		times:      make([]time.Time, cfg.Buckets),
+	}
+	now := cfg.Now()
+	for i := range c.buckets {
+		c.buckets[i] = make(map[netip.Prefix]float64)
+		c.times[i] = now // all buckets start "now"; rotate() fixes them up
+	}
+	c.times[0] = now
+	return c
+}
+
+// rotate advances the ring so that the current bucket covers now; it
+// must be called with the lock held.
+func (c *Collector) rotate(now time.Time) {
+	for now.Sub(c.times[c.cur]) >= c.bucketSpan {
+		next := (c.cur + 1) % len(c.buckets)
+		c.buckets[next] = make(map[netip.Prefix]float64)
+		c.times[next] = c.times[c.cur].Add(c.bucketSpan)
+		c.cur = next
+		// Guard against a huge time jump: resync rather than spinning
+		// through thousands of rotations.
+		if now.Sub(c.times[c.cur]) >= c.cfg.Window*2 {
+			for i := range c.buckets {
+				c.buckets[i] = make(map[netip.Prefix]float64)
+				c.times[i] = now
+			}
+			c.cur = 0
+			return
+		}
+	}
+}
+
+// SendDatagram implements Sink: decode and ingest an encoded datagram,
+// so a Collector can be wired directly as an Agent's sink in-process.
+func (c *Collector) SendDatagram(b []byte) error {
+	d, err := Decode(b)
+	if err != nil {
+		return err
+	}
+	c.Ingest(d)
+	return nil
+}
+
+// Ingest accumulates all flow records of a decoded datagram.
+func (c *Collector) Ingest(d *Datagram) {
+	now := c.cfg.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rotate(now)
+	c.datagram++
+	for _, s := range d.Samples {
+		scale := float64(s.SamplingRate)
+		for _, r := range s.Records {
+			p := c.cfg.Mapper.MapPrefix(r.Dst)
+			if !p.IsValid() {
+				c.dropped++
+				continue
+			}
+			c.buckets[c.cur][p] += float64(r.FrameLen) * scale
+		}
+	}
+}
+
+// Rates returns the estimated per-prefix egress rates in bits per
+// second, averaged over the portion of the window that has elapsed.
+func (c *Collector) Rates() map[netip.Prefix]float64 {
+	now := c.cfg.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rotate(now)
+	total := make(map[netip.Prefix]float64)
+	var oldest time.Time
+	for i, b := range c.buckets {
+		if len(b) == 0 && c.times[i].IsZero() {
+			continue
+		}
+		if oldest.IsZero() || c.times[i].Before(oldest) {
+			oldest = c.times[i]
+		}
+		for p, bytes := range b {
+			total[p] += bytes
+		}
+	}
+	span := now.Sub(oldest)
+	if span < c.bucketSpan {
+		span = c.bucketSpan
+	}
+	secs := span.Seconds()
+	for p := range total {
+		total[p] = total[p] * 8 / secs
+	}
+	return total
+}
+
+// Rate returns the estimated egress rate for one prefix in bits per
+// second.
+func (c *Collector) Rate(p netip.Prefix) float64 {
+	return c.Rates()[p]
+}
+
+// Stats reports ingested datagrams and dropped (unmappable) records.
+func (c *Collector) Stats() (datagrams, droppedRecords uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.datagram, c.dropped
+}

@@ -1,0 +1,236 @@
+// Package sflow implements an sFlow-v5-style traffic sampling protocol:
+// peering routers sample egress flows at 1-in-N and stream the samples
+// to the Edge Fabric controller, which scales them back up into
+// per-destination-prefix byte rates. The controller's allocator consumes
+// those rates as the demand half of its projection.
+//
+// The datagram layout follows sFlow v5's shape (datagram header, flow
+// samples, flow records) with a single record type carrying the fields
+// the collector needs: destination address, frame length, and egress
+// interface. Sampling error characteristics therefore match a real
+// 1-in-N sampler.
+package sflow
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+
+	"edgefabric/internal/wire"
+)
+
+// Version is the supported datagram version.
+const Version = 5
+
+// MaxDatagramLen bounds one datagram (sFlow rides UDP; this mirrors a
+// typical MTU-bounded limit, generously).
+const MaxDatagramLen = 8192
+
+// Codec errors.
+var (
+	ErrBadVersion = errors.New("sflow: unsupported version")
+	ErrBadFormat  = errors.New("sflow: malformed datagram")
+)
+
+// FlowRecord is one sampled frame: the destination it was headed to, its
+// size, and the egress interface it left through.
+type FlowRecord struct {
+	// Dst is the destination address of the sampled frame.
+	Dst netip.Addr
+	// FrameLen is the original frame length in bytes.
+	FrameLen uint32
+	// EgressIF is the egress interface index.
+	EgressIF uint32
+}
+
+// FlowSample is one flow sample: a set of records taken at a common
+// sampling rate.
+type FlowSample struct {
+	// Seq is the per-source sample sequence number.
+	Seq uint32
+	// SamplingRate is the 1-in-N rate the records were sampled at.
+	SamplingRate uint32
+	// SamplePool is the total number of frames the sampler saw.
+	SamplePool uint32
+	// Records are the sampled frames.
+	Records []FlowRecord
+}
+
+// Datagram is one sFlow datagram from an agent.
+type Datagram struct {
+	// Agent identifies the exporting router.
+	Agent netip.Addr
+	// SubAgent distinguishes exporters within one router.
+	SubAgent uint32
+	// Seq is the datagram sequence number.
+	Seq uint32
+	// UptimeMS is the agent uptime in milliseconds.
+	UptimeMS uint32
+	// Samples are the flow samples.
+	Samples []FlowSample
+}
+
+const (
+	addrTypeIPv4 uint32 = 1
+	addrTypeIPv6 uint32 = 2
+
+	sampleTypeFlow uint32 = 1
+	recordTypeFlow uint32 = 1
+)
+
+// Marshal encodes the datagram into w.
+func Marshal(w *wire.Writer, d *Datagram) error {
+	w.Uint32(Version)
+	if err := encodeAddr(w, d.Agent); err != nil {
+		return err
+	}
+	w.Uint32(d.SubAgent)
+	w.Uint32(d.Seq)
+	w.Uint32(d.UptimeMS)
+	w.Uint32(uint32(len(d.Samples)))
+	for _, s := range d.Samples {
+		w.Uint32(sampleTypeFlow)
+		hole := w.Hole32()
+		w.Uint32(s.Seq)
+		w.Uint32(s.SamplingRate)
+		w.Uint32(s.SamplePool)
+		w.Uint32(uint32(len(s.Records)))
+		for _, r := range s.Records {
+			w.Uint32(recordTypeFlow)
+			rh := w.Hole32()
+			if err := encodeAddr(w, r.Dst); err != nil {
+				return err
+			}
+			w.Uint32(r.FrameLen)
+			w.Uint32(r.EgressIF)
+			rh.Fill(w)
+		}
+		hole.Fill(w)
+	}
+	if w.Len() > MaxDatagramLen {
+		return fmt.Errorf("%w: datagram %d bytes exceeds %d", ErrBadFormat, w.Len(), MaxDatagramLen)
+	}
+	return nil
+}
+
+// MarshalBytes encodes d into a fresh buffer.
+func MarshalBytes(d *Datagram) ([]byte, error) {
+	w := wire.NewWriter(1024)
+	if err := Marshal(w, d); err != nil {
+		return nil, err
+	}
+	return w.Take(), nil
+}
+
+func encodeAddr(w *wire.Writer, a netip.Addr) error {
+	switch {
+	case a.Is4() || a.Is4In6():
+		w.Uint32(addrTypeIPv4)
+		b := a.Unmap().As4()
+		w.Bytes2(b[:])
+	case a.Is6():
+		w.Uint32(addrTypeIPv6)
+		b := a.As16()
+		w.Bytes2(b[:])
+	default:
+		return fmt.Errorf("%w: invalid address", ErrBadFormat)
+	}
+	return nil
+}
+
+func decodeAddr(r *wire.Reader) (netip.Addr, error) {
+	switch t := r.Uint32(); t {
+	case addrTypeIPv4:
+		var a [4]byte
+		copy(a[:], r.Bytes(4))
+		if r.Err() != nil {
+			return netip.Addr{}, r.Err()
+		}
+		return netip.AddrFrom4(a), nil
+	case addrTypeIPv6:
+		var a [16]byte
+		copy(a[:], r.Bytes(16))
+		if r.Err() != nil {
+			return netip.Addr{}, r.Err()
+		}
+		return netip.AddrFrom16(a), nil
+	default:
+		return netip.Addr{}, fmt.Errorf("%w: address type %d", ErrBadFormat, t)
+	}
+}
+
+// Decode decodes one datagram.
+func Decode(b []byte) (*Datagram, error) {
+	if len(b) > MaxDatagramLen {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBadFormat, len(b))
+	}
+	r := wire.NewReader(b)
+	if v := r.Uint32(); v != Version {
+		if r.Err() != nil {
+			return nil, fmt.Errorf("%w: truncated header", ErrBadFormat)
+		}
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	d := &Datagram{}
+	agent, err := decodeAddr(r)
+	if err != nil {
+		return nil, err
+	}
+	d.Agent = agent
+	d.SubAgent = r.Uint32()
+	d.Seq = r.Uint32()
+	d.UptimeMS = r.Uint32()
+	n := int(r.Uint32())
+	if r.Err() != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrBadFormat, r.Err())
+	}
+	if n > MaxDatagramLen/24 {
+		return nil, fmt.Errorf("%w: implausible sample count %d", ErrBadFormat, n)
+	}
+	for i := 0; i < n; i++ {
+		styp := r.Uint32()
+		slen := int(r.Uint32())
+		sr := r.Sub(slen)
+		if r.Err() != nil {
+			return nil, fmt.Errorf("%w: sample %d: %v", ErrBadFormat, i, r.Err())
+		}
+		if styp != sampleTypeFlow {
+			continue // skip unknown sample types, per sFlow practice
+		}
+		var s FlowSample
+		s.Seq = sr.Uint32()
+		s.SamplingRate = sr.Uint32()
+		s.SamplePool = sr.Uint32()
+		nrec := int(sr.Uint32())
+		if sr.Err() != nil {
+			return nil, fmt.Errorf("%w: sample %d header", ErrBadFormat, i)
+		}
+		if nrec > MaxDatagramLen/16 {
+			return nil, fmt.Errorf("%w: implausible record count %d", ErrBadFormat, nrec)
+		}
+		for j := 0; j < nrec; j++ {
+			rtyp := sr.Uint32()
+			rlen := int(sr.Uint32())
+			rr := sr.Sub(rlen)
+			if sr.Err() != nil {
+				return nil, fmt.Errorf("%w: record %d/%d", ErrBadFormat, i, j)
+			}
+			if rtyp != recordTypeFlow {
+				continue
+			}
+			dst, err := decodeAddr(rr)
+			if err != nil {
+				return nil, fmt.Errorf("%w: record %d/%d addr: %v", ErrBadFormat, i, j, err)
+			}
+			rec := FlowRecord{Dst: dst}
+			rec.FrameLen = rr.Uint32()
+			rec.EgressIF = rr.Uint32()
+			if rr.Err() != nil {
+				return nil, fmt.Errorf("%w: record %d/%d body", ErrBadFormat, i, j)
+			}
+			s.Records = append(s.Records, rec)
+		}
+		d.Samples = append(d.Samples, s)
+	}
+	return d, nil
+}

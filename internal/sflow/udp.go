@@ -1,0 +1,61 @@
+package sflow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+)
+
+// UDPSink sends each datagram to a fixed remote address over a packet
+// connection — the transport real sFlow agents use.
+type UDPSink struct {
+	conn  net.PacketConn
+	raddr net.Addr
+}
+
+// NewUDPSink dials raddr ("host:port") and returns a Sink writing each
+// datagram as one UDP packet.
+func NewUDPSink(raddr string) (*UDPSink, error) {
+	addr, err := net.ResolveUDPAddr("udp", raddr)
+	if err != nil {
+		return nil, fmt.Errorf("sflow: resolve %s: %w", raddr, err)
+	}
+	conn, err := net.ListenPacket("udp", ":0")
+	if err != nil {
+		return nil, err
+	}
+	return &UDPSink{conn: conn, raddr: addr}, nil
+}
+
+// SendDatagram implements Sink.
+func (s *UDPSink) SendDatagram(b []byte) error {
+	_, err := s.conn.WriteTo(b, s.raddr)
+	return err
+}
+
+// Close releases the socket.
+func (s *UDPSink) Close() error { return s.conn.Close() }
+
+// ServeUDP ingests datagrams from conn into the collector until ctx ends
+// or the socket fails. The caller owns conn's lifetime on error paths.
+func (c *Collector) ServeUDP(ctx context.Context, conn net.PacketConn) error {
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+	buf := make([]byte, MaxDatagramLen)
+	for {
+		n, _, err := conn.ReadFrom(buf)
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		if err := c.SendDatagram(buf[:n]); err != nil {
+			// A malformed datagram is logged by count, not fatal.
+			c.mu.Lock()
+			c.dropped++
+			c.mu.Unlock()
+		}
+	}
+}

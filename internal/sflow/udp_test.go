@@ -1,0 +1,73 @@
+package sflow
+
+import (
+	"context"
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+func TestUDPSinkToCollector(t *testing.T) {
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector(CollectorConfig{Mapper: fixedMapper{}})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- col.ServeUDP(ctx, conn) }()
+
+	sink, err := NewUDPSink(conn.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	b, err := MarshalBytes(testDatagram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.SendDatagram(b); err != nil {
+		t.Fatal(err)
+	}
+	// Malformed datagram: counted as dropped, not fatal.
+	if err := sink.SendDatagram([]byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if d, _ := col.Stats(); d >= 1 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if d, _ := col.Stats(); d == 0 {
+		t.Fatal("datagram never ingested over UDP")
+	}
+	rates := col.Rates()
+	if len(rates) == 0 {
+		t.Error("no rates after UDP ingest")
+	}
+	p := netip.MustParsePrefix("198.51.100.0/24")
+	if rates[p] == 0 {
+		t.Errorf("rate for %s = 0", p)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("ServeUDP after cancel = %v", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("ServeUDP did not return on cancel")
+	}
+}
+
+func TestNewUDPSinkBadAddr(t *testing.T) {
+	if _, err := NewUDPSink("not-an-addr:::"); err == nil {
+		t.Error("expected resolve error")
+	}
+}

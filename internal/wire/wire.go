@@ -1,0 +1,254 @@
+// Package wire provides small, allocation-free helpers for encoding and
+// decoding binary network protocol messages.
+//
+// The two central types are Reader and Writer. A Reader walks a byte
+// slice with explicit bounds checking: instead of returning an error from
+// every call, it latches the first failure and reports it at the end,
+// which keeps hot-path decoders branch-light (the gopacket
+// DecodingLayerParser style). A Writer appends big-endian fields to a
+// caller-owned buffer so that encoders can reuse buffers across messages.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrShortBuffer is latched by a Reader when a read runs past the end of
+// the underlying slice.
+var ErrShortBuffer = errors.New("wire: short buffer")
+
+// ErrTrailingBytes is returned by Reader.Close when decoding finished
+// with unread bytes remaining.
+var ErrTrailingBytes = errors.New("wire: trailing bytes")
+
+// Reader decodes big-endian fields from a byte slice.
+//
+// All accessors return the zero value once an out-of-bounds read has
+// occurred; the caller checks Err (or Close) exactly once after decoding
+// a message. The zero Reader is empty and immediately in error on any
+// read of nonzero length.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader over buf. The Reader does not copy buf; the
+// caller must not mutate it while decoding.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Reset rearms r over buf, clearing any latched error. It allows a single
+// Reader to be reused across messages without allocation.
+func (r *Reader) Reset(buf []byte) {
+	r.buf = buf
+	r.off = 0
+	r.err = nil
+}
+
+// Err reports the first error latched by a failed read, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Len reports the number of bytes remaining.
+func (r *Reader) Len() int { return len(r.buf) - r.off }
+
+// Offset reports the number of bytes consumed so far.
+func (r *Reader) Offset() int { return r.off }
+
+func (r *Reader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: at offset %d of %d", ErrShortBuffer, r.off, len(r.buf))
+	}
+}
+
+// Uint8 decodes one byte.
+func (r *Reader) Uint8() uint8 {
+	if r.err != nil || r.off+1 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+// Uint16 decodes a big-endian 16-bit field.
+func (r *Reader) Uint16() uint16 {
+	if r.err != nil || r.off+2 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.buf[r.off:])
+	r.off += 2
+	return v
+}
+
+// Uint32 decodes a big-endian 32-bit field.
+func (r *Reader) Uint32() uint32 {
+	if r.err != nil || r.off+4 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+// Uint64 decodes a big-endian 64-bit field.
+func (r *Reader) Uint64() uint64 {
+	if r.err != nil || r.off+8 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+// Bytes returns the next n bytes without copying. The returned slice
+// aliases the Reader's buffer and is valid only as long as the buffer is.
+// It returns nil if fewer than n bytes remain or n is negative.
+func (r *Reader) Bytes(n int) []byte {
+	if r.err != nil || n < 0 || r.off+n > len(r.buf) {
+		r.fail()
+		return nil
+	}
+	v := r.buf[r.off : r.off+n]
+	r.off += n
+	return v
+}
+
+// CopyBytes appends the next n bytes to dst and returns the extended
+// slice, so callers control allocation. On bounds failure dst is
+// returned unchanged.
+func (r *Reader) CopyBytes(dst []byte, n int) []byte {
+	b := r.Bytes(n)
+	if b == nil {
+		return dst
+	}
+	return append(dst, b...)
+}
+
+// Skip discards the next n bytes.
+func (r *Reader) Skip(n int) {
+	if r.err != nil || n < 0 || r.off+n > len(r.buf) {
+		r.fail()
+		return
+	}
+	r.off += n
+}
+
+// Sub returns a Reader over the next n bytes, consuming them from r.
+// Decoding a length-prefixed inner structure with Sub confines the inner
+// decoder to its declared extent.
+func (r *Reader) Sub(n int) *Reader {
+	b := r.Bytes(n)
+	if b == nil {
+		return &Reader{err: r.err}
+	}
+	return &Reader{buf: b}
+}
+
+// Close verifies the message decoded cleanly: no latched bounds error and
+// no unread bytes. Decoders for messages with legitimate trailing data
+// should check Err directly instead.
+func (r *Reader) Close() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("%w: %d of %d bytes unread", ErrTrailingBytes, len(r.buf)-r.off, len(r.buf))
+	}
+	return nil
+}
+
+// Writer appends big-endian fields to a byte slice. The zero Writer is
+// ready to use and grows its buffer on demand; Bytes returns the encoded
+// message. Take with Reset to reuse the underlying array.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a Writer whose buffer has the given initial capacity.
+func NewWriter(capacity int) *Writer {
+	return &Writer{buf: make([]byte, 0, capacity)}
+}
+
+// Reset truncates the Writer to empty, retaining capacity.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
+// Len reports the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Bytes returns the encoded message. The slice aliases the Writer's
+// buffer; it is invalidated by the next write or Reset.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Take returns the encoded message and detaches it from the Writer, which
+// is left empty with no capacity. Use when the message must outlive the
+// Writer.
+func (w *Writer) Take() []byte {
+	b := w.buf
+	w.buf = nil
+	return b
+}
+
+// Uint8 appends one byte.
+func (w *Writer) Uint8(v uint8) { w.buf = append(w.buf, v) }
+
+// Uint16 appends a big-endian 16-bit field.
+func (w *Writer) Uint16(v uint16) { w.buf = binary.BigEndian.AppendUint16(w.buf, v) }
+
+// Uint32 appends a big-endian 32-bit field.
+func (w *Writer) Uint32(v uint32) { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+
+// Uint64 appends a big-endian 64-bit field.
+func (w *Writer) Uint64(v uint64) { w.buf = binary.BigEndian.AppendUint64(w.buf, v) }
+
+// Bytes2 appends raw bytes. (Named to avoid colliding with the Bytes
+// accessor.)
+func (w *Writer) Bytes2(b []byte) { w.buf = append(w.buf, b...) }
+
+// Hole16 reserves a 16-bit length field and returns a token to fill it
+// later with the number of bytes written after the hole. This is the
+// usual pattern for length-prefixed structures whose size is unknown
+// until encoded.
+func (w *Writer) Hole16() Hole16 {
+	off := len(w.buf)
+	w.buf = append(w.buf, 0, 0)
+	return Hole16{off: off}
+}
+
+// Hole16 is a reserved 16-bit length field in a Writer.
+type Hole16 struct{ off int }
+
+// Fill writes the number of bytes appended since the hole was reserved
+// into the hole. It panics if that count exceeds 65535, which indicates a
+// protocol-level encoding bug in the caller.
+func (h Hole16) Fill(w *Writer) {
+	n := len(w.buf) - h.off - 2
+	if n < 0 || n > 0xFFFF {
+		panic(fmt.Sprintf("wire: Hole16.Fill: length %d out of range", n))
+	}
+	binary.BigEndian.PutUint16(w.buf[h.off:], uint16(n))
+}
+
+// Hole32 reserves a 32-bit length field, as Hole16 does for 16 bits.
+func (w *Writer) Hole32() Hole32 {
+	off := len(w.buf)
+	w.buf = append(w.buf, 0, 0, 0, 0)
+	return Hole32{off: off}
+}
+
+// Hole32 is a reserved 32-bit length field in a Writer.
+type Hole32 struct{ off int }
+
+// Fill writes the number of bytes appended since the hole was reserved.
+func (h Hole32) Fill(w *Writer) {
+	n := len(w.buf) - h.off - 4
+	if n < 0 {
+		panic("wire: Hole32.Fill: negative length")
+	}
+	binary.BigEndian.PutUint32(w.buf[h.off:], uint32(n))
+}

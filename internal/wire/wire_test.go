@@ -1,0 +1,261 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestReaderScalars(t *testing.T) {
+	w := NewWriter(32)
+	w.Uint8(0xAB)
+	w.Uint16(0xCDEF)
+	w.Uint32(0x01020304)
+	w.Uint64(0x1122334455667788)
+	r := NewReader(w.Bytes())
+	if got := r.Uint8(); got != 0xAB {
+		t.Errorf("Uint8 = %#x, want 0xAB", got)
+	}
+	if got := r.Uint16(); got != 0xCDEF {
+		t.Errorf("Uint16 = %#x, want 0xCDEF", got)
+	}
+	if got := r.Uint32(); got != 0x01020304 {
+		t.Errorf("Uint32 = %#x", got)
+	}
+	if got := r.Uint64(); got != 0x1122334455667788 {
+		t.Errorf("Uint64 = %#x", got)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestReaderShortBuffer(t *testing.T) {
+	r := NewReader([]byte{0x01})
+	if got := r.Uint32(); got != 0 {
+		t.Errorf("Uint32 on short buffer = %d, want 0", got)
+	}
+	if !errors.Is(r.Err(), ErrShortBuffer) {
+		t.Errorf("Err = %v, want ErrShortBuffer", r.Err())
+	}
+	// Subsequent reads stay at zero and keep the first error.
+	first := r.Err()
+	_ = r.Uint64()
+	if r.Err() != first { //nolint:errorlint // identity check intended
+		t.Errorf("error not latched: %v vs %v", r.Err(), first)
+	}
+}
+
+func TestReaderTrailingBytes(t *testing.T) {
+	r := NewReader([]byte{1, 2, 3})
+	r.Uint8()
+	if err := r.Close(); !errors.Is(err, ErrTrailingBytes) {
+		t.Errorf("Close = %v, want ErrTrailingBytes", err)
+	}
+}
+
+func TestReaderBytesAliasing(t *testing.T) {
+	buf := []byte{1, 2, 3, 4}
+	r := NewReader(buf)
+	b := r.Bytes(2)
+	if &b[0] != &buf[0] {
+		t.Error("Bytes should alias the underlying buffer")
+	}
+	got := r.CopyBytes(nil, 2)
+	if !bytes.Equal(got, []byte{3, 4}) {
+		t.Errorf("CopyBytes = %v", got)
+	}
+	if &got[0] == &buf[2] {
+		t.Error("CopyBytes must copy, not alias")
+	}
+}
+
+func TestReaderNegativeLengths(t *testing.T) {
+	r := NewReader([]byte{1, 2, 3})
+	if b := r.Bytes(-1); b != nil {
+		t.Errorf("Bytes(-1) = %v, want nil", b)
+	}
+	r.Reset([]byte{1, 2, 3})
+	r.Skip(-5)
+	if !errors.Is(r.Err(), ErrShortBuffer) {
+		t.Errorf("Skip(-5) err = %v", r.Err())
+	}
+}
+
+func TestReaderSub(t *testing.T) {
+	r := NewReader([]byte{0, 2, 9, 8, 7})
+	n := int(r.Uint16())
+	sub := r.Sub(n)
+	if got := sub.Uint8(); got != 9 {
+		t.Errorf("sub.Uint8 = %d", got)
+	}
+	if got := sub.Uint8(); got != 8 {
+		t.Errorf("sub.Uint8 = %d", got)
+	}
+	if err := sub.Close(); err != nil {
+		t.Errorf("sub.Close: %v", err)
+	}
+	if got := r.Uint8(); got != 7 {
+		t.Errorf("outer reader resumed at %d, want 7", got)
+	}
+	if err := r.Close(); err != nil {
+		t.Errorf("outer Close: %v", err)
+	}
+}
+
+func TestReaderSubPropagatesError(t *testing.T) {
+	r := NewReader([]byte{1})
+	sub := r.Sub(4)
+	if sub.Err() == nil {
+		t.Error("Sub past end should carry an error")
+	}
+	_ = sub.Uint8()
+	if !errors.Is(sub.Err(), ErrShortBuffer) {
+		t.Errorf("sub err = %v", sub.Err())
+	}
+}
+
+func TestReaderReset(t *testing.T) {
+	r := NewReader([]byte{1})
+	_ = r.Uint32()
+	if r.Err() == nil {
+		t.Fatal("expected error before reset")
+	}
+	r.Reset([]byte{0, 0, 0, 7})
+	if got := r.Uint32(); got != 7 || r.Err() != nil {
+		t.Errorf("after Reset: got %d err %v", got, r.Err())
+	}
+}
+
+func TestWriterHole16(t *testing.T) {
+	w := NewWriter(16)
+	w.Uint8(0xFF)
+	h := w.Hole16()
+	w.Uint32(0xDEADBEEF)
+	w.Uint8(1)
+	h.Fill(w)
+	r := NewReader(w.Bytes())
+	r.Uint8()
+	if n := r.Uint16(); n != 5 {
+		t.Errorf("hole filled with %d, want 5", n)
+	}
+}
+
+func TestWriterHole32(t *testing.T) {
+	w := NewWriter(16)
+	h := w.Hole32()
+	w.Bytes2(make([]byte, 10))
+	h.Fill(w)
+	r := NewReader(w.Bytes())
+	if n := r.Uint32(); n != 10 {
+		t.Errorf("hole filled with %d, want 10", n)
+	}
+}
+
+func TestWriterTake(t *testing.T) {
+	w := NewWriter(8)
+	w.Uint16(42)
+	b := w.Take()
+	w.Uint16(99) // must not clobber b
+	if len(b) != 2 || b[0] != 0 || b[1] != 42 {
+		t.Errorf("Take returned %v", b)
+	}
+}
+
+func TestZeroWriter(t *testing.T) {
+	var w Writer
+	w.Uint32(5)
+	if w.Len() != 4 {
+		t.Errorf("zero Writer Len = %d", w.Len())
+	}
+}
+
+// Property: any sequence of scalar writes reads back identically.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(a uint8, b uint16, c uint32, d uint64, raw []byte) bool {
+		w := NewWriter(0)
+		w.Uint8(a)
+		w.Uint16(b)
+		w.Uint32(c)
+		w.Uint64(d)
+		w.Uint16(uint16(len(raw) & 0xFFFF))
+		trimmed := raw
+		if len(trimmed) > 0xFFFF {
+			trimmed = trimmed[:0xFFFF]
+		}
+		w.Bytes2(trimmed)
+		r := NewReader(w.Bytes())
+		if r.Uint8() != a || r.Uint16() != b || r.Uint32() != c || r.Uint64() != d {
+			return false
+		}
+		n := int(r.Uint16())
+		got := r.Bytes(n)
+		return bytes.Equal(got, trimmed) && r.Close() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a Reader never panics and never reads past the end, whatever
+// the operation sequence.
+func TestQuickReaderBounds(t *testing.T) {
+	f := func(buf []byte, ops []uint8) bool {
+		r := NewReader(buf)
+		for _, op := range ops {
+			switch op % 7 {
+			case 0:
+				r.Uint8()
+			case 1:
+				r.Uint16()
+			case 2:
+				r.Uint32()
+			case 3:
+				r.Uint64()
+			case 4:
+				r.Bytes(int(op))
+			case 5:
+				r.Skip(int(op) - 3)
+			case 6:
+				r.Sub(int(op) / 2).Uint16()
+			}
+			if r.Offset() > len(buf) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkReaderDecode(b *testing.B) {
+	w := NewWriter(64)
+	for i := 0; i < 8; i++ {
+		w.Uint64(uint64(i))
+	}
+	buf := w.Bytes()
+	var r Reader
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Reset(buf)
+		var sum uint64
+		for r.Len() >= 8 {
+			sum += r.Uint64()
+		}
+		_ = sum
+	}
+}
+
+func BenchmarkWriterEncode(b *testing.B) {
+	w := NewWriter(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Reset()
+		for j := 0; j < 8; j++ {
+			w.Uint64(uint64(j))
+		}
+	}
+}

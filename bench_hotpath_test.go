@@ -1,0 +1,151 @@
+package edgefabric_bench
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+
+	"edgefabric/internal/core"
+	"edgefabric/internal/rib"
+)
+
+// Cycle hot-path micro-benchmarks: projection over a realistic table,
+// the RIB's sorted-route read path, and a full steady-state controller
+// cycle. These intentionally use only the stable public surface
+// (core.Project, rib.Table, core.Controller) so the same file can be
+// dropped onto an older checkout to produce before/after numbers.
+
+// hotRoute builds an imported route; class and preference vary with the
+// peer ordinal so every prefix has a mix of tiers to sort.
+func hotRoute(prefix netip.Prefix, peerOrd, egressIF int) *rib.Route {
+	r := &rib.Route{
+		Prefix:    prefix,
+		NextHop:   netip.AddrFrom4([4]byte{172, 20, byte(peerOrd >> 8), byte(peerOrd)}),
+		PeerAddr:  netip.AddrFrom4([4]byte{172, 20, byte(peerOrd >> 8), byte(peerOrd)}),
+		PeerAS:    uint32(65000 + peerOrd),
+		PeerClass: rib.PeerClass(peerOrd%4) + rib.ClassPrivate,
+		EgressIF:  egressIF,
+		ASPath:    []uint32{uint32(65000 + peerOrd), 64512},
+	}
+	rib.DefaultPolicy().Import(r)
+	return r
+}
+
+// hotTable fills a table with nPrefixes /24s, routesPer routes each,
+// spread over nIFs egress interfaces, and returns it with a demand map
+// covering every prefix.
+func hotTable(nPrefixes, routesPer, nIFs int) (*rib.Table, map[netip.Prefix]float64) {
+	tab := rib.NewTable(rib.DefaultPolicy())
+	demand := make(map[netip.Prefix]float64, nPrefixes)
+	for i := 0; i < nPrefixes; i++ {
+		p := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i >> 8), byte(i), 0}), 24)
+		for j := 0; j < routesPer; j++ {
+			ord := (i + j) % (nIFs * 2)
+			tab.Add(hotRoute(p, ord, ord%nIFs))
+		}
+		demand[p] = float64(100+i%900) * 1e6
+	}
+	return tab, demand
+}
+
+// BenchmarkProject50k measures one projection pass over 50k prefixes
+// with 8 routes each — the per-cycle cost of turning demand plus the
+// RIB into per-interface load and per-prefix plans.
+func BenchmarkProject50k(b *testing.B) {
+	tab, demand := hotTable(50_000, 8, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var proj *core.Projection
+	for i := 0; i < b.N; i++ {
+		proj = core.Project(tab, demand)
+	}
+	if len(proj.Plans) != 50_000 {
+		b.Fatalf("projection covered %d prefixes", len(proj.Plans))
+	}
+}
+
+// BenchmarkTableRoutesSorted measures the preference-ordered route read
+// for one prefix with 16 routes — the RIB read underlying every plan.
+func BenchmarkTableRoutesSorted(b *testing.B) {
+	tab, _ := hotTable(64, 16, 16)
+	p := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, 0, 7, 0}), 24)
+	if got := len(tab.Routes(p)); got != 16 {
+		b.Fatalf("seed prefix has %d routes", got)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		routes := tab.Routes(p)
+		if routes[0] == nil {
+			b.Fatal("no best route")
+		}
+	}
+}
+
+// staticRates is a fixed-demand TrafficSource for controller benchmarks.
+type staticRates map[netip.Prefix]float64
+
+func (s staticRates) Rates() map[netip.Prefix]float64 { return s }
+
+// BenchmarkRunCycleSteadyState measures a full controller cycle —
+// measure, project, allocate, sync — in the common steady state where
+// nothing is overloaded and the override set is empty.
+func BenchmarkRunCycleSteadyState(b *testing.B) {
+	const nIFs = 16
+	tab, demand := hotTable(5_000, 4, nIFs)
+
+	var peers []core.PeerInfo
+	var ifaces []core.InterfaceInfo
+	for i := 0; i < nIFs*2; i++ {
+		peers = append(peers, core.PeerInfo{
+			Name:        fmt.Sprintf("peer-%d", i),
+			Addr:        netip.AddrFrom4([4]byte{172, 20, byte(i >> 8), byte(i)}),
+			AS:          uint32(65000 + i),
+			Class:       rib.PeerClass(i%4) + rib.ClassPrivate,
+			InterfaceID: i % nIFs,
+			Router:      "pr1",
+		})
+	}
+	for i := 0; i < nIFs; i++ {
+		// Generous capacity: projected utilization stays far below the
+		// allocator threshold, so cycles produce zero overrides.
+		ifaces = append(ifaces, core.InterfaceInfo{
+			ID: i, Name: fmt.Sprintf("if%d", i), CapacityBps: 1e12, Router: "pr1",
+		})
+	}
+	inv, err := core.NewInventory(peers, ifaces)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctrl, err := core.New(core.Config{
+		Inventory: inv,
+		Traffic:   staticRates(demand),
+		Allocator: core.AllocatorConfig{Threshold: 0.95},
+		LocalAS:   64512,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(ctrl.Close)
+
+	// The controller's store is fed by BMP in production; load it
+	// directly here.
+	for _, p := range tab.Prefixes() {
+		for _, r := range tab.Routes(p) {
+			ctrl.Store().Table().Add(r)
+		}
+	}
+	if rep, err := ctrl.RunCycle(); err != nil {
+		b.Fatal(err)
+	} else if len(rep.Overrides) != 0 {
+		b.Fatalf("steady-state scenario produced %d overrides", len(rep.Overrides))
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctrl.RunCycle(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -224,7 +224,7 @@ func AllocateSticky(proj *Projection, inv *Inventory, cfg AllocatorConfig, prior
 		for p := range prior {
 			keys = append(keys, p)
 		}
-		sort.Slice(keys, func(a, b int) bool { return keys[a].String() < keys[b].String() })
+		rib.SortPrefixes(keys)
 		for _, prefix := range keys {
 			old := prior[prefix]
 			// A split override is keyed by the more-specific half; its
@@ -315,8 +315,8 @@ func AllocateSticky(proj *Projection, inv *Inventory, cfg AllocatorConfig, prior
 				return cands[a].plan.RateBps > cands[b].plan.RateBps
 			})
 		case SelectRandom:
-			// PrefixesOnInterface order is stable by prefix string —
-			// arbitrary with respect to rate and alternatives.
+			// PrefixesOnInterface order is stable by prefix — arbitrary
+			// with respect to rate and alternatives.
 		default: // SelectBestAlternative
 			sort.SliceStable(cands, func(a, b int) bool {
 				da, db := cands[a].detour, cands[b].detour

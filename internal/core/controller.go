@@ -42,6 +42,13 @@ type Config struct {
 	// win conflicts: contributions for prefixes already overridden are
 	// dropped.
 	ExtraOverrides func(proj *Projection, alloc *AllocResult) []Override
+	// ProjectionEpsilon is the relative per-prefix demand change below
+	// which the cross-cycle plan cache reuses the previous cycle's plan
+	// (and its demand figure) verbatim. Zero reuses plans only when a
+	// prefix's routes and exact demand are unchanged. See Projector.
+	ProjectionEpsilon float64
+	// ProjectionWorkers caps projection fan-out; 0 uses GOMAXPROCS.
+	ProjectionWorkers int
 	// Logf, when set, receives one-line log events.
 	Logf func(format string, args ...any)
 }
@@ -71,10 +78,11 @@ type CycleReport struct {
 // Controller is the per-PoP Edge Fabric control loop, assembling the
 // route store, traffic source, projection, allocator, and injector.
 type Controller struct {
-	cfg      Config
-	store    *RouteStore
-	injector *Injector
-	registry *metrics.Registry
+	cfg       Config
+	store     *RouteStore
+	injector  *Injector
+	registry  *metrics.Registry
+	projector Projector
 
 	collector *bmp.Collector
 	bmpWG     sync.WaitGroup
@@ -125,6 +133,7 @@ func New(cfg Config) (*Controller, error) {
 		store:     store,
 		injector:  inj,
 		registry:  cfg.Metrics,
+		projector: Projector{Epsilon: cfg.ProjectionEpsilon, Workers: cfg.ProjectionWorkers},
 		collector: &bmp.Collector{Handler: store, Logf: cfg.Logf},
 		bmpCtx:    ctx,
 		bmpStop:   cancel,
@@ -157,30 +166,29 @@ func (c *Controller) AddInjectionSession(routerAddr netip.Addr, conn net.Conn) e
 }
 
 // WaitReady blocks until all injection sessions are established and the
-// route store holds at least minRoutes routes.
+// route store holds at least minRoutes routes. The route wait is
+// event-driven (woken by table mutations), not a poll.
 func (c *Controller) WaitReady(ctx context.Context, minRoutes int) error {
 	if err := c.injector.WaitEstablished(ctx); err != nil {
 		return err
 	}
-	for c.store.Table().RouteCount() < minRoutes {
-		select {
-		case <-ctx.Done():
-			return fmt.Errorf("core: %d/%d routes collected: %w",
-				c.store.Table().RouteCount(), minRoutes, ctx.Err())
-		case <-time.After(5 * time.Millisecond):
-		}
+	if err := c.store.Table().WaitRouteCount(ctx, minRoutes); err != nil {
+		return fmt.Errorf("core: %d/%d routes collected: %w",
+			c.store.Table().RouteCount(), minRoutes, err)
 	}
 	return nil
 }
 
 // RunCycle executes one full control cycle: measure, project, allocate,
-// inject. It returns the cycle's report.
+// inject. It returns the cycle's report. RunCycle must not be invoked
+// concurrently with itself (the projector's plan cache is unguarded);
+// Run and the simulation harnesses drive it from one goroutine.
 func (c *Controller) RunCycle() (*CycleReport, error) {
 	started := time.Now()
 	now := c.cfg.Now()
 
 	demand := c.cfg.Traffic.Rates()
-	proj := Project(c.store.Table(), demand)
+	proj := c.projector.Project(c.store.Table(), demand)
 	alloc := AllocateSticky(proj, c.cfg.Inventory, c.cfg.Allocator, c.injector.Installed())
 	overrides := alloc.Overrides
 	detoured := alloc.DetouredBps

@@ -38,6 +38,9 @@ type Injector struct {
 
 	mu        sync.Mutex
 	installed map[netip.Prefix]Override
+	// view is the cached snapshot handed out by Installed; nil when a
+	// Sync has changed installed since the last snapshot was built.
+	view map[netip.Prefix]Override
 }
 
 // NewInjector returns an Injector; wire routers with AddRouter.
@@ -83,15 +86,20 @@ func (inj *Injector) WaitEstablished(ctx context.Context) error {
 	return nil
 }
 
-// Installed returns a copy of the currently-announced override set.
+// Installed returns a snapshot of the currently-announced override set.
+// The snapshot is cached and shared between callers until the next Sync
+// changes something, so steady-state cycles don't rebuild it; callers
+// must not modify the returned map.
 func (inj *Injector) Installed() map[netip.Prefix]Override {
 	inj.mu.Lock()
 	defer inj.mu.Unlock()
-	out := make(map[netip.Prefix]Override, len(inj.installed))
-	for k, v := range inj.installed {
-		out[k] = v
+	if inj.view == nil {
+		inj.view = make(map[netip.Prefix]Override, len(inj.installed))
+		for k, v := range inj.installed {
+			inj.view[k] = v
+		}
 	}
-	return out
+	return inj.view
 }
 
 // batchSize bounds prefixes per UPDATE; conservative against the 4 KiB
@@ -159,6 +167,9 @@ func (inj *Injector) Sync(desired []Override) (announced, withdrawn int, err err
 		delete(inj.installed, prefix)
 		withdrawn++
 	}
+	if withdrawn > 0 {
+		inj.view = nil
+	}
 
 	// Announce new/changed.
 	var additions []Override
@@ -176,6 +187,9 @@ func (inj *Injector) Sync(desired []Override) (announced, withdrawn int, err err
 	for _, o := range additions {
 		inj.installed[o.Prefix] = o
 		announced++
+	}
+	if announced > 0 {
+		inj.view = nil
 	}
 	return announced, withdrawn, nil
 }
@@ -202,7 +216,7 @@ func announceUpdates(overrides []Override) []*bgp.Update {
 	var updates []*bgp.Update
 	for _, k := range order {
 		g := groups[k]
-		sort.Slice(g, func(a, b int) bool { return g[a].Prefix.String() < g[b].Prefix.String() })
+		sort.Slice(g, func(a, b int) bool { return rib.ComparePrefixes(g[a].Prefix, g[b].Prefix) < 0 })
 		for i := 0; i < len(g); i += batchSize {
 			end := min(i+batchSize, len(g))
 			chunk := g[i:end]
@@ -265,9 +279,7 @@ func withdrawUpdates(prefixes []netip.Prefix) []*bgp.Update {
 	return updates
 }
 
-func sortPrefixes(ps []netip.Prefix) {
-	sort.Slice(ps, func(a, b int) bool { return ps[a].String() < ps[b].String() })
-}
+func sortPrefixes(ps []netip.Prefix) { rib.SortPrefixes(ps) }
 
 // Close drops all injection sessions; the routers withdraw every
 // injected route (fail-safe to BGP policy).

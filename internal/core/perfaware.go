@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"net/netip"
 	"sort"
 
 	"edgefabric/internal/altpath"
@@ -55,12 +56,12 @@ func PerfAllocate(
 	for id, bps := range proj.IfLoadBps {
 		load[id] = bps
 	}
-	movedAlready := make(map[string]bool)
+	movedAlready := make(map[netip.Prefix]bool)
 	if prior != nil {
 		for _, o := range prior.Overrides {
 			load[o.FromIF] -= o.RateBps
 			load[o.ToIF] += o.RateBps
-			movedAlready[o.Prefix.String()] = true
+			movedAlready[o.Prefix] = true
 		}
 	}
 
@@ -74,7 +75,7 @@ func PerfAllocate(
 		if rep.BestAlt == nil || rep.GapMS < cfg.MinGainMS {
 			break // sorted: no further report qualifies
 		}
-		if movedAlready[rep.Prefix.String()] {
+		if movedAlready[rep.Prefix] {
 			continue
 		}
 		if rep.Paths[0].N < cfg.MinSamples || rep.BestAlt.N < cfg.MinSamples {

@@ -2,7 +2,9 @@ package core
 
 import (
 	"net/netip"
+	"runtime"
 	"sort"
+	"sync"
 
 	"edgefabric/internal/rib"
 )
@@ -17,7 +19,8 @@ type TrafficSource interface {
 
 // PrefixPlan is the projection's view of one prefix: its demand, the
 // route BGP would pick absent overrides, and the preference-ordered
-// alternates.
+// alternates. Preferred and Alternates may share the route store's
+// internal copy-on-write slices; treat them as read-only.
 type PrefixPlan struct {
 	Prefix netip.Prefix
 	// RateBps is the measured demand.
@@ -38,6 +41,10 @@ type PrefixPlan struct {
 // demand that motivated an override would vanish from the overloaded
 // interface's projection one cycle later, the override would be
 // withdrawn, and the system would oscillate.
+//
+// A Projection is built once per cycle and then read by the allocator;
+// it is not safe for concurrent use (PrefixesOnInterface sorts its
+// per-interface index lazily).
 type Projection struct {
 	// IfLoadBps is projected offered load per interface ID.
 	IfLoadBps map[int]float64
@@ -45,40 +52,274 @@ type Projection struct {
 	Plans map[netip.Prefix]*PrefixPlan
 	// UnroutedBps is demand for prefixes with no organic route.
 	UnroutedBps float64
+
+	// byIF indexes plans by preferred egress interface, built during
+	// projection so the allocator's repeated PrefixesOnInterface calls
+	// don't rescan every plan. Lists are sorted lazily on first access;
+	// ifSorted records which already are.
+	byIF     map[int][]*PrefixPlan
+	ifSorted map[int]bool
+}
+
+// projectParallelMin is the demanded-prefix count below which projection
+// runs on a single goroutine; under it, fan-out overhead dominates any
+// sharding win. Overridable in tests to force the parallel path.
+var projectParallelMin = 4096
+
+// Projector builds Projections and carries the cross-cycle plan cache:
+// a PrefixPlan is reused verbatim when the prefix's route-table
+// generation is unchanged and its demand moved by no more than Epsilon,
+// so steady-state cycles recompute only the churn. The zero value is
+// ready to use. A Projector is not safe for concurrent use; the
+// controller owns one per control loop.
+type Projector struct {
+	// Epsilon is the relative per-prefix demand change below which a
+	// cached plan (including its demand figure) is reused verbatim.
+	// Zero reuses plans only when routes and exact demand are
+	// unchanged; route changes always force recomputation.
+	Epsilon float64
+	// Workers caps the projection fan-out. 0 means GOMAXPROCS.
+	Workers int
+
+	// nocache drops cross-cycle caching: the one-shot Project uses it
+	// to skip cache bookkeeping that a discarded Projector never reads.
+	nocache bool
+
+	seq     uint64
+	cache   map[netip.Prefix]cachedPlan
+	views   []rib.RouteView
+	scratch []netip.Prefix
+	rates   []float64
+}
+
+type cachedPlan struct {
+	plan *PrefixPlan
+	gen  uint64 // table generation the plan was computed at
+	seq  uint64 // last projection cycle the plan was used
+}
+
+// planned pairs a computed plan with the route generation backing it,
+// so the merge phase can refresh the cache.
+type planned struct {
+	plan *PrefixPlan
+	gen  uint64
+}
+
+// projShard accumulates one worker's share of the projection.
+type projShard struct {
+	planned  []planned
+	ifLoad   map[int]float64
+	unrouted float64
+	alloc    planChunk
+}
+
+// planChunk hands out PrefixPlans from fixed-size blocks, trading one
+// allocation per chunkSize plans for the per-plan allocation a naive
+// &PrefixPlan{} would cost. Blocks never move, so handed-out pointers
+// stay valid.
+type planChunk struct {
+	block []PrefixPlan
+}
+
+const planChunkSize = 512
+
+func (a *planChunk) new() *PrefixPlan {
+	if len(a.block) == 0 {
+		a.block = make([]PrefixPlan, planChunkSize)
+	}
+	p := &a.block[0]
+	a.block = a.block[1:]
+	return p
 }
 
 // Project builds a Projection from the route store and a demand
-// snapshot.
+// snapshot: a one-shot projection with no cross-cycle cache. The
+// controller uses a persistent Projector instead.
 func Project(routes *rib.Table, demand map[netip.Prefix]float64) *Projection {
+	pj := Projector{nocache: true}
+	return pj.Project(routes, demand)
+}
+
+// Project builds the cycle's Projection. The route table is read under
+// a single bulk snapshot (one read-lock acquisition), the demand map is
+// sharded across workers, and unchanged prefixes are served from the
+// plan cache.
+func (pj *Projector) Project(routes *rib.Table, demand map[netip.Prefix]float64) *Projection {
+	pj.seq++
+	if pj.cache == nil && !pj.nocache {
+		pj.cache = make(map[netip.Prefix]cachedPlan)
+	}
+
+	prefixes, rates := pj.scratch[:0], pj.rates[:0]
+	for p, bps := range demand {
+		if bps > 0 {
+			prefixes = append(prefixes, p)
+			rates = append(rates, bps)
+		}
+	}
+	pj.scratch, pj.rates = prefixes, rates
+
+	views := routes.SnapshotRoutesInto(prefixes, pj.views)
+	pj.views = views
+
+	workers := pj.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if len(prefixes) < projectParallelMin {
+		workers = 1
+	}
+	if workers > len(prefixes) {
+		workers = 1
+	}
+
+	shards := make([]projShard, workers)
+	if workers == 1 {
+		pj.projectShard(&shards[0], prefixes, rates, views)
+	} else {
+		var wg sync.WaitGroup
+		chunk := (len(prefixes) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := min(lo+chunk, len(prefixes))
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(s *projShard, lo, hi int) {
+				defer wg.Done()
+				pj.projectShard(s, prefixes[lo:hi], rates[lo:hi], views[lo:hi])
+			}(&shards[w], lo, hi)
+		}
+		wg.Wait()
+	}
+
 	proj := &Projection{
 		IfLoadBps: make(map[int]float64),
-		Plans:     make(map[netip.Prefix]*PrefixPlan, len(demand)),
+		Plans:     make(map[netip.Prefix]*PrefixPlan, len(prefixes)),
+		byIF:      make(map[int][]*PrefixPlan),
+		ifSorted:  make(map[int]bool),
 	}
-	for prefix, bps := range demand {
-		if bps <= 0 {
+	// Merge in shard order so the result is deterministic for a given
+	// shard partition.
+	for i := range shards {
+		s := &shards[i]
+		proj.UnroutedBps += s.unrouted
+		for id, bps := range s.ifLoad {
+			proj.IfLoadBps[id] += bps
+		}
+		for _, pp := range s.planned {
+			proj.Plans[pp.plan.Prefix] = pp.plan
+			ifID := pp.plan.Preferred.EgressIF
+			proj.byIF[ifID] = append(proj.byIF[ifID], pp.plan)
+			if !pj.nocache {
+				pj.cache[pp.plan.Prefix] = cachedPlan{plan: pp.plan, gen: pp.gen, seq: pj.seq}
+			}
+		}
+	}
+	// Evict plans whose prefixes stopped appearing in demand, amortized:
+	// only sweep once the cache has grown well past the live set.
+	if len(pj.cache) > 2*len(proj.Plans)+1024 {
+		for p, c := range pj.cache {
+			if c.seq != pj.seq {
+				delete(pj.cache, p)
+			}
+		}
+	}
+	return proj
+}
+
+// projectShard computes plans for one contiguous chunk of the demanded
+// prefixes into a private accumulator; rates and views are aligned with
+// prefixes. It reads the cache but never writes it (the merge phase
+// does), so shards can run concurrently.
+func (pj *Projector) projectShard(s *projShard, prefixes []netip.Prefix, rates []float64, views []rib.RouteView) {
+	s.ifLoad = make(map[int]float64)
+	s.planned = make([]planned, 0, len(prefixes))
+	for i, prefix := range prefixes {
+		bps := rates[i]
+		view := views[i]
+		if view.Routes == nil {
+			s.unrouted += bps
 			continue
 		}
-		all := routes.Routes(prefix) // preference-sorted
-		organic := all[:0:0]
-		for _, r := range all {
+		var plan *PrefixPlan
+		if c, ok := pj.cache[prefix]; ok && c.gen == view.Gen {
+			if equalWithin(c.plan.RateBps, bps, pj.Epsilon) {
+				plan = c.plan // routes and demand unchanged: reuse verbatim
+			} else {
+				// Routes unchanged: reuse the filtered organic slices,
+				// refresh only the rate.
+				plan = s.alloc.new()
+				*plan = PrefixPlan{
+					Prefix:     prefix,
+					RateBps:    bps,
+					Preferred:  c.plan.Preferred,
+					Alternates: c.plan.Alternates,
+				}
+			}
+		} else {
+			plan = buildPlan(&s.alloc, prefix, bps, view)
+		}
+		if plan == nil {
+			s.unrouted += bps
+			continue
+		}
+		s.planned = append(s.planned, planned{plan, view.Gen})
+		s.ifLoad[plan.Preferred.EgressIF] += plan.RateBps
+	}
+}
+
+// buildPlan filters a prefix's routes down to the organic set and wraps
+// them in a plan, or returns nil when no organic route exists. In the
+// common case of no controller-injected routes (view.Injected == 0,
+// tracked by the table at mutation time) the table's sorted slice is
+// shared outright — no scan, no copy, no sort.
+func buildPlan(alloc *planChunk, prefix netip.Prefix, bps float64, view rib.RouteView) *PrefixPlan {
+	routes := view.Routes
+	if view.Injected == len(routes) {
+		return nil
+	}
+	organic := routes
+	if view.Injected > 0 {
+		organic = make([]*rib.Route, 0, len(routes)-view.Injected)
+		for _, r := range routes {
 			if r.PeerClass != rib.ClassController {
 				organic = append(organic, r)
 			}
 		}
-		if len(organic) == 0 {
-			proj.UnroutedBps += bps
-			continue
-		}
-		plan := &PrefixPlan{
-			Prefix:     prefix,
-			RateBps:    bps,
-			Preferred:  organic[0],
-			Alternates: organic[1:],
-		}
-		proj.Plans[prefix] = plan
-		proj.IfLoadBps[plan.Preferred.EgressIF] += bps
 	}
-	return proj
+	plan := alloc.new()
+	*plan = PrefixPlan{
+		Prefix:     prefix,
+		RateBps:    bps,
+		Preferred:  organic[0],
+		Alternates: organic[1:],
+	}
+	return plan
+}
+
+// equalWithin reports whether a and b differ by at most eps relative to
+// the larger magnitude. eps <= 0 demands exact equality.
+func equalWithin(a, b, eps float64) bool {
+	if a == b {
+		return true
+	}
+	if eps <= 0 {
+		return false
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := a
+	if b > m {
+		m = b
+	}
+	if m < 0 {
+		m = -m
+	}
+	return d <= eps*m
 }
 
 // Utilization returns projected load divided by capacity for an
@@ -119,8 +360,20 @@ func (p *Projection) OverloadedInterfaces(inv *Inventory, threshold float64) []i
 }
 
 // PrefixesOnInterface returns the plans whose preferred route egresses
-// via ifID, in stable (prefix) order.
+// via ifID, in stable (prefix) order. The returned slice is shared with
+// the projection's index; callers must not mutate it.
 func (p *Projection) PrefixesOnInterface(ifID int) []*PrefixPlan {
+	if p.byIF != nil {
+		out := p.byIF[ifID]
+		if !p.ifSorted[ifID] {
+			sort.Slice(out, func(a, b int) bool {
+				return rib.ComparePrefixes(out[a].Prefix, out[b].Prefix) < 0
+			})
+			p.ifSorted[ifID] = true
+		}
+		return out
+	}
+	// Fallback for hand-constructed Projections (tests): scan all plans.
 	var out []*PrefixPlan
 	for _, plan := range p.Plans {
 		if plan.Preferred.EgressIF == ifID {
@@ -128,7 +381,7 @@ func (p *Projection) PrefixesOnInterface(ifID int) []*PrefixPlan {
 		}
 	}
 	sort.Slice(out, func(a, b int) bool {
-		return out[a].Prefix.String() < out[b].Prefix.String()
+		return rib.ComparePrefixes(out[a].Prefix, out[b].Prefix) < 0
 	})
 	return out
 }

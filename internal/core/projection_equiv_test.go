@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net/netip"
+	"testing"
+
+	"edgefabric/internal/rib"
+)
+
+// equivScenario builds a deterministic table + demand pair: nPrefixes
+// prefixes with one to four organic routes each across the test
+// inventory's peers, a sprinkling of controller-injected routes (which
+// projection must ignore), demand for prefixes with no routes at all,
+// and one prefix served only by an injected route.
+func equivScenario(nPrefixes int, seed int64) (*rib.Table, map[netip.Prefix]float64) {
+	rng := rand.New(rand.NewSource(seed))
+	tab := rib.NewTable(rib.DefaultPolicy())
+	demand := make(map[netip.Prefix]float64)
+
+	type peer struct {
+		addr  string
+		class rib.PeerClass
+		ifID  int
+		as    uint32
+	}
+	peers := []peer{
+		{"172.20.0.1", rib.ClassPrivate, 0, 65010},
+		{"172.20.0.2", rib.ClassPrivate, 1, 65011},
+		{"172.20.0.3", rib.ClassPublic, 2, 65012},
+		{"172.20.0.9", rib.ClassTransit, 3, 64601},
+	}
+
+	for i := 0; i < nPrefixes; i++ {
+		prefix := fmt.Sprintf("10.%d.%d.0/24", i/256, i%256)
+		nroutes := rng.Intn(len(peers)) + 1
+		for _, j := range rng.Perm(len(peers))[:nroutes] {
+			p := peers[j]
+			tab.Add(route(prefix, p.addr, p.class, p.ifID, p.as))
+		}
+		if rng.Intn(8) == 0 {
+			// Controller-injected route; projection must not see it.
+			tab.Add(route(prefix, "172.20.0.250", rib.ClassController, 3, 64601))
+		}
+		demand[netip.MustParsePrefix(prefix)] = float64(rng.Intn(900)+100) * 1e6
+	}
+	// Demand with no routes at all, and demand served only by an
+	// injection: both count as unrouted.
+	demand[netip.MustParsePrefix("198.51.100.0/24")] = 250e6
+	tab.Add(route("203.0.113.0/24", "172.20.0.250", rib.ClassController, 3, 64601))
+	demand[netip.MustParsePrefix("203.0.113.0/24")] = 125e6
+	return tab, demand
+}
+
+func floatClose(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	d := math.Abs(a - b)
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return d <= 1e-9*m
+}
+
+// sameProjection asserts a and b are semantically identical: exactly
+// equal plans (down to shared route pointers) and per-interface loads
+// equal within float-summation-order tolerance.
+func sameProjection(t *testing.T, label string, a, b *Projection) {
+	t.Helper()
+	if len(a.Plans) != len(b.Plans) {
+		t.Fatalf("%s: plan count %d != %d", label, len(a.Plans), len(b.Plans))
+	}
+	for p, pa := range a.Plans {
+		pb, ok := b.Plans[p]
+		if !ok {
+			t.Fatalf("%s: plan for %v missing", label, p)
+		}
+		if pa.RateBps != pb.RateBps {
+			t.Fatalf("%s: %v rate %v != %v", label, p, pa.RateBps, pb.RateBps)
+		}
+		if pa.Preferred != pb.Preferred {
+			t.Fatalf("%s: %v preferred route differs", label, p)
+		}
+		if len(pa.Alternates) != len(pb.Alternates) {
+			t.Fatalf("%s: %v alternates %d != %d", label, p, len(pa.Alternates), len(pb.Alternates))
+		}
+		for i := range pa.Alternates {
+			if pa.Alternates[i] != pb.Alternates[i] {
+				t.Fatalf("%s: %v alternate %d differs", label, p, i)
+			}
+		}
+	}
+	if len(a.IfLoadBps) != len(b.IfLoadBps) {
+		t.Fatalf("%s: interface sets differ: %v vs %v", label, a.IfLoadBps, b.IfLoadBps)
+	}
+	for id, bps := range a.IfLoadBps {
+		if !floatClose(bps, b.IfLoadBps[id]) {
+			t.Fatalf("%s: if%d load %v != %v", label, id, bps, b.IfLoadBps[id])
+		}
+	}
+	if !floatClose(a.UnroutedBps, b.UnroutedBps) {
+		t.Fatalf("%s: unrouted %v != %v", label, a.UnroutedBps, b.UnroutedBps)
+	}
+}
+
+// TestProjectionParallelEquivalence: parallel sharding and the one-shot
+// Project produce the same Projection as a single-worker Projector.
+func TestProjectionParallelEquivalence(t *testing.T) {
+	old := projectParallelMin
+	projectParallelMin = 1 // force the parallel path at test size
+	defer func() { projectParallelMin = old }()
+
+	tab, demand := equivScenario(500, 42)
+
+	serial := (&Projector{Workers: 1}).Project(tab, demand)
+	parallel := (&Projector{Workers: 4}).Project(tab, demand)
+	oneShot := Project(tab, demand)
+
+	sameProjection(t, "parallel vs serial", parallel, serial)
+	sameProjection(t, "one-shot vs serial", oneShot, serial)
+
+	if serial.UnroutedBps < 250e6+125e6 {
+		t.Errorf("unrouted %v should include routeless and injection-only demand", serial.UnroutedBps)
+	}
+	for _, plan := range serial.Plans {
+		if plan.Preferred.PeerClass == rib.ClassController {
+			t.Fatalf("%v preferred an injected route", plan.Prefix)
+		}
+		for _, alt := range plan.Alternates {
+			if alt.PeerClass == rib.ClassController {
+				t.Fatalf("%v kept an injected alternate", plan.Prefix)
+			}
+		}
+	}
+}
+
+// TestProjectionPlanCacheEquivalence: repeated projection through a warm
+// cache matches a fresh projection exactly, reuses plan pointers when
+// nothing changed, and recomputes when demand or routes move.
+func TestProjectionPlanCacheEquivalence(t *testing.T) {
+	tab, demand := equivScenario(300, 7)
+	pj := &Projector{Workers: 1}
+
+	first := pj.Project(tab, demand)
+	warm := pj.Project(tab, demand)
+	sameProjection(t, "warm vs first", warm, first)
+	for p, plan := range warm.Plans {
+		if plan != first.Plans[p] {
+			t.Fatalf("%v rebuilt despite unchanged routes and demand", p)
+		}
+	}
+
+	// Demand change (epsilon 0): the plan is refreshed but route slices
+	// are reused; result matches a cache-free projection.
+	var target netip.Prefix
+	for p := range first.Plans {
+		target = p
+		break
+	}
+	demand[target] *= 2
+	bumped := pj.Project(tab, demand)
+	sameProjection(t, "demand-change vs fresh", bumped, Project(tab, demand))
+	if bumped.Plans[target] == first.Plans[target] {
+		t.Fatalf("%v plan reused verbatim across a demand change with epsilon 0", target)
+	}
+	if bumped.Plans[target].Preferred != first.Plans[target].Preferred {
+		t.Fatalf("%v route slices should be reused when only demand changed", target)
+	}
+
+	// Route change: generation bump forces a rebuild from the new table
+	// state.
+	tab.Add(route(target.String(), "172.20.0.2", rib.ClassPrivate, 1, 65011))
+	moved := pj.Project(tab, demand)
+	sameProjection(t, "route-change vs fresh", moved, Project(tab, demand))
+}
+
+// TestProjectionEpsilonReuse: with a nonzero epsilon, sub-threshold
+// demand jitter reuses the cached plan verbatim (stale rate included)
+// while larger swings recompute.
+func TestProjectionEpsilonReuse(t *testing.T) {
+	tab, demand := equivScenario(100, 13)
+	pj := &Projector{Workers: 1, Epsilon: 0.1}
+
+	first := pj.Project(tab, demand)
+	var target netip.Prefix
+	for p := range first.Plans {
+		target = p
+		break
+	}
+	origRate := first.Plans[target].RateBps
+
+	demand[target] = origRate * 1.05 // within epsilon
+	jitter := pj.Project(tab, demand)
+	if jitter.Plans[target] != first.Plans[target] {
+		t.Fatalf("%v not reused for sub-epsilon demand change", target)
+	}
+	if jitter.Plans[target].RateBps != origRate {
+		t.Fatalf("%v rate refreshed despite verbatim reuse", target)
+	}
+
+	demand[target] = origRate * 2 // beyond epsilon
+	moved := pj.Project(tab, demand)
+	if moved.Plans[target] == first.Plans[target] {
+		t.Fatalf("%v reused across a super-epsilon demand change", target)
+	}
+	if moved.Plans[target].RateBps != origRate*2 {
+		t.Fatalf("%v rate = %v, want %v", target, moved.Plans[target].RateBps, origRate*2)
+	}
+}

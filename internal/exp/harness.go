@@ -304,17 +304,22 @@ func (h *Harness) Step() (*netsim.TickStats, *core.CycleReport) {
 // waitOverridesApplied blocks briefly until the PoP table reflects the
 // injector's current override set: injection rides asynchronous BGP
 // sessions, and the simulation's virtual time shouldn't race wall-clock
-// message delivery.
+// message delivery. The wait is event-driven: each retry blocks on the
+// next PoP-table mutation instead of sleeping.
 func (h *Harness) waitOverridesApplied(report *core.CycleReport) {
 	if report == nil {
 		return
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for {
+		ver := h.PoP.Table.Version()
 		if h.overridesApplied(report) {
 			return
 		}
-		time.Sleep(200 * time.Microsecond)
+		if err := h.PoP.Table.WaitChange(ctx, ver); err != nil {
+			return
+		}
 	}
 }
 

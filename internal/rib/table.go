@@ -1,6 +1,7 @@
 package rib
 
 import (
+	"context"
 	"net/netip"
 	"sync"
 )
@@ -18,6 +19,10 @@ type BestChange struct {
 // per prefix (the union of Adj-RIB-Ins), the best route under the BGP
 // decision process (the Loc-RIB view), and a longest-prefix-match index
 // for forwarding lookups.
+//
+// Per-prefix route lists are kept preference-sorted at mutation time and
+// rebuilt copy-on-write, so reads never sort and point-in-time snapshots
+// (SnapshotRoutes) can share the internal slices without copying.
 type Table struct {
 	// OnBestChange, if non-nil, is invoked synchronously (with the
 	// table lock held) whenever the best route for a prefix changes.
@@ -32,11 +37,19 @@ type Table struct {
 	lens4   [33]int  // count of IPv4 prefixes per bit length
 	lens6   [129]int // count of IPv6 prefixes per bit length
 	version uint64
+	nroutes int
+	// waitCh, when non-nil, is closed on the next mutation to wake
+	// WaitChange / WaitRouteCount blockers.
+	waitCh chan struct{}
 }
 
+// tableEntry holds one prefix's routes, preference-sorted best-first.
+// The slice is copy-on-write: mutations install a freshly built slice,
+// never write through the old one, so snapshot holders stay consistent.
 type tableEntry struct {
 	routes []*Route
-	best   int // index into routes, -1 if empty
+	gen    uint64 // table version at the entry's last mutation
+	ninj   int    // ClassController routes in routes, tracked at mutation
 }
 
 // NewTable returns an empty table using the given decision-process
@@ -56,6 +69,19 @@ func (t *Table) Version() uint64 {
 	return t.version
 }
 
+// Generation reports the table version at which the given prefix's
+// routes last changed, or 0 if the prefix has no routes. A prefix's
+// routes are guaranteed unchanged between two reads that observe the
+// same generation.
+func (t *Table) Generation(prefix netip.Prefix) uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if e, ok := t.entries[prefix.Masked()]; ok {
+		return e.gen
+	}
+	return 0
+}
+
 // Len reports the number of prefixes with at least one route.
 func (t *Table) Len() int {
 	t.mu.RLock()
@@ -67,11 +93,60 @@ func (t *Table) Len() int {
 func (t *Table) RouteCount() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	n := 0
-	for _, e := range t.entries {
-		n += len(e.routes)
+	return t.nroutes
+}
+
+// notifyLocked wakes any WaitChange / WaitRouteCount blockers; the
+// caller holds the write lock.
+func (t *Table) notifyLocked() {
+	if t.waitCh != nil {
+		close(t.waitCh)
+		t.waitCh = nil
 	}
-	return n
+}
+
+// WaitChange blocks until the table's version exceeds sinceVersion or
+// ctx is done. It returns nil on change and ctx.Err() on cancellation.
+func (t *Table) WaitChange(ctx context.Context, sinceVersion uint64) error {
+	for {
+		t.mu.Lock()
+		if t.version > sinceVersion {
+			t.mu.Unlock()
+			return nil
+		}
+		if t.waitCh == nil {
+			t.waitCh = make(chan struct{})
+		}
+		ch := t.waitCh
+		t.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+// WaitRouteCount blocks until the table holds at least n routes or ctx
+// is done, waking on mutations rather than polling.
+func (t *Table) WaitRouteCount(ctx context.Context, n int) error {
+	for {
+		t.mu.Lock()
+		if t.nroutes >= n {
+			t.mu.Unlock()
+			return nil
+		}
+		if t.waitCh == nil {
+			t.waitCh = make(chan struct{})
+		}
+		ch := t.waitCh
+		t.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ch:
+		}
+	}
 }
 
 // Add inserts or replaces a route. Route identity is (prefix, peer
@@ -94,23 +169,42 @@ func (t *Table) Add(r *Route) bool {
 	t.version++
 	e, ok := t.entries[p]
 	if !ok {
-		e = &tableEntry{best: -1}
+		e = &tableEntry{}
 		t.entries[p] = e
 		t.lenCount(p, +1)
 	}
 	oldBest := e.bestRoute()
-	replaced := false
-	for i, existing := range e.routes {
+	oldLen := len(e.routes)
+	// Rebuild copy-on-write: drop any previous route from the same
+	// neighbor (implicit withdraw) and splice r in at its preference
+	// rank, keeping the slice sorted best-first.
+	routes := make([]*Route, 0, oldLen+1)
+	ninj := 0
+	if r.PeerClass == ClassController {
+		ninj++
+	}
+	inserted := false
+	for _, existing := range e.routes {
 		if existing.PeerAddr == r.PeerAddr {
-			e.routes[i] = r
-			replaced = true
-			break
+			continue
 		}
+		if existing.PeerClass == ClassController {
+			ninj++
+		}
+		if !inserted && Better(r, existing, t.policy) {
+			routes = append(routes, r)
+			inserted = true
+		}
+		routes = append(routes, existing)
 	}
-	if !replaced {
-		e.routes = append(e.routes, r)
+	if !inserted {
+		routes = append(routes, r)
 	}
-	e.best = SelectBest(e.routes, t.policy)
+	e.routes = routes
+	e.gen = t.version
+	e.ninj = ninj
+	t.nroutes += len(routes) - oldLen
+	t.notifyLocked()
 	return t.finishBest(p, oldBest, e)
 }
 
@@ -133,28 +227,38 @@ func (t *Table) Remove(prefix netip.Prefix, peer netip.Addr) bool {
 	if !ok {
 		return false
 	}
-	oldBest := e.bestRoute()
-	found := false
+	idx := -1
 	for i, r := range e.routes {
 		if r.PeerAddr == peer {
-			e.routes = append(e.routes[:i], e.routes[i+1:]...)
-			found = true
+			idx = i
 			break
 		}
 	}
-	if !found {
+	if idx < 0 {
 		return false
 	}
 	t.version++
-	if len(e.routes) == 0 {
+	t.nroutes--
+	oldBest := e.bestRoute()
+	if len(e.routes) == 1 {
 		delete(t.entries, p)
 		t.lenCount(p, -1)
+		t.notifyLocked()
 		if oldBest != nil && t.OnBestChange != nil {
 			t.OnBestChange(BestChange{Prefix: p, Old: oldBest})
 		}
 		return oldBest != nil
 	}
-	e.best = SelectBest(e.routes, t.policy)
+	// Copy-on-write removal preserves sorted order.
+	if e.routes[idx].PeerClass == ClassController {
+		e.ninj--
+	}
+	routes := make([]*Route, 0, len(e.routes)-1)
+	routes = append(routes, e.routes[:idx]...)
+	routes = append(routes, e.routes[idx+1:]...)
+	e.routes = routes
+	e.gen = t.version
+	t.notifyLocked()
 	return t.finishBest(p, oldBest, e)
 }
 
@@ -165,23 +269,22 @@ func (t *Table) RemovePeer(peer netip.Addr) int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	changed := 0
+	mutated := false
 	for p, e := range t.entries {
-		oldBest := e.bestRoute()
-		kept := e.routes[:0]
-		removed := false
+		removed := 0
 		for _, r := range e.routes {
 			if r.PeerAddr == peer {
-				removed = true
-				continue
+				removed++
 			}
-			kept = append(kept, r)
 		}
-		if !removed {
+		if removed == 0 {
 			continue
 		}
 		t.version++
-		e.routes = kept
-		if len(e.routes) == 0 {
+		t.nroutes -= removed
+		mutated = true
+		oldBest := e.bestRoute()
+		if removed == len(e.routes) {
 			delete(t.entries, p)
 			t.lenCount(p, -1)
 			if oldBest != nil {
@@ -192,19 +295,34 @@ func (t *Table) RemovePeer(peer netip.Addr) int {
 			}
 			continue
 		}
-		e.best = SelectBest(e.routes, t.policy)
+		kept := make([]*Route, 0, len(e.routes)-removed)
+		ninj := 0
+		for _, r := range e.routes {
+			if r.PeerAddr != peer {
+				if r.PeerClass == ClassController {
+					ninj++
+				}
+				kept = append(kept, r)
+			}
+		}
+		e.routes = kept
+		e.gen = t.version
+		e.ninj = ninj
 		if t.finishBest(p, oldBest, e) {
 			changed++
 		}
+	}
+	if mutated {
+		t.notifyLocked()
 	}
 	return changed
 }
 
 func (e *tableEntry) bestRoute() *Route {
-	if e.best < 0 || e.best >= len(e.routes) {
+	if len(e.routes) == 0 {
 		return nil
 	}
-	return e.routes[e.best]
+	return e.routes[0]
 }
 
 // finishBest fires the change callback if needed; the caller holds the
@@ -240,18 +358,71 @@ func (t *Table) Best(prefix netip.Prefix) *Route {
 }
 
 // Routes returns a copy of the route list for exactly the given prefix,
-// sorted best-first.
+// sorted best-first. The stored order is maintained at mutation time,
+// so this is a plain copy with no per-read sort.
 func (t *Table) Routes(prefix netip.Prefix) []*Route {
 	t.mu.RLock()
+	defer t.mu.RUnlock()
 	e, ok := t.entries[prefix.Masked()]
 	if !ok {
-		t.mu.RUnlock()
 		return nil
 	}
-	out := append([]*Route(nil), e.routes...)
+	return append([]*Route(nil), e.routes...)
+}
+
+// RouteView is a point-in-time view of one prefix's routes as returned
+// by SnapshotRoutes: the preference-sorted route slice (best first) and
+// the generation at which the entry last changed. The slice is shared
+// with the table's copy-on-write storage — it is immutable, and callers
+// must not modify it or the routes it points to.
+type RouteView struct {
+	Routes []*Route
+	Gen    uint64
+	// Injected counts ClassController routes in Routes, maintained at
+	// mutation time so consumers can skip scanning for them.
+	Injected int
+}
+
+// SnapshotRoutes captures views for all given prefixes under a single
+// read-lock acquisition, amortizing lock traffic across a whole
+// controller cycle. Results are stored into dst (allocated when nil),
+// keyed by the prefixes as given; prefixes absent from the table are
+// left out. Because entries are copy-on-write, the returned views stay
+// internally consistent even as the table keeps mutating.
+func (t *Table) SnapshotRoutes(prefixes []netip.Prefix, dst map[netip.Prefix]RouteView) map[netip.Prefix]RouteView {
+	if dst == nil {
+		dst = make(map[netip.Prefix]RouteView, len(prefixes))
+	}
+	t.mu.RLock()
+	for _, p := range prefixes {
+		if e, ok := t.entries[p.Masked()]; ok {
+			dst[p] = RouteView{Routes: e.routes, Gen: e.gen, Injected: e.ninj}
+		}
+	}
 	t.mu.RUnlock()
-	SortByPreference(out, t.policy)
-	return out
+	return dst
+}
+
+// SnapshotRoutesInto is SnapshotRoutes with an index-aligned result:
+// dst[i] is the view for prefixes[i], the zero RouteView (nil Routes)
+// when absent. It avoids building a map when the caller already holds
+// the prefixes in a slice; dst is reused when it has capacity.
+func (t *Table) SnapshotRoutesInto(prefixes []netip.Prefix, dst []RouteView) []RouteView {
+	if cap(dst) < len(prefixes) {
+		dst = make([]RouteView, len(prefixes))
+	} else {
+		dst = dst[:len(prefixes)]
+	}
+	t.mu.RLock()
+	for i, p := range prefixes {
+		if e, ok := t.entries[p.Masked()]; ok {
+			dst[i] = RouteView{Routes: e.routes, Gen: e.gen, Injected: e.ninj}
+		} else {
+			dst[i] = RouteView{}
+		}
+	}
+	t.mu.RUnlock()
+	return dst
 }
 
 // Lookup performs a longest-prefix-match forwarding lookup and returns
@@ -323,9 +494,9 @@ func (t *Table) EachBest(fn func(netip.Prefix, *Route)) {
 	}
 }
 
-// EachRoutes calls fn with every prefix and its full route slice. The
-// slice must not be mutated or retained. fn must not call back into the
-// Table.
+// EachRoutes calls fn with every prefix and its full route slice, sorted
+// best-first. The slice must not be mutated or retained. fn must not
+// call back into the Table.
 func (t *Table) EachRoutes(fn func(netip.Prefix, []*Route)) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()

@@ -47,6 +47,14 @@ type Collector struct {
 	cur      int
 	datagram uint64
 	dropped  uint64
+
+	// totals caches the cross-bucket byte merge (the expensive part of
+	// Rates): it stays valid until an Ingest or a bucket rotation, so
+	// repeated Rates calls only rescale it instead of re-merging every
+	// bucket map.
+	totals       map[netip.Prefix]float64
+	totalsOldest time.Time
+	totalsValid  bool
 }
 
 // NewCollector returns a Collector for cfg.
@@ -79,15 +87,16 @@ func NewCollector(cfg CollectorConfig) *Collector {
 // must be called with the lock held.
 func (c *Collector) rotate(now time.Time) {
 	for now.Sub(c.times[c.cur]) >= c.bucketSpan {
+		c.totalsValid = false
 		next := (c.cur + 1) % len(c.buckets)
-		c.buckets[next] = make(map[netip.Prefix]float64)
+		clear(c.buckets[next]) // reuse the evicted bucket's map
 		c.times[next] = c.times[c.cur].Add(c.bucketSpan)
 		c.cur = next
 		// Guard against a huge time jump: resync rather than spinning
 		// through thousands of rotations.
 		if now.Sub(c.times[c.cur]) >= c.cfg.Window*2 {
 			for i := range c.buckets {
-				c.buckets[i] = make(map[netip.Prefix]float64)
+				clear(c.buckets[i])
 				c.times[i] = now
 			}
 			c.cur = 0
@@ -114,6 +123,7 @@ func (c *Collector) Ingest(d *Datagram) {
 	defer c.mu.Unlock()
 	c.rotate(now)
 	c.datagram++
+	c.totalsValid = false
 	for _, s := range d.Samples {
 		scale := float64(s.SamplingRate)
 		for _, r := range s.Records {
@@ -128,34 +138,46 @@ func (c *Collector) Ingest(d *Datagram) {
 }
 
 // Rates returns the estimated per-prefix egress rates in bits per
-// second, averaged over the portion of the window that has elapsed.
+// second, averaged over the portion of the window that has elapsed. The
+// caller owns the returned map. When nothing was ingested and no bucket
+// rotated since the previous call, the cached cross-bucket merge is
+// rescaled instead of being rebuilt from every bucket.
 func (c *Collector) Rates() map[netip.Prefix]float64 {
 	now := c.cfg.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.rotate(now)
-	total := make(map[netip.Prefix]float64)
-	var oldest time.Time
-	for i, b := range c.buckets {
-		if len(b) == 0 && c.times[i].IsZero() {
-			continue
+	if !c.totalsValid {
+		if c.totals == nil {
+			c.totals = make(map[netip.Prefix]float64)
+		} else {
+			clear(c.totals)
 		}
-		if oldest.IsZero() || c.times[i].Before(oldest) {
-			oldest = c.times[i]
+		var oldest time.Time
+		for i, b := range c.buckets {
+			if len(b) == 0 && c.times[i].IsZero() {
+				continue
+			}
+			if oldest.IsZero() || c.times[i].Before(oldest) {
+				oldest = c.times[i]
+			}
+			for p, bytes := range b {
+				c.totals[p] += bytes
+			}
 		}
-		for p, bytes := range b {
-			total[p] += bytes
-		}
+		c.totalsOldest = oldest
+		c.totalsValid = true
 	}
-	span := now.Sub(oldest)
+	span := now.Sub(c.totalsOldest)
 	if span < c.bucketSpan {
 		span = c.bucketSpan
 	}
 	secs := span.Seconds()
-	for p := range total {
-		total[p] = total[p] * 8 / secs
+	out := make(map[netip.Prefix]float64, len(c.totals))
+	for p, bytes := range c.totals {
+		out[p] = bytes * 8 / secs
 	}
-	return total
+	return out
 }
 
 // Rate returns the estimated egress rate for one prefix in bits per

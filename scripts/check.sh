@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# check.sh — the full pre-merge gate: vet, build, race-enabled tests,
+# and a smoke pass over the projection benchmarks. Run from anywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> go test -bench=BenchmarkProject -benchtime=1x"
+go test -run '^$' -bench=BenchmarkProject -benchtime=1x -benchmem .
+
+echo "OK"

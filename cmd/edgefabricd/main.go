@@ -127,28 +127,23 @@ func runRemote(ctx context.Context, invPath, sflowListen string, cycle time.Dura
 	}
 	defer ctrl.Close()
 
+	// Feeds and sessions are supervised: a dead popsim connection is
+	// redialed with backoff instead of silently staying down, and the
+	// injector re-announces the installed set on re-establishment.
 	for _, r := range invFile.Routers {
 		if r.BMP != "" {
-			conn, err := net.Dial("tcp", r.BMP)
-			if err != nil {
-				log.Fatalf("dial BMP %s: %v", r.BMP, err)
-			}
-			ctrl.AddBMPFeed(r.Name, conn)
-			log.Printf("BMP feed %s attached (%s)", r.Name, r.BMP)
+			ctrl.AddBMPFeedDialer(r.Name, tcpDialer(r.BMP))
+			log.Printf("BMP feed %s supervised (%s)", r.Name, r.BMP)
 		}
 		if r.Inject != "" {
-			conn, err := net.Dial("tcp", r.Inject)
-			if err != nil {
-				log.Fatalf("dial inject %s: %v", r.Inject, err)
-			}
 			addr, err := netip.ParseAddr(r.Addr)
 			if err != nil {
 				log.Fatalf("router addr %q: %v", r.Addr, err)
 			}
-			if err := ctrl.AddInjectionSession(addr, conn); err != nil {
+			if err := ctrl.AddInjectionSessionDialer(addr, tcpDialer(r.Inject)); err != nil {
 				log.Fatalf("injection session %s: %v", r.Name, err)
 			}
-			log.Printf("injection session %s attached (%s)", r.Name, r.Inject)
+			log.Printf("injection session %s supervised (%s)", r.Name, r.Inject)
 		}
 	}
 	readyCtx, cancel := context.WithTimeout(ctx, 60*time.Second)
@@ -184,6 +179,15 @@ func runRemote(ctx context.Context, invPath, sflowListen string, cycle time.Dura
 	}
 }
 
+// tcpDialer returns a context-aware TCP dial function for a supervised
+// feed or injection session.
+func tcpDialer(addr string) func(ctx context.Context) (net.Conn, error) {
+	return func(ctx context.Context) (net.Conn, error) {
+		var d net.Dialer
+		return d.DialContext(ctx, "tcp", addr)
+	}
+}
+
 // serveStatus exposes the controller status API when addr is nonempty.
 func serveStatus(ctx context.Context, addr string, ctrl *core.Controller) {
 	if addr == "" {
@@ -195,7 +199,7 @@ func serveStatus(ctx context.Context, addr string, ctrl *core.Controller) {
 		srv.Close()
 	}()
 	go func() {
-		log.Printf("status API on http://%s/ (endpoints: /metrics /overrides /cycles /routes)", addr)
+		log.Printf("status API on http://%s/ (endpoints: /metrics /overrides /cycles /routes /health)", addr)
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			log.Printf("status server: %v", err)
 		}

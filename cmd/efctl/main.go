@@ -5,6 +5,7 @@
 //	efctl -status 127.0.0.1:8080 cycles
 //	efctl -status 127.0.0.1:8080 metrics
 //	efctl -status 127.0.0.1:8080 routes
+//	efctl -status 127.0.0.1:8080 health
 package main
 
 import (
@@ -21,7 +22,7 @@ func main() {
 	status := flag.String("status", "127.0.0.1:8080", "edgefabricd status API address")
 	timeout := flag.Duration("timeout", 5*time.Second, "request timeout")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: efctl [-status host:port] overrides|cycles|metrics|routes\n")
+		fmt.Fprintf(os.Stderr, "usage: efctl [-status host:port] overrides|cycles|metrics|routes|health\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -31,7 +32,7 @@ func main() {
 	}
 	what := flag.Arg(0)
 	switch what {
-	case "overrides", "cycles", "metrics", "routes":
+	case "overrides", "cycles", "metrics", "routes", "health":
 	default:
 		flag.Usage()
 		os.Exit(2)

@@ -131,14 +131,14 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("\ninjecting over iBGP:")
-	if _, _, err := injector.Sync(res.Overrides); err != nil {
+	if _, err := injector.Sync(res.Overrides); err != nil {
 		log.Fatal(err)
 	}
 	pr.drain(len(res.Overrides))
 
 	// ---- 7. Demand subsides; the stateless resync withdraws.
 	fmt.Println("\npeak over — resyncing with an empty override set:")
-	if _, _, err := injector.Sync(nil); err != nil {
+	if _, err := injector.Sync(nil); err != nil {
 		log.Fatal(err)
 	}
 	pr.drain(len(res.Overrides))

@@ -1,0 +1,152 @@
+package bmp
+
+import (
+	"context"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recHandler records the event kinds a stream delivered.
+type recHandler struct {
+	mu     sync.Mutex
+	events []string
+}
+
+func (h *recHandler) add(kind string) {
+	h.mu.Lock()
+	h.events = append(h.events, kind)
+	h.mu.Unlock()
+}
+
+func (h *recHandler) got() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]string(nil), h.events...)
+}
+
+func (h *recHandler) OnInitiation(string, *Initiation)  { h.add("init") }
+func (h *recHandler) OnPeerUp(string, *PeerUp)          { h.add("peerup") }
+func (h *recHandler) OnPeerDown(string, *PeerDown)      { h.add("peerdown") }
+func (h *recHandler) OnRoute(string, *RouteMonitoring)  { h.add("route") }
+func (h *recHandler) OnStats(string, *StatsReport)      { h.add("stats") }
+func (h *recHandler) OnTermination(string)              { h.add("term") }
+
+func mustMarshal(t *testing.T, m Message) []byte {
+	t.Helper()
+	b, err := MarshalBytes(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// serveBytes writes the given stream to the collector over a pipe,
+// closing the write side afterwards, and returns HandleConn's error.
+func serveBytes(t *testing.T, h Handler, stream []byte) ([]string, error) {
+	t.Helper()
+	rh, _ := h.(*recHandler)
+	local, remote := net.Pipe()
+	go func() {
+		remote.Write(stream)
+		remote.Close()
+	}()
+	c := &Collector{Handler: h}
+	err := c.HandleConn(context.Background(), "pr1", local)
+	if rh != nil {
+		return rh.got(), err
+	}
+	return nil, err
+}
+
+// TestHandleConnMidMessageEOF: a stream that dies in the middle of a
+// message delivers everything before the cut and ends without error (a
+// truncated tail is indistinguishable from a TCP reset at the decoder).
+func TestHandleConnMidMessageEOF(t *testing.T) {
+	init := mustMarshal(t, &Initiation{Info: [][2]string{{"sysName", "pr1"}}})
+	up := mustMarshal(t, &PeerUp{Peer: testPeerHeader()})
+	route := mustMarshal(t, &RouteMonitoring{Peer: testPeerHeader(), Update: testUpdate()})
+	stream := append(append(append([]byte{}, init...), up...), route[:len(route)/2]...)
+
+	events, err := serveBytes(t, &recHandler{}, stream)
+	if err != nil {
+		t.Fatalf("HandleConn = %v, want nil on mid-message EOF", err)
+	}
+	want := []string{"init", "peerup"}
+	if len(events) != len(want) || events[0] != "init" || events[1] != "peerup" {
+		t.Errorf("events = %v, want %v", events, want)
+	}
+}
+
+// TestHandleConnDecodeError: garbage on the wire (bad BMP version) is a
+// hard error naming the stream, not a silent stop.
+func TestHandleConnDecodeError(t *testing.T) {
+	init := mustMarshal(t, &Initiation{Info: [][2]string{{"sysName", "pr1"}}})
+	bad := mustMarshal(t, &PeerUp{Peer: testPeerHeader()})
+	bad[0] = 9 // unsupported version
+	stream := append(append([]byte{}, init...), bad...)
+
+	events, err := serveBytes(t, &recHandler{}, stream)
+	if err == nil {
+		t.Fatal("HandleConn = nil, want decode error")
+	}
+	if !strings.Contains(err.Error(), "pr1") {
+		t.Errorf("error %q does not name the stream", err)
+	}
+	if len(events) != 1 || events[0] != "init" {
+		t.Errorf("events = %v, want [init]", events)
+	}
+}
+
+// TestHandleConnReset: an abrupt local close (the reset path — not a
+// clean EOF) surfaces as an error so the supervisor backs off and
+// redials instead of treating the feed as cleanly finished.
+func TestHandleConnReset(t *testing.T) {
+	local, remote := net.Pipe()
+	defer remote.Close()
+	go func() {
+		remote.Write(mustMarshal(t, &Initiation{Info: [][2]string{{"sysName", "pr1"}}}))
+		time.Sleep(20 * time.Millisecond)
+		local.Close() // reader's own conn dies under it
+	}()
+	c := &Collector{Handler: &recHandler{}}
+	if err := c.HandleConn(context.Background(), "pr1", local); err == nil {
+		t.Fatal("HandleConn = nil, want error on local conn teardown")
+	}
+}
+
+// TestHandleConnCtxCancel: cancellation tears the stream down and
+// reports the context's error.
+func TestHandleConnCtxCancel(t *testing.T) {
+	local, remote := net.Pipe()
+	defer remote.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	c := &Collector{Handler: &recHandler{}}
+	go func() { errCh <- c.HandleConn(ctx, "pr1", local) }()
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != context.Canceled {
+			t.Errorf("HandleConn = %v, want context.Canceled", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("HandleConn did not return after cancel")
+	}
+}
+
+// TestHandleConnCleanTermination: a Termination message ends the stream
+// without error after delivering it.
+func TestHandleConnCleanTermination(t *testing.T) {
+	init := mustMarshal(t, &Initiation{Info: [][2]string{{"sysName", "pr1"}}})
+	term := mustMarshal(t, &Termination{})
+	events, err := serveBytes(t, &recHandler{}, append(append([]byte{}, init...), term...))
+	if err != nil {
+		t.Fatalf("HandleConn = %v, want nil on Termination", err)
+	}
+	if len(events) != 2 || events[1] != "term" {
+		t.Errorf("events = %v, want [init term]", events)
+	}
+}

@@ -3,27 +3,36 @@ package core
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/netip"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"edgefabric/internal/bmp"
 	"edgefabric/internal/metrics"
+	"edgefabric/internal/rib"
 )
 
 // Config configures a Controller.
 type Config struct {
 	// Inventory is the PoP's peer/interface inventory; required.
 	Inventory *Inventory
-	// Traffic supplies per-prefix demand; required.
+	// Traffic supplies per-prefix demand; required. When it also
+	// implements TrafficFreshness (sflow.Collector does), staleness
+	// gates the control loop (see HealthConfig).
 	Traffic TrafficSource
 	// Allocator parameterizes the overload algorithm.
 	Allocator AllocatorConfig
 	// CycleInterval is the period of the control loop when driven by
-	// Run. Default 30 s (the paper's cadence).
+	// Run. Default 30 s (the paper's cadence). It also derives the
+	// cycle deadline and the default health thresholds.
 	CycleInterval time.Duration
+	// Health parameterizes input-health thresholds; zero fields default
+	// from CycleInterval.
+	Health HealthConfig
 	// LocalAS / RouterID identify the injector's iBGP speaker.
 	LocalAS  uint32
 	RouterID netip.Addr
@@ -49,6 +58,9 @@ type Config struct {
 	ProjectionEpsilon float64
 	// ProjectionWorkers caps projection fan-out; 0 uses GOMAXPROCS.
 	ProjectionWorkers int
+	// BMPBackoffMin / BMPBackoffMax bound the supervised BMP feed
+	// redial backoff (wall clock). Defaults 100 ms / 2 s.
+	BMPBackoffMin, BMPBackoffMax time.Duration
 	// Logf, when set, receives one-line log events.
 	Logf func(format string, args ...any)
 }
@@ -59,7 +71,14 @@ type CycleReport struct {
 	Time time.Time
 	// Seq is the cycle sequence number.
 	Seq uint64
-	// DemandBps is total measured demand.
+	// Health is the cycle's input-health rollup; non-healthy cycles may
+	// freeze (fail-static) or withdraw (fail-back) instead of
+	// allocating.
+	Health HealthState
+	// HealthReasons explains a non-healthy state.
+	HealthReasons []string
+	// DemandBps is total measured demand (zero in frozen cycles, which
+	// deliberately do not read the decayed demand window).
 	DemandBps float64
 	// Projection utilization per interface (load/capacity).
 	IfUtil map[int]float64
@@ -69,30 +88,38 @@ type CycleReport struct {
 	DetouredBps float64
 	// ResidualOverloadBps is overload the allocator could not resolve.
 	ResidualOverloadBps map[int]float64
-	// Announced / Withdrawn are the injector's actions.
-	Announced, Withdrawn int
+	// Announced / Withdrawn are the injector's actions; Partial counts
+	// prefixes that reached only a subset of the live routers.
+	Announced, Withdrawn, Partial int
 	// Elapsed is the cycle's computation time (wall clock).
 	Elapsed time.Duration
 }
 
 // Controller is the per-PoP Edge Fabric control loop, assembling the
-// route store, traffic source, projection, allocator, and injector.
+// route store, traffic source, projection, allocator, injector, and the
+// input-health tracker that gates it all.
 type Controller struct {
 	cfg       Config
 	store     *RouteStore
 	injector  *Injector
 	registry  *metrics.Registry
 	projector Projector
+	health    *HealthTracker
 
 	collector *bmp.Collector
 	bmpWG     sync.WaitGroup
 	bmpCtx    context.Context
 	bmpStop   context.CancelFunc
 
-	mu      sync.Mutex
-	seq     uint64
-	history []CycleReport
-	maxHist int
+	panicArmed atomic.Bool // one-shot fault-injection hook (E11)
+
+	mu        sync.Mutex
+	closed    bool
+	seq       uint64
+	lastState HealthState
+	history   []CycleReport // ring buffer once full
+	histNext  int           // next overwrite index when len == maxHist
+	maxHist   int
 }
 
 // New builds a Controller.
@@ -106,6 +133,7 @@ func New(cfg Config) (*Controller, error) {
 	if cfg.CycleInterval == 0 {
 		cfg.CycleInterval = 30 * time.Second
 	}
+	cfg.Health.setDefaults(cfg.CycleInterval)
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
@@ -118,27 +146,77 @@ func New(cfg Config) (*Controller, error) {
 	if cfg.LocalAS == 0 {
 		return nil, fmt.Errorf("core: Config.LocalAS required")
 	}
+	if cfg.BMPBackoffMin == 0 {
+		cfg.BMPBackoffMin = 100 * time.Millisecond
+	}
+	if cfg.BMPBackoffMax == 0 {
+		cfg.BMPBackoffMax = 2 * time.Second
+	}
 	store := NewRouteStore(cfg.Inventory)
+	health := NewHealthTracker(cfg.Health, cfg.Now, cfg.Traffic)
 	inj, err := NewInjector(InjectorConfig{
-		LocalAS:  cfg.LocalAS,
-		RouterID: cfg.RouterID,
-		Logf:     cfg.Logf,
+		LocalAS:       cfg.LocalAS,
+		RouterID:      cfg.RouterID,
+		Metrics:       cfg.Metrics,
+		OnSessionUp:   health.SessionUp,
+		OnSessionDown: func(r netip.Addr, _ error) { health.SessionDown(r) },
+		Logf:          cfg.Logf,
 	})
 	if err != nil {
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Controller{
-		cfg:       cfg,
-		store:     store,
-		injector:  inj,
-		registry:  cfg.Metrics,
-		projector: Projector{Epsilon: cfg.ProjectionEpsilon, Workers: cfg.ProjectionWorkers},
-		collector: &bmp.Collector{Handler: store, Logf: cfg.Logf},
-		bmpCtx:    ctx,
-		bmpStop:   cancel,
-		maxHist:   4096,
-	}, nil
+	c := &Controller{
+		cfg:      cfg,
+		store:    store,
+		injector: inj,
+		registry: cfg.Metrics,
+		health:   health,
+		projector: Projector{
+			Epsilon: cfg.ProjectionEpsilon,
+			Workers: cfg.ProjectionWorkers,
+		},
+		bmpCtx:  ctx,
+		bmpStop: cancel,
+		maxHist: 4096,
+	}
+	c.collector = &bmp.Collector{
+		Handler: &healthHandler{inner: store, health: health},
+		Logf:    cfg.Logf,
+	}
+	return c, nil
+}
+
+// healthHandler wraps the route store's BMP handler to stamp per-feed
+// event freshness into the health tracker.
+type healthHandler struct {
+	inner  bmp.Handler
+	health *HealthTracker
+}
+
+func (h *healthHandler) OnInitiation(router string, m *bmp.Initiation) {
+	h.health.TouchFeed(router)
+	h.inner.OnInitiation(router, m)
+}
+func (h *healthHandler) OnPeerUp(router string, m *bmp.PeerUp) {
+	h.health.TouchFeed(router)
+	h.inner.OnPeerUp(router, m)
+}
+func (h *healthHandler) OnPeerDown(router string, m *bmp.PeerDown) {
+	h.health.TouchFeed(router)
+	h.inner.OnPeerDown(router, m)
+}
+func (h *healthHandler) OnRoute(router string, m *bmp.RouteMonitoring) {
+	h.health.TouchFeed(router)
+	h.inner.OnRoute(router, m)
+}
+func (h *healthHandler) OnStats(router string, m *bmp.StatsReport) {
+	h.health.TouchFeed(router)
+	h.inner.OnStats(router, m)
+}
+func (h *healthHandler) OnTermination(router string) {
+	h.health.TouchFeed(router)
+	h.inner.OnTermination(router)
 }
 
 // Store exposes the controller's route store (e.g. to use as the sFlow
@@ -148,21 +226,114 @@ func (c *Controller) Store() *RouteStore { return c.store }
 // Metrics exposes the controller's metrics registry.
 func (c *Controller) Metrics() *metrics.Registry { return c.registry }
 
-// AddBMPFeed starts consuming a router's BMP stream.
-func (c *Controller) AddBMPFeed(router string, conn net.Conn) {
+// Health exposes the controller's input-health tracker.
+func (c *Controller) Health() *HealthTracker { return c.health }
+
+// goFeed registers a feed goroutine, refusing after Close (this closes
+// the old AddBMPFeed-after-Close WaitGroup race: Add no longer races
+// Wait).
+func (c *Controller) goFeed(fn func()) bool {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return false
+	}
 	c.bmpWG.Add(1)
+	c.mu.Unlock()
 	go func() {
 		defer c.bmpWG.Done()
-		if err := c.collector.HandleConn(c.bmpCtx, router, conn); err != nil && c.cfg.Logf != nil {
+		fn()
+	}()
+	return true
+}
+
+// AddBMPFeed starts consuming a router's BMP stream from an established
+// connection. The feed does not self-heal: when conn fails the feed
+// stays down (and health reflects it). Use AddBMPFeedDialer for
+// supervised, reconnecting feeds.
+func (c *Controller) AddBMPFeed(router string, conn net.Conn) {
+	c.health.RegisterFeed(router)
+	ok := c.goFeed(func() {
+		c.health.FeedUp(router)
+		err := c.collector.HandleConn(c.bmpCtx, router, conn)
+		c.health.FeedDown(router)
+		if err != nil && c.cfg.Logf != nil {
 			c.cfg.Logf("bmp feed %s: %v", router, err)
 		}
-	}()
+	})
+	if !ok {
+		conn.Close()
+	}
+}
+
+// AddBMPFeedDialer starts a supervised BMP feed: dial connects to the
+// router's BMP endpoint, the stream is consumed until it fails, and the
+// supervisor redials with exponential backoff plus jitter. While the
+// feed is down its routes stay in the store until the configured grace
+// period (HealthConfig.BMPFlushAfter) expires, at which point the next
+// controller cycle flushes them; on reconnect the router's BMP table
+// dump re-syncs the store.
+func (c *Controller) AddBMPFeedDialer(router string, dial func(ctx context.Context) (net.Conn, error)) {
+	c.health.RegisterFeed(router)
+	c.goFeed(func() {
+		backoff := c.cfg.BMPBackoffMin
+		sleep := func() bool {
+			// ±25% jitter decorrelates redial storms across feeds.
+			d := backoff + time.Duration((rand.Float64()-0.5)*0.5*float64(backoff))
+			select {
+			case <-c.bmpCtx.Done():
+				return false
+			case <-time.After(d):
+			}
+			backoff = min(backoff*2, c.cfg.BMPBackoffMax)
+			return true
+		}
+		for {
+			conn, err := dial(c.bmpCtx)
+			if err != nil {
+				if c.bmpCtx.Err() != nil {
+					return
+				}
+				if c.cfg.Logf != nil {
+					c.cfg.Logf("bmp feed %s: dial: %v (retry in ~%v)", router, err, backoff)
+				}
+				if !sleep() {
+					return
+				}
+				continue
+			}
+			backoff = c.cfg.BMPBackoffMin
+			c.health.FeedUp(router)
+			c.registry.Counter("edgefabric_bmp_connects_total").Inc()
+			err = c.collector.HandleConn(c.bmpCtx, router, conn)
+			c.health.FeedDown(router)
+			if c.bmpCtx.Err() != nil {
+				return
+			}
+			if c.cfg.Logf != nil {
+				c.cfg.Logf("bmp feed %s: stream ended: %v", router, err)
+			}
+			if !sleep() {
+				return
+			}
+		}
+	})
 }
 
 // AddInjectionSession registers the iBGP session toward a peering
-// router.
+// router over an established connection (no self-healing; see
+// AddInjectionSessionDialer).
 func (c *Controller) AddInjectionSession(routerAddr netip.Addr, conn net.Conn) error {
+	c.health.RegisterSession(routerAddr)
 	return c.injector.AddRouter(routerAddr, conn)
+}
+
+// AddInjectionSessionDialer registers a self-healing iBGP session: the
+// injector redials whenever the session drops and re-announces the
+// installed override set once it re-establishes.
+func (c *Controller) AddInjectionSessionDialer(routerAddr netip.Addr, dial func(ctx context.Context) (net.Conn, error)) error {
+	c.health.RegisterSession(routerAddr)
+	return c.injector.AddRouterDialer(routerAddr, dial)
 }
 
 // WaitReady blocks until all injection sessions are established and the
@@ -179,13 +350,191 @@ func (c *Controller) WaitReady(ctx context.Context, minRoutes int) error {
 	return nil
 }
 
-// RunCycle executes one full control cycle: measure, project, allocate,
-// inject. It returns the cycle's report. RunCycle must not be invoked
-// concurrently with itself (the projector's plan cache is unguarded);
-// Run and the simulation harnesses drive it from one goroutine.
-func (c *Controller) RunCycle() (*CycleReport, error) {
+// PanicNextCycle arms a one-shot injected fault: the next RunCycle
+// panics mid-cycle. It exists for the fault-injection harness (E11
+// verifies the watchdog recovery path); production code never calls it.
+func (c *Controller) PanicNextCycle() { c.panicArmed.Store(true) }
+
+// flushDeadFeeds removes from the store all routes learned via feeds
+// that have exceeded the down grace period.
+func (c *Controller) flushDeadFeeds() {
+	for _, router := range c.health.FeedsToFlush() {
+		removed := 0
+		for _, addr := range c.cfg.Inventory.PeerAddrsOnRouter(router) {
+			removed += c.store.Table().RemovePeer(addr)
+		}
+		c.registry.Counter("edgefabric_bmp_flushes_total").Inc()
+		if c.cfg.Logf != nil {
+			c.cfg.Logf("bmp feed %s: down past grace, flushed %d routes", router, removed)
+		}
+	}
+}
+
+// exportHealth publishes the health evaluation to the metrics registry.
+func (c *Controller) exportHealth(ih InputHealth) {
+	m := c.registry
+	m.Gauge("edgefabric_health_state").Set(float64(ih.State))
+	m.Gauge("edgefabric_traffic_age_seconds").Set(ih.TrafficAge.Seconds())
+	m.Gauge("edgefabric_routes_age_seconds").Set(ih.RoutesAge.Seconds())
+	m.Gauge("edgefabric_bmp_feeds_up").Set(float64(ih.FeedsUp))
+	m.Gauge("edgefabric_bmp_feeds_total").Set(float64(ih.FeedsTotal))
+	m.Gauge("edgefabric_injection_sessions_up").Set(float64(ih.SessionsUp))
+	m.Gauge("edgefabric_injection_sessions_total").Set(float64(ih.SessionsTotal))
+
+	c.mu.Lock()
+	prev := c.lastState
+	c.lastState = ih.State
+	c.mu.Unlock()
+	if ih.State == HealthFailBack && prev != HealthFailBack {
+		m.Counter("edgefabric_failback_total").Inc()
+	}
+	if ih.State == HealthFailStatic {
+		m.Counter("edgefabric_failstatic_cycles_total").Inc()
+	}
+}
+
+// installedOverrides renders the injector's installed set as a sorted
+// override slice (the frozen cycle's "desired" set).
+func (c *Controller) installedOverrides() []Override {
+	installed := c.injector.Installed()
+	out := make([]Override, 0, len(installed))
+	for _, o := range installed {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		return rib.ComparePrefixes(out[a].Prefix, out[b].Prefix) < 0
+	})
+	return out
+}
+
+// finishReport numbers, retains, audits, and meters a cycle report.
+func (c *Controller) finishReport(report *CycleReport, started time.Time) {
+	report.Elapsed = time.Since(started)
+
+	c.mu.Lock()
+	c.seq++
+	report.Seq = c.seq
+	// Ring retention: once full, overwrite in place instead of
+	// re-slicing (the old append+reslice pinned an ever-growing backing
+	// array).
+	if len(c.history) < c.maxHist {
+		c.history = append(c.history, *report)
+	} else {
+		c.history[c.histNext] = *report
+		c.histNext = (c.histNext + 1) % c.maxHist
+	}
+	c.mu.Unlock()
+
+	if c.cfg.Audit != nil {
+		if aerr := c.cfg.Audit.Log(report); aerr != nil && c.cfg.Logf != nil {
+			c.cfg.Logf("audit log: %v", aerr)
+		}
+	}
+
+	m := c.registry
+	m.Counter("edgefabric_cycles_total").Inc()
+	m.Gauge("edgefabric_overrides_active").Set(float64(len(report.Overrides)))
+	m.Gauge("edgefabric_detoured_bps").Set(report.DetouredBps)
+	m.Gauge("edgefabric_demand_bps").Set(report.DemandBps)
+	m.Counter("edgefabric_announcements_total").Add(uint64(report.Announced))
+	m.Counter("edgefabric_withdrawals_total").Add(uint64(report.Withdrawn))
+	m.Histogram("edgefabric_cycle_seconds", 0.0001, 0.001, 0.01, 0.1, 1, 10).
+		Observe(report.Elapsed.Seconds())
+	if len(report.ResidualOverloadBps) > 0 {
+		m.Counter("edgefabric_residual_overload_cycles_total").Inc()
+	}
+
+	// Cycle watchdog: a cycle that blows its interval budget starves
+	// the loop; count it and let consecutive overruns degrade health.
+	if report.Elapsed > c.cfg.CycleInterval {
+		m.Counter("edgefabric_cycle_overruns_total").Inc()
+		c.health.NoteOverrun()
+	} else {
+		c.health.NoteOnTime()
+	}
+}
+
+// RunCycle executes one full control cycle: evaluate input health, then
+// measure, project, allocate, inject — or, when inputs are stale, freeze
+// (fail-static) or withdraw everything (fail-back). It returns the
+// cycle's report. A panicking cycle is recovered, counted, and triggers
+// the fail-static hold rather than killing the caller. RunCycle must not
+// be invoked concurrently with itself (the projector's plan cache is
+// unguarded); Run and the simulation harnesses drive it from one
+// goroutine.
+func (c *Controller) RunCycle() (report *CycleReport, err error) {
 	started := time.Now()
 	now := c.cfg.Now()
+
+	defer func() {
+		if r := recover(); r == nil {
+			return
+		} else {
+			c.health.NotePanic()
+			c.registry.Counter("edgefabric_cycle_panics_total").Inc()
+			if c.cfg.Logf != nil {
+				c.cfg.Logf("cycle panic recovered: %v", r)
+			}
+			report = &CycleReport{
+				Time:          now,
+				Health:        HealthFailStatic,
+				HealthReasons: []string{fmt.Sprintf("cycle panic: %v", r)},
+				IfUtil:        map[int]float64{},
+				Overrides:     c.installedOverrides(),
+			}
+			c.finishReport(report, started)
+			c.exportHealth(c.health.Evaluate())
+			err = fmt.Errorf("core: cycle panic recovered: %v", r)
+		}
+	}()
+
+	ih := c.health.BeginCycle()
+	c.flushDeadFeeds()
+	c.exportHealth(ih)
+
+	if c.panicArmed.CompareAndSwap(true, false) {
+		panic("injected cycle fault (PanicNextCycle)")
+	}
+
+	switch ih.State {
+	case HealthFailBack:
+		// Inputs are gone past the point where holding detours is
+		// defensible: withdraw everything; the PoP runs on default BGP
+		// policy until inputs return.
+		res, serr := c.injector.Sync(nil)
+		report = &CycleReport{
+			Time:          now,
+			Health:        ih.State,
+			HealthReasons: ih.Reasons,
+			IfUtil:        map[int]float64{},
+			Withdrawn:     res.Withdrawn,
+			Partial:       res.Partial,
+		}
+		c.finishReport(report, started)
+		if c.cfg.Logf != nil && res.Withdrawn > 0 {
+			c.cfg.Logf("cycle %d: FAIL-BACK, withdrew %d overrides (%s)", report.Seq, res.Withdrawn, ih)
+		}
+		return report, serr
+	case HealthFailStatic:
+		// Freeze: keep the installed set exactly as is. Deliberately do
+		// not read the demand window — it is decaying toward zero and
+		// acting on it would withdraw detours while blind.
+		frozen := c.installedOverrides()
+		var detoured float64
+		for _, o := range frozen {
+			detoured += o.RateBps
+		}
+		report = &CycleReport{
+			Time:          now,
+			Health:        ih.State,
+			HealthReasons: ih.Reasons,
+			IfUtil:        map[int]float64{},
+			Overrides:     frozen,
+			DetouredBps:   detoured,
+		}
+		c.finishReport(report, started)
+		return report, nil
+	}
 
 	demand := c.cfg.Traffic.Rates()
 	proj := c.projector.Project(c.store.Table(), demand)
@@ -207,17 +556,19 @@ func (c *Controller) RunCycle() (*CycleReport, error) {
 			detoured += o.RateBps
 		}
 	}
-	announced, withdrawn, err := c.injector.Sync(overrides)
+	res, serr := c.injector.Sync(overrides)
 
-	report := &CycleReport{
+	report = &CycleReport{
 		Time:                now,
+		Health:              ih.State,
+		HealthReasons:       ih.Reasons,
 		IfUtil:              make(map[int]float64),
 		Overrides:           overrides,
 		DetouredBps:         detoured,
 		ResidualOverloadBps: alloc.ResidualOverloadBps,
-		Announced:           announced,
-		Withdrawn:           withdrawn,
-		Elapsed:             time.Since(started),
+		Announced:           res.Announced,
+		Withdrawn:           res.Withdrawn,
+		Partial:             res.Partial,
 	}
 	for _, bps := range demand {
 		report.DemandBps += bps
@@ -225,42 +576,16 @@ func (c *Controller) RunCycle() (*CycleReport, error) {
 	for _, info := range c.cfg.Inventory.Interfaces() {
 		report.IfUtil[info.ID] = proj.IfLoadBps[info.ID] / info.CapacityBps
 	}
+	c.finishReport(report, started)
 
-	c.mu.Lock()
-	c.seq++
-	report.Seq = c.seq
-	c.history = append(c.history, *report)
-	if len(c.history) > c.maxHist {
-		c.history = c.history[len(c.history)-c.maxHist:]
-	}
-	c.mu.Unlock()
-
-	if c.cfg.Audit != nil {
-		if aerr := c.cfg.Audit.Log(report); aerr != nil && c.cfg.Logf != nil {
-			c.cfg.Logf("audit log: %v", aerr)
-		}
-	}
-
-	m := c.registry
-	m.Counter("edgefabric_cycles_total").Inc()
-	m.Gauge("edgefabric_overrides_active").Set(float64(len(overrides)))
-	m.Gauge("edgefabric_detoured_bps").Set(detoured)
-	m.Gauge("edgefabric_demand_bps").Set(report.DemandBps)
-	m.Counter("edgefabric_announcements_total").Add(uint64(announced))
-	m.Counter("edgefabric_withdrawals_total").Add(uint64(withdrawn))
-	m.Histogram("edgefabric_cycle_seconds", 0.0001, 0.001, 0.01, 0.1, 1, 10).
-		Observe(report.Elapsed.Seconds())
-	if len(alloc.ResidualOverloadBps) > 0 {
-		m.Counter("edgefabric_residual_overload_cycles_total").Inc()
-	}
-	if err != nil {
-		m.Counter("edgefabric_injection_errors_total").Inc()
-		return report, err
+	if serr != nil {
+		c.registry.Counter("edgefabric_injection_errors_total").Inc()
+		return report, serr
 	}
 	if c.cfg.Logf != nil && len(overrides) > 0 {
 		c.cfg.Logf("cycle %d: demand %.1fG, %d overrides (%.1fG detoured), +%d/-%d",
 			report.Seq, report.DemandBps/1e9, len(overrides),
-			detoured/1e9, announced, withdrawn)
+			detoured/1e9, res.Announced, res.Withdrawn)
 	}
 	return report, nil
 }
@@ -269,8 +594,13 @@ func (c *Controller) RunCycle() (*CycleReport, error) {
 func (c *Controller) History() []CycleReport {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]CycleReport, len(c.history))
-	copy(out, c.history)
+	out := make([]CycleReport, 0, len(c.history))
+	if len(c.history) < c.maxHist {
+		out = append(out, c.history...)
+	} else {
+		out = append(out, c.history[c.histNext:]...)
+		out = append(out, c.history[:c.histNext]...)
+	}
 	return out
 }
 
@@ -279,9 +609,15 @@ func (c *Controller) Installed() map[netip.Prefix]Override {
 	return c.injector.Installed()
 }
 
+// Injector exposes the controller's injector (e.g. for per-router
+// delivery introspection in the status API).
+func (c *Controller) Injector() *Injector { return c.injector }
+
 // Run drives the control loop on a wall-clock ticker until ctx ends.
 // Simulation harnesses call RunCycle directly instead, interleaved with
-// virtual-clock advancement.
+// virtual-clock advancement. Cycle panics are recovered inside RunCycle,
+// so a crashing cycle degrades to fail-static instead of killing the
+// daemon.
 func (c *Controller) Run(ctx context.Context) error {
 	ticker := time.NewTicker(c.cfg.CycleInterval)
 	defer ticker.Stop()
@@ -300,6 +636,9 @@ func (c *Controller) Run(ctx context.Context) error {
 // Close tears the controller down: BMP feeds stop and the injection
 // sessions drop, which withdraws every override on the routers.
 func (c *Controller) Close() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
 	c.bmpStop()
 	c.injector.Close()
 	c.bmpWG.Wait()
@@ -310,6 +649,12 @@ func (c *Controller) Close() {
 func FormatReport(r *CycleReport, inv *Inventory) string {
 	s := fmt.Sprintf("cycle %d @ %s: demand %.1f Gbps, overrides %d (%.1f Gbps detoured)",
 		r.Seq, r.Time.Format("15:04:05"), r.DemandBps/1e9, len(r.Overrides), r.DetouredBps/1e9)
+	if r.Health != HealthHealthy {
+		s += fmt.Sprintf(" [%s]", r.Health)
+		if len(r.HealthReasons) > 0 {
+			s += " " + r.HealthReasons[0]
+		}
+	}
 	ids := make([]int, 0, len(r.IfUtil))
 	for id := range r.IfUtil {
 		ids = append(ids, id)

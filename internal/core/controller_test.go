@@ -99,9 +99,9 @@ func TestInjectorSyncDiffing(t *testing.T) {
 		},
 		FromIF: 0, ToIF: 3, RateBps: 1e9,
 	}
-	a, w, err := inj.Sync([]Override{o1})
-	if err != nil || a != 1 || w != 0 {
-		t.Fatalf("Sync = %d/%d, %v", a, w, err)
+	res, err := inj.Sync([]Override{o1})
+	if err != nil || res.Announced != 1 || res.Withdrawn != 0 {
+		t.Fatalf("Sync = %d/%d, %v", res.Announced, res.Withdrawn, err)
 	}
 	u := waitUpdate(t, pr)
 	if len(u.NLRI) != 1 || u.NLRI[0] != o1.Prefix {
@@ -115,17 +115,17 @@ func TestInjectorSyncDiffing(t *testing.T) {
 	}
 
 	// Same desired set: no messages.
-	a, w, err = inj.Sync([]Override{o1})
-	if err != nil || a != 0 || w != 0 {
-		t.Fatalf("idempotent Sync = %d/%d, %v", a, w, err)
+	res, err = inj.Sync([]Override{o1})
+	if err != nil || res.Announced != 0 || res.Withdrawn != 0 {
+		t.Fatalf("idempotent Sync = %d/%d, %v", res.Announced, res.Withdrawn, err)
 	}
 
 	// Changed next hop: withdraw + announce.
 	o2 := o1
 	o2.Via = &rib.Route{NextHop: netip.MustParseAddr("172.20.0.3"), ASPath: []uint32{65012, 65010}}
-	a, w, err = inj.Sync([]Override{o2})
-	if err != nil || a != 1 || w != 1 {
-		t.Fatalf("changed Sync = %d/%d, %v", a, w, err)
+	res, err = inj.Sync([]Override{o2})
+	if err != nil || res.Announced != 1 || res.Withdrawn != 1 {
+		t.Fatalf("changed Sync = %d/%d, %v", res.Announced, res.Withdrawn, err)
 	}
 	wd := waitUpdate(t, pr)
 	if len(wd.Withdrawn) != 1 {
@@ -137,9 +137,9 @@ func TestInjectorSyncDiffing(t *testing.T) {
 	}
 
 	// Empty set: withdraw all.
-	a, w, err = inj.Sync(nil)
-	if err != nil || a != 0 || w != 1 {
-		t.Fatalf("clear Sync = %d/%d, %v", a, w, err)
+	res, err = inj.Sync(nil)
+	if err != nil || res.Announced != 0 || res.Withdrawn != 1 {
+		t.Fatalf("clear Sync = %d/%d, %v", res.Announced, res.Withdrawn, err)
 	}
 	if len(inj.Installed()) != 0 {
 		t.Error("Installed not empty after clear")
@@ -168,14 +168,14 @@ func TestInjectorV6Override(t *testing.T) {
 			ASPath:  []uint32{64601, 65010},
 		},
 	}
-	if _, _, err := inj.Sync([]Override{o}); err != nil {
+	if _, err := inj.Sync([]Override{o}); err != nil {
 		t.Fatal(err)
 	}
 	u := waitUpdate(t, pr)
 	if u.Attrs.MPReach == nil || u.Attrs.MPReach.NLRI[0] != o.Prefix {
 		t.Fatalf("v6 announce = %+v", u)
 	}
-	if _, _, err := inj.Sync(nil); err != nil {
+	if _, err := inj.Sync(nil); err != nil {
 		t.Fatal(err)
 	}
 	wd := waitUpdate(t, pr)

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"edgefabric/internal/bgp"
+	"edgefabric/internal/metrics"
 	"edgefabric/internal/rib"
 )
 
@@ -22,31 +23,60 @@ type InjectorConfig struct {
 	RouterID netip.Addr
 	// HoldTime for the injection sessions. Default 30 s.
 	HoldTime time.Duration
+	// Metrics receives injection counters (partial deliveries,
+	// re-announcements); nil allocates a private registry.
+	Metrics *metrics.Registry
+	// OnSessionUp / OnSessionDown, when set, observe per-router session
+	// transitions (the controller wires its health tracker here). They
+	// are called from session goroutines and must not block.
+	OnSessionUp   func(router netip.Addr)
+	OnSessionDown func(router netip.Addr, reason error)
 	// Logf, when set, receives one-line log events.
 	Logf func(format string, args ...any)
 }
 
 // Injector turns allocator decisions into BGP state on the peering
 // routers: it holds an iBGP session to each router and, every cycle,
-// diffs the desired override set against what it has announced,
-// announcing the changes and withdrawing the leftovers. Because the
-// desired set is recomputed from scratch each cycle, injector state
-// never accumulates: a controller restart simply withdraws everything
-// (session drop) and rebuilds.
+// diffs the desired override set against what each router has been
+// delivered, announcing the changes and withdrawing the leftovers.
+// Delivery is tracked *per router*: a prefix counts as installed only on
+// routers whose session actually took the UPDATE, and a session that
+// re-establishes is re-fed the installed set (the router withdrew
+// everything when the session dropped). Because the desired set is
+// recomputed from scratch each cycle, injector state never accumulates:
+// a controller restart simply withdraws everything (session drop) and
+// rebuilds.
 type Injector struct {
 	speaker *bgp.Speaker
+	cfg     InjectorConfig
+	metrics *metrics.Registry
 
 	mu        sync.Mutex
 	installed map[netip.Prefix]Override
+	routers   map[netip.Addr]*injRouter
 	// view is the cached snapshot handed out by Installed; nil when a
 	// Sync has changed installed since the last snapshot was built.
 	view map[netip.Prefix]Override
 }
 
-// NewInjector returns an Injector; wire routers with AddRouter.
+// injRouter is the injector's per-router delivery state.
+type injRouter struct {
+	addr netip.Addr
+	peer *bgp.Peer
+	// delivered maps each prefix the router acknowledged taking to the
+	// next hop it was announced with. Cleared when the session drops —
+	// BGP semantics already withdrew everything the session carried.
+	delivered map[netip.Prefix]netip.Addr
+}
+
+// NewInjector returns an Injector; wire routers with AddRouter or
+// AddRouterDialer.
 func NewInjector(cfg InjectorConfig) (*Injector, error) {
 	if cfg.HoldTime == 0 {
 		cfg.HoldTime = 30 * time.Second
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
 	}
 	sp, err := bgp.NewSpeaker(bgp.SpeakerConfig{
 		LocalAS:  cfg.LocalAS,
@@ -59,21 +89,110 @@ func NewInjector(cfg InjectorConfig) (*Injector, error) {
 	}
 	return &Injector{
 		speaker:   sp,
+		cfg:       cfg,
+		metrics:   cfg.Metrics,
 		installed: make(map[netip.Prefix]Override),
+		routers:   make(map[netip.Addr]*injRouter),
 	}, nil
 }
 
-// AddRouter registers an iBGP session toward a peering router reachable
-// at addr over conn (the controller side of the transport).
-func (inj *Injector) AddRouter(addr netip.Addr, conn net.Conn) error {
+// injHandler observes one injection session's lifecycle.
+type injHandler struct {
+	bgp.NopHandler
+	inj  *Injector
+	addr netip.Addr
+}
+
+// HandleEstablished implements bgp.SessionHandler: a (re-)established
+// router is re-fed the currently-installed override set from a separate
+// goroutine (the handler runs on the session goroutine).
+func (h *injHandler) HandleEstablished(*bgp.Peer, *bgp.Open) {
+	go h.inj.reannounce(h.addr)
+	if h.inj.cfg.OnSessionUp != nil {
+		h.inj.cfg.OnSessionUp(h.addr)
+	}
+}
+
+// HandleDown implements bgp.SessionHandler: the session drop withdrew
+// everything it carried, so the router's delivery state resets.
+func (h *injHandler) HandleDown(_ *bgp.Peer, reason error) {
+	h.inj.clearDelivered(h.addr)
+	if h.inj.cfg.OnSessionDown != nil {
+		h.inj.cfg.OnSessionDown(h.addr, reason)
+	}
+}
+
+func (inj *Injector) clearDelivered(addr netip.Addr) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if r, ok := inj.routers[addr]; ok {
+		r.delivered = make(map[netip.Prefix]netip.Addr)
+	}
+}
+
+// addRouterPeer registers the peer and delivery state shared by both
+// AddRouter flavors.
+func (inj *Injector) addRouterPeer(addr netip.Addr, dial func(ctx context.Context) (net.Conn, error)) (*bgp.Peer, error) {
 	peer, err := inj.speaker.AddPeer(bgp.PeerConfig{
 		PeerAddr: addr,
 		PeerAS:   inj.speaker.LocalAS(),
+		Dial:     dial,
+		Handler:  &injHandler{inj: inj, addr: addr},
 	})
+	if err != nil {
+		return nil, err
+	}
+	inj.mu.Lock()
+	inj.routers[addr] = &injRouter{addr: addr, peer: peer, delivered: make(map[netip.Prefix]netip.Addr)}
+	inj.mu.Unlock()
+	return peer, nil
+}
+
+// AddRouter registers an iBGP session toward a peering router reachable
+// at addr over conn (the controller side of the transport). The session
+// does not self-heal: when conn drops, the router stays down until a new
+// connection is Accepted. Use AddRouterDialer for supervised sessions.
+func (inj *Injector) AddRouter(addr netip.Addr, conn net.Conn) error {
+	peer, err := inj.addRouterPeer(addr, nil)
 	if err != nil {
 		return err
 	}
 	return peer.Accept(conn)
+}
+
+// AddRouterDialer registers a self-healing iBGP session: the peer dials
+// with exponential backoff whenever the session is down, and the
+// injector re-announces the installed override set on each
+// re-establishment.
+func (inj *Injector) AddRouterDialer(addr netip.Addr, dial func(ctx context.Context) (net.Conn, error)) error {
+	if dial == nil {
+		return fmt.Errorf("core: AddRouterDialer requires a dial function")
+	}
+	_, err := inj.addRouterPeer(addr, dial)
+	return err
+}
+
+// Routers returns the registered router addresses, sorted.
+func (inj *Injector) Routers() []netip.Addr {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	out := make([]netip.Addr, 0, len(inj.routers))
+	for a := range inj.routers {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Less(out[b]) })
+	return out
+}
+
+// DeliveredCount returns how many prefixes the given router currently
+// holds from the injector.
+func (inj *Injector) DeliveredCount(addr netip.Addr) int {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if r, ok := inj.routers[addr]; ok {
+		return len(r.delivered)
+	}
+	return 0
 }
 
 // WaitEstablished blocks until every router session is established.
@@ -135,13 +254,29 @@ func overrideCommunities(o Override) []uint32 {
 	return cs
 }
 
-// Sync reconciles the routers with the desired override set: announce
-// new or changed overrides, withdraw ones no longer desired. Messages
-// are batched: withdrawals share UPDATEs per address family, and
-// announcements share UPDATEs per (next hop, AS path) group. It returns
-// counts of announced and withdrawn prefixes (not messages, not
+// SyncResult reports what one Sync did, in prefixes (not messages, not
 // per-router sessions).
-func (inj *Injector) Sync(desired []Override) (announced, withdrawn int, err error) {
+type SyncResult struct {
+	// Announced / Withdrawn count prefixes entering / leaving the
+	// installed set.
+	Announced, Withdrawn int
+	// Partial counts prefix actions that reached at least one but not
+	// every established router this cycle (delivery retries next cycle
+	// and on session re-establishment).
+	Partial int
+}
+
+// Sync reconciles the routers with the desired override set: announce
+// new or changed overrides, withdraw ones no longer desired. Each
+// established router is diffed against its own delivery record, so a
+// router that flapped (and therefore lost everything) is re-fed while
+// untouched routers see no churn. Messages are batched: withdrawals
+// share UPDATEs per address family, and announcements share UPDATEs per
+// (next hop, AS path) group. Routers whose session is down are skipped —
+// the drop already withdrew their state — and are refreshed by the
+// session handler when they return.
+func (inj *Injector) Sync(desired []Override) (SyncResult, error) {
+	var res SyncResult
 	want := make(map[netip.Prefix]Override, len(desired))
 	for _, o := range desired {
 		want[o.Prefix] = o
@@ -149,49 +284,171 @@ func (inj *Injector) Sync(desired []Override) (announced, withdrawn int, err err
 	inj.mu.Lock()
 	defer inj.mu.Unlock()
 
-	// Withdraw stale overrides first so capacity frees before new load
-	// shifts in.
-	var withdrawals []netip.Prefix
-	for prefix, old := range inj.installed {
-		if cur, ok := want[prefix]; ok && cur.Via.NextHop == old.Via.NextHop {
-			continue // unchanged
-		}
-		withdrawals = append(withdrawals, prefix)
-	}
-	for _, u := range withdrawUpdates(withdrawals) {
-		if n := inj.speaker.Broadcast(u); n == 0 {
-			return announced, withdrawn, fmt.Errorf("core: withdraw reached no router")
+	up := make([]*injRouter, 0, len(inj.routers))
+	for _, r := range inj.routers {
+		if r.peer.State() == bgp.StateEstablished {
+			up = append(up, r)
 		}
 	}
-	for _, prefix := range withdrawals {
-		delete(inj.installed, prefix)
-		withdrawn++
-	}
-	if withdrawn > 0 {
-		inj.view = nil
+	sort.Slice(up, func(a, b int) bool { return up[a].addr.Less(up[b].addr) })
+
+	// Per-prefix delivery outcome across established routers.
+	okCount := make(map[netip.Prefix]int)
+	tries := make(map[netip.Prefix]int)
+
+	// Withdraw stale state first so capacity frees before new load
+	// shifts in. Each router withdraws exactly the delivered prefixes it
+	// should no longer carry (no longer wanted, or next hop changed).
+	for _, r := range up {
+		var wd []netip.Prefix
+		for prefix, nh := range r.delivered {
+			if cur, ok := want[prefix]; ok && cur.Via.NextHop == nh {
+				continue
+			}
+			wd = append(wd, prefix)
+			tries[prefix]++
+		}
+		for _, u := range withdrawUpdates(wd) {
+			prefixes := withdrawnPrefixes(u)
+			if err := r.peer.SendUpdate(u); err != nil {
+				continue // session raced down; its state clears via HandleDown
+			}
+			for _, p := range prefixes {
+				delete(r.delivered, p)
+				okCount[p]++
+			}
+		}
 	}
 
-	// Announce new/changed.
-	var additions []Override
+	// Announce what each router is missing.
+	for _, r := range up {
+		var adds []Override
+		for prefix, o := range want {
+			if nh, ok := r.delivered[prefix]; ok && nh == o.Via.NextHop {
+				continue
+			}
+			adds = append(adds, o)
+			tries[prefix]++
+		}
+		for _, u := range announceUpdates(adds) {
+			prefixes, nh := announcedPrefixes(u)
+			if err := r.peer.SendUpdate(u); err != nil {
+				continue
+			}
+			for _, p := range prefixes {
+				r.delivered[p] = nh
+				okCount[p]++
+			}
+		}
+	}
+
+	// Global bookkeeping: the installed set is what the PoP actually
+	// carries somewhere. A prefix leaves when no longer desired (or its
+	// next hop changed); it enters once at least one router took it.
+	var errNoRouter error
+	for prefix, old := range inj.installed {
+		if cur, ok := want[prefix]; ok && cur.Via.NextHop == old.Via.NextHop {
+			continue
+		}
+		delete(inj.installed, prefix)
+		res.Withdrawn++
+	}
 	for prefix, o := range want {
 		if _, ok := inj.installed[prefix]; ok {
 			continue
 		}
-		additions = append(additions, o)
-	}
-	for _, u := range announceUpdates(additions) {
-		if n := inj.speaker.Broadcast(u); n == 0 {
-			return announced, withdrawn, fmt.Errorf("core: announce reached no router")
+		if okCount[prefix] > 0 {
+			inj.installed[prefix] = o
+			res.Announced++
+		} else {
+			errNoRouter = fmt.Errorf("core: announce %s reached no router", prefix)
 		}
 	}
-	for _, o := range additions {
-		inj.installed[o.Prefix] = o
-		announced++
+	for prefix, n := range okCount {
+		if t := tries[prefix]; n > 0 && n < t {
+			res.Partial++
+		}
 	}
-	if announced > 0 {
+	if res.Partial > 0 {
+		inj.metrics.Counter("edgefabric_injection_partial_total").Add(uint64(res.Partial))
+	}
+	if res.Announced > 0 || res.Withdrawn > 0 {
 		inj.view = nil
 	}
-	return announced, withdrawn, nil
+	if errNoRouter == nil && len(up) == 0 && len(want) > 0 {
+		errNoRouter = fmt.Errorf("core: no injection session established")
+	}
+	return res, errNoRouter
+}
+
+// reannounce re-feeds one router the installed override set (called when
+// its session re-establishes) and withdraws any strays it still carries.
+func (inj *Injector) reannounce(addr netip.Addr) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	r, ok := inj.routers[addr]
+	if !ok || r.peer.State() != bgp.StateEstablished {
+		return
+	}
+	var stray []netip.Prefix
+	for prefix, nh := range r.delivered {
+		if cur, ok := inj.installed[prefix]; !ok || cur.Via.NextHop != nh {
+			stray = append(stray, prefix)
+		}
+	}
+	for _, u := range withdrawUpdates(stray) {
+		prefixes := withdrawnPrefixes(u)
+		if err := r.peer.SendUpdate(u); err != nil {
+			return
+		}
+		for _, p := range prefixes {
+			delete(r.delivered, p)
+		}
+	}
+	var adds []Override
+	for prefix, o := range inj.installed {
+		if nh, ok := r.delivered[prefix]; ok && nh == o.Via.NextHop {
+			continue
+		}
+		adds = append(adds, o)
+	}
+	if len(adds) == 0 {
+		return
+	}
+	sent := 0
+	for _, u := range announceUpdates(adds) {
+		prefixes, nh := announcedPrefixes(u)
+		if err := r.peer.SendUpdate(u); err != nil {
+			break
+		}
+		for _, p := range prefixes {
+			r.delivered[p] = nh
+			sent++
+		}
+	}
+	if sent > 0 {
+		inj.metrics.Counter("edgefabric_injection_reannounce_total").Add(uint64(sent))
+		if inj.cfg.Logf != nil {
+			inj.cfg.Logf("injector: re-announced %d overrides to %s", sent, addr)
+		}
+	}
+}
+
+// withdrawnPrefixes lists the prefixes a withdraw UPDATE removes.
+func withdrawnPrefixes(u *bgp.Update) []netip.Prefix {
+	if u.Attrs.MPUnreach != nil {
+		return u.Attrs.MPUnreach.Withdrawn
+	}
+	return u.Withdrawn
+}
+
+// announcedPrefixes lists the prefixes an announce UPDATE carries and
+// their shared next hop.
+func announcedPrefixes(u *bgp.Update) ([]netip.Prefix, netip.Addr) {
+	if u.Attrs.MPReach != nil {
+		return u.Attrs.MPReach.NLRI, u.Attrs.MPReach.NextHop
+	}
+	return u.NLRI, u.Attrs.NextHop
 }
 
 // announceUpdates renders overrides as iBGP UPDATEs — the alternate

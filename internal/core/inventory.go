@@ -118,6 +118,20 @@ func (inv *Inventory) RegisterPeerAlias(alias netip.Addr, peer netip.Addr) error
 	return nil
 }
 
+// PeerAddrsOnRouter returns every registered peer address (aliases
+// included) whose session terminates on the named router. The
+// controller uses it to flush a dead BMP feed's routes from the store.
+func (inv *Inventory) PeerAddrsOnRouter(router string) []netip.Addr {
+	var out []netip.Addr
+	for addr, p := range inv.peers {
+		if p.Router == router {
+			out = append(out, addr)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Less(out[b]) })
+	return out
+}
+
 // InterfaceByID returns the inventory record for an interface.
 func (inv *Inventory) InterfaceByID(id int) (InterfaceInfo, bool) {
 	i, ok := inv.ifs[id]

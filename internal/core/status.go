@@ -6,6 +6,7 @@ import (
 	"net/netip"
 	"sort"
 	"strings"
+	"time"
 
 	"edgefabric/internal/rib"
 )
@@ -18,8 +19,13 @@ import (
 //	GET /overrides  — the currently-installed override set
 //	GET /cycles     — the most recent cycle reports
 //	GET /routes     — route store summary
+//	GET /health     — input health: per-feed/session liveness + rollup
 func (c *Controller) StatusHandler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /health", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, c.RenderHealth())
+	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		fmt.Fprint(w, c.registry.Render())
@@ -82,8 +88,49 @@ func (c *Controller) StatusHandler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		var b strings.Builder
 		b.WriteString("edgefabric controller status\n\n")
-		b.WriteString("endpoints: /metrics /overrides /cycles /routes\n")
+		b.WriteString("endpoints: /metrics /overrides /cycles /routes /health\n")
 		fmt.Fprint(w, b.String())
 	})
 	return mux
+}
+
+// RenderHealth renders the input-health evaluation, feed table, and
+// session table as the text block served at /health (and shown by
+// `efctl health`).
+func (c *Controller) RenderHealth() string {
+	var b strings.Builder
+	ih := c.health.Evaluate()
+	fmt.Fprintf(&b, "state: %s\n", ih.State)
+	for _, reason := range ih.Reasons {
+		fmt.Fprintf(&b, "  reason: %s\n", reason)
+	}
+	fmt.Fprintf(&b, "traffic age: %s\nroutes age: %s\nrecovered panics: %d\n",
+		ih.TrafficAge.Round(time.Millisecond), ih.RoutesAge.Round(time.Millisecond), ih.Panics)
+	fmt.Fprintf(&b, "\nbmp feeds (%d/%d up):\n", ih.FeedsUp, ih.FeedsTotal)
+	now := c.cfg.Now()
+	for _, f := range c.health.Feeds() {
+		state := "down"
+		if f.Up {
+			state = "up"
+		}
+		fmt.Fprintf(&b, "  %-12s %-5s since %s  reconnects %d",
+			f.Router, state, f.Since.Format("15:04:05"), f.Reconnects)
+		if !f.LastEvent.IsZero() {
+			fmt.Fprintf(&b, "  last event %s ago", now.Sub(f.LastEvent).Round(time.Millisecond))
+		}
+		if f.Flushed {
+			b.WriteString("  [routes flushed]")
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "\ninjection sessions (%d/%d up):\n", ih.SessionsUp, ih.SessionsTotal)
+	for _, s := range c.health.Sessions() {
+		state := "down"
+		if s.Up {
+			state = "up"
+		}
+		fmt.Fprintf(&b, "  %-16s %-5s since %s  flaps %d  delivered %d\n",
+			s.Router, state, s.Since.Format("15:04:05"), s.Flaps, c.injector.DeliveredCount(s.Router))
+	}
+	return b.String()
 }

@@ -45,6 +45,9 @@ type HarnessConfig struct {
 	// CycleEveryTicks runs a controller cycle every N ticks. Default 1
 	// (a cycle per 30 s tick, the paper's cadence).
 	CycleEveryTicks int
+	// Health parameterizes the controller's input-health thresholds;
+	// zero fields default from the cycle interval.
+	Health core.HealthConfig
 	// SamplingRate is the sFlow 1-in-N rate. Default 8192.
 	SamplingRate uint32
 	// Audit, when set, receives one JSON line per controller cycle.
@@ -77,6 +80,9 @@ type Harness struct {
 	PoP        *netsim.PoP
 	Controller *core.Controller // nil when disabled
 	Traffic    *sflow.Collector
+	// Loss sits between the routers' sFlow agents and the collector;
+	// fault experiments script datagram loss or total feed death on it.
+	Loss *netsim.LossySink
 	Measurer   *altpath.Measurer // nil unless PerfAware or built by an experiment
 	Inventory  *core.Inventory
 
@@ -162,12 +168,15 @@ func NewHarness(ctx context.Context, cfg HarnessConfig) (*Harness, error) {
 		Now:     clock.Now,
 	})
 
+	// The lossy wrapper is transparent until a fault experiment scripts
+	// loss on it.
+	loss := netsim.NewLossySink(traffic, cfg.Synth.Seed)
 	pop, err := netsim.NewPoP(netsim.PoPConfig{
 		Scenario:     sc,
 		Demand:       demand,
 		Clock:        clock,
 		Perf:         cfg.Perf,
-		SFlowSink:    traffic,
+		SFlowSink:    loss,
 		SamplingRate: cfg.SamplingRate,
 		Logf:         cfg.Logf,
 	})
@@ -183,6 +192,7 @@ func NewHarness(ctx context.Context, cfg HarnessConfig) (*Harness, error) {
 		Clock:    clock,
 		PoP:      pop,
 		Traffic:  traffic,
+		Loss:     loss,
 		cancel:   cancel,
 	}
 	if err := pop.Start(runCtx); err != nil {
@@ -215,13 +225,15 @@ func NewHarness(ctx context.Context, cfg HarnessConfig) (*Harness, error) {
 	// exists after core.New; bind it through a late-set closure.
 	var extra func(*core.Projection, *core.AllocResult) []core.Override
 	ctrl, err := core.New(core.Config{
-		Inventory: inv,
-		Traffic:   traffic,
-		Allocator: cfg.Allocator,
-		LocalAS:   sc.Topo.LocalAS,
-		Now:       clock.Now,
-		Audit:     cfg.Audit,
-		Logf:      cfg.Logf,
+		Inventory:     inv,
+		Traffic:       traffic,
+		Allocator:     cfg.Allocator,
+		CycleInterval: cfg.TickLen * time.Duration(cfg.CycleEveryTicks),
+		Health:        cfg.Health,
+		LocalAS:       sc.Topo.LocalAS,
+		Now:           clock.Now,
+		Audit:         cfg.Audit,
+		Logf:          cfg.Logf,
 		ExtraOverrides: func(proj *core.Projection, alloc *core.AllocResult) []core.Override {
 			if extra == nil {
 				return nil
@@ -263,15 +275,13 @@ func NewHarness(ctx context.Context, cfg HarnessConfig) (*Harness, error) {
 	var m sflow.PrefixMapper = h.Controller.Store()
 	mapper.fn.Store(&m)
 
-	// Wire BMP feeds and injection sessions.
+	// Wire BMP feeds and injection sessions through the PoP's dialers so
+	// both self-heal (and so fault experiments can kill and restore
+	// them). The first BMP dial consumes the stream created at Start,
+	// which carries the initial convergence backlog.
 	for _, router := range pop.Routers() {
-		h.Controller.AddBMPFeed(router, pop.BMPConn(router))
-		conn, err := pop.ConnectController(router)
-		if err != nil {
-			h.Close()
-			return nil, err
-		}
-		if err := h.Controller.AddInjectionSession(pop.RouterIP(router), conn); err != nil {
+		h.Controller.AddBMPFeedDialer(router, pop.BMPDialer(router))
+		if err := h.Controller.AddInjectionSessionDialer(pop.RouterIP(router), pop.ControllerDialer(router)); err != nil {
 			h.Close()
 			return nil, err
 		}
@@ -308,6 +318,12 @@ func (h *Harness) Step() (*netsim.TickStats, *core.CycleReport) {
 // next PoP-table mutation instead of sleeping.
 func (h *Harness) waitOverridesApplied(report *core.CycleReport) {
 	if report == nil {
+		return
+	}
+	// A frozen or failed-back cycle may be mid-fault (killed sessions,
+	// dead feeds): the table legitimately cannot converge to the report,
+	// and blocking here would stall virtual time on a wall-clock timeout.
+	if report.Health == core.HealthFailStatic || report.Health == core.HealthFailBack {
 		return
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)

@@ -70,7 +70,7 @@ func TestSplitOverrideEndToEnd(t *testing.T) {
 	if !ok {
 		t.Fatal("prefix not splittable")
 	}
-	if _, _, err := inj.Sync([]core.Override{{
+	if _, err := inj.Sync([]core.Override{{
 		Prefix:  lo,
 		SplitOf: prefix,
 		Via:     alt,
@@ -116,7 +116,7 @@ func TestSplitOverrideEndToEnd(t *testing.T) {
 	}
 
 	// Withdraw: the aggregate reverts to whole-prefix organic routing.
-	if _, _, err := inj.Sync(nil); err != nil {
+	if _, err := inj.Sync(nil); err != nil {
 		t.Fatal(err)
 	}
 	deadline = time.Now().Add(5 * time.Second)

@@ -49,12 +49,16 @@ type PoP struct {
 	Table *rib.Table
 	Plane *Dataplane
 
-	routers   map[string]*bgp.Speaker
-	routerIP  map[string]netip.Addr
-	remotes   []*bgp.Speaker
+	routers  map[string]*bgp.Speaker
+	routerIP map[string]netip.Addr
+	remotes  []*bgp.Speaker
+	bmpConns map[string]net.Conn // controller side of each BMP stream
+	agents   map[string]*sflow.Agent
+
+	expMu     sync.RWMutex // guards exporters (faults swap them live)
 	exporters map[string]*bmp.Exporter
-	bmpConns  map[string]net.Conn // controller side of each BMP stream
-	agents    map[string]*sflow.Agent
+
+	flt faultState // scripted fault bookkeeping (see faults.go)
 
 	mu      sync.Mutex
 	started bool
@@ -121,7 +125,7 @@ func (h *prHandler) HandleEstablished(peer *bgp.Peer, open *bgp.Open) {
 	if peer.Addr() == ControllerAddr {
 		return
 	}
-	if exp := h.pop.exporters[h.router]; exp != nil {
+	if exp := h.pop.exporter(h.router); exp != nil {
 		_ = exp.PeerUp(peer.Addr(), peer.AS(), open.RouterID, h.pop.routerIP[h.router])
 	}
 }
@@ -131,7 +135,7 @@ func (h *prHandler) HandleEstablished(peer *bgp.Peer, open *bgp.Open) {
 func (h *prHandler) HandleDown(peer *bgp.Peer, err error) {
 	h.pop.Table.RemovePeer(peer.Addr())
 	if peer.Addr() != ControllerAddr {
-		if exp := h.pop.exporters[h.router]; exp != nil {
+		if exp := h.pop.exporter(h.router); exp != nil {
 			_ = exp.PeerDown(peer.Addr(), peer.AS(), 2)
 		}
 	}
@@ -149,7 +153,7 @@ func (h *prHandler) HandleUpdate(peer *bgp.Peer, u *bgp.Update) {
 		if spec == nil {
 			return // session from an unknown neighbor: drop
 		}
-		if exp := pop.exporters[h.router]; exp != nil {
+		if exp := pop.exporter(h.router); exp != nil {
 			_ = exp.Route(peer.Addr(), peer.AS(), u)
 		}
 	}
@@ -378,12 +382,26 @@ func (p *PoP) Close() {
 	for _, sp := range p.routers {
 		sp.Close()
 	}
+	p.expMu.RLock()
 	for _, exp := range p.exporters {
 		_ = exp.Close()
 	}
+	p.expMu.RUnlock()
 	for _, c := range p.bmpConns {
 		c.Close()
 	}
+	p.flt.mu.Lock()
+	for _, c := range p.flt.bmpConn {
+		if c != nil {
+			c.Close()
+		}
+	}
+	for _, c := range p.flt.injConn {
+		if c != nil {
+			c.Close()
+		}
+	}
+	p.flt.mu.Unlock()
 }
 
 // remoteAnnouncer announces a neighbor's prefixes once its session with

@@ -44,9 +44,11 @@ type Collector struct {
 	mu       sync.Mutex
 	buckets  []map[netip.Prefix]float64 // scaled bytes per bucket
 	times    []time.Time                // start time of each bucket
-	cur      int
-	datagram uint64
-	dropped  uint64
+	cur        int
+	datagram   uint64
+	malformed  uint64 // undecodable datagrams (transport-level)
+	dropped    uint64 // well-formed records with no mappable prefix
+	lastIngest time.Time
 
 	// totals caches the cross-bucket byte merge (the expensive part of
 	// Rates): it stays valid until an Ingest or a bucket rotation, so
@@ -123,6 +125,7 @@ func (c *Collector) Ingest(d *Datagram) {
 	defer c.mu.Unlock()
 	c.rotate(now)
 	c.datagram++
+	c.lastIngest = now
 	c.totalsValid = false
 	for _, s := range d.Samples {
 		scale := float64(s.SamplingRate)
@@ -186,9 +189,26 @@ func (c *Collector) Rate(p netip.Prefix) float64 {
 	return c.Rates()[p]
 }
 
-// Stats reports ingested datagrams and dropped (unmappable) records.
-func (c *Collector) Stats() (datagrams, droppedRecords uint64) {
+// Stats reports ingested datagrams, malformed (undecodable) datagrams,
+// and dropped (unmappable) records.
+func (c *Collector) Stats() (datagrams, malformedDatagrams, droppedRecords uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.datagram, c.dropped
+	return c.datagram, c.malformed, c.dropped
+}
+
+// LastIngest reports when the collector last ingested a datagram (the
+// zero time if it never has). The controller's health tracker uses it
+// to detect a stale traffic input.
+func (c *Collector) LastIngest() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastIngest
+}
+
+// noteMalformed counts an undecodable datagram (called by transports).
+func (c *Collector) noteMalformed() {
+	c.mu.Lock()
+	c.malformed++
+	c.mu.Unlock()
 }

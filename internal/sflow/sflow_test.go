@@ -256,7 +256,7 @@ func TestCollectorDropsUnmappable(t *testing.T) {
 		Mapper: PrefixMapperFunc(func(netip.Addr) netip.Prefix { return netip.Prefix{} }),
 	})
 	c.Ingest(testDatagram())
-	if _, dropped := c.Stats(); dropped != 2 {
+	if _, _, dropped := c.Stats(); dropped != 2 {
 		t.Errorf("dropped = %d, want 2", dropped)
 	}
 	if len(c.Rates()) != 0 {

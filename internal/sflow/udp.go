@@ -52,10 +52,10 @@ func (c *Collector) ServeUDP(ctx context.Context, conn net.PacketConn) error {
 			return err
 		}
 		if err := c.SendDatagram(buf[:n]); err != nil {
-			// A malformed datagram is logged by count, not fatal.
-			c.mu.Lock()
-			c.dropped++
-			c.mu.Unlock()
+			// A malformed datagram is logged by count, not fatal — and
+			// counted separately from unmappable records so operators can
+			// tell a broken agent from incomplete route coverage.
+			c.noteMalformed()
 		}
 	}
 }

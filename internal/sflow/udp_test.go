@@ -38,12 +38,12 @@ func TestUDPSinkToCollector(t *testing.T) {
 
 	deadline := time.Now().Add(3 * time.Second)
 	for time.Now().Before(deadline) {
-		if d, _ := col.Stats(); d >= 1 {
+		if d, _, _ := col.Stats(); d >= 1 {
 			break
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
-	if d, _ := col.Stats(); d == 0 {
+	if d, _, _ := col.Stats(); d == 0 {
 		t.Fatal("datagram never ingested over UDP")
 	}
 	rates := col.Rates()

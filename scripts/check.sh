@@ -16,4 +16,12 @@ go test -race ./...
 echo "==> go test -bench=BenchmarkProject -benchtime=1x"
 go test -run '^$' -bench=BenchmarkProject -benchtime=1x -benchmem .
 
+# Fuzz smoke: 10 s per wire-format decoder. Catches decode panics the
+# seed corpora miss; a real finding reproduces via the usual testdata
+# crasher files.
+for pkg in ./internal/bgp ./internal/bmp ./internal/sflow; do
+  echo "==> go test -fuzz=FuzzDecode -fuzztime=10s $pkg"
+  go test -run '^$' -fuzz=FuzzDecode -fuzztime=10s "$pkg"
+done
+
 echo "OK"

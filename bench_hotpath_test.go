@@ -87,10 +87,11 @@ type staticRates map[netip.Prefix]float64
 
 func (s staticRates) Rates() map[netip.Prefix]float64 { return s }
 
-// BenchmarkRunCycleSteadyState measures a full controller cycle —
-// measure, project, allocate, sync — in the common steady state where
-// nothing is overloaded and the override set is empty.
-func BenchmarkRunCycleSteadyState(b *testing.B) {
+// steadyStateController builds a 5k-prefix controller in the common
+// steady state where nothing is overloaded and cycles produce zero
+// overrides.
+func steadyStateController(b *testing.B, trace core.TraceConfig) *core.Controller {
+	b.Helper()
 	const nIFs = 16
 	tab, demand := hotTable(5_000, 4, nIFs)
 
@@ -121,6 +122,7 @@ func BenchmarkRunCycleSteadyState(b *testing.B) {
 		Inventory: inv,
 		Traffic:   staticRates(demand),
 		Allocator: core.AllocatorConfig{Threshold: 0.95},
+		Trace:     trace,
 		LocalAS:   64512,
 	})
 	if err != nil {
@@ -140,7 +142,27 @@ func BenchmarkRunCycleSteadyState(b *testing.B) {
 	} else if len(rep.Overrides) != 0 {
 		b.Fatalf("steady-state scenario produced %d overrides", len(rep.Overrides))
 	}
+	return ctrl
+}
 
+// BenchmarkRunCycleSteadyState measures a full controller cycle —
+// measure, project, allocate, sync — with decision tracing enabled (the
+// default configuration).
+func BenchmarkRunCycleSteadyState(b *testing.B) {
+	ctrl := steadyStateController(b, core.TraceConfig{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctrl.RunCycle(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunCycleSteadyStateNoTrace is the same cycle with decision
+// tracing disabled — the pair bounds the explain path's overhead.
+func BenchmarkRunCycleSteadyStateNoTrace(b *testing.B) {
+	ctrl := steadyStateController(b, core.TraceConfig{Disable: true})
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -19,6 +19,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux (served only with --pprof)
 	"net/netip"
 	"os"
 	"os/signal"
@@ -43,6 +44,7 @@ func main() {
 		peakGbps    = flag.Float64("peak-gbps", 400, "embedded mode: peak demand (Gbps)")
 		seed        = flag.Int64("seed", 1, "embedded mode: scenario seed")
 		status      = flag.String("status", "", "serve the controller status API on this address (e.g. 127.0.0.1:8080)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060)")
 		auditPath   = flag.String("audit", "", "append a JSON line per cycle to this file")
 		verbose     = flag.Bool("v", false, "verbose logging")
 	)
@@ -52,6 +54,7 @@ func main() {
 	defer stop()
 
 	audit := openAudit(*auditPath)
+	servePprof(ctx, *pprofAddr)
 	if *invPath != "" {
 		runRemote(ctx, *invPath, *sflowListen, *cycle, *threshold, *duration, *status, audit, *verbose)
 		return
@@ -199,9 +202,29 @@ func serveStatus(ctx context.Context, addr string, ctrl *core.Controller) {
 		srv.Close()
 	}()
 	go func() {
-		log.Printf("status API on http://%s/ (endpoints: /metrics /overrides /cycles /routes /health)", addr)
+		log.Printf("status API on http://%s/ (endpoints: /metrics /overrides /cycles /routes /health /explain)", addr)
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			log.Printf("status server: %v", err)
+		}
+	}()
+}
+
+// servePprof exposes net/http/pprof profiling when addr is nonempty.
+// The profiler lives on its own listener so enabling it never widens
+// the status API's surface.
+func servePprof(ctx context.Context, addr string) {
+	if addr == "" {
+		return
+	}
+	srv := &http.Server{Addr: addr, Handler: http.DefaultServeMux}
+	go func() {
+		<-ctx.Done()
+		srv.Close()
+	}()
+	go func() {
+		log.Printf("pprof on http://%s/debug/pprof/", addr)
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Printf("pprof server: %v", err)
 		}
 	}()
 }

@@ -6,6 +6,7 @@
 //	efctl -status 127.0.0.1:8080 metrics
 //	efctl -status 127.0.0.1:8080 routes
 //	efctl -status 127.0.0.1:8080 health
+//	efctl -status 127.0.0.1:8080 explain 93.184.216.0/24
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"net/url"
 	"os"
 	"time"
 )
@@ -22,30 +24,48 @@ func main() {
 	status := flag.String("status", "127.0.0.1:8080", "edgefabricd status API address")
 	timeout := flag.Duration("timeout", 5*time.Second, "request timeout")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: efctl [-status host:port] overrides|cycles|metrics|routes|health\n")
+		fmt.Fprintf(os.Stderr, "usage: efctl [-status host:port] overrides|cycles|metrics|routes|health|explain [prefix]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 1 {
+	if flag.NArg() < 1 {
 		flag.Usage()
 		os.Exit(2)
 	}
 	what := flag.Arg(0)
+	path := what
 	switch what {
 	case "overrides", "cycles", "metrics", "routes", "health":
+		if flag.NArg() != 1 {
+			flag.Usage()
+			os.Exit(2)
+		}
+	case "explain":
+		// Optional prefix argument: without one, /explain summarizes the
+		// latest cycle's decisions; with one, it prints that prefix's
+		// full decision trace.
+		switch flag.NArg() {
+		case 1:
+		case 2:
+			path = "explain?prefix=" + url.QueryEscape(flag.Arg(1))
+		default:
+			flag.Usage()
+			os.Exit(2)
+		}
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 
 	client := &http.Client{Timeout: *timeout}
-	resp, err := client.Get(fmt.Sprintf("http://%s/%s", *status, what))
+	resp, err := client.Get(fmt.Sprintf("http://%s/%s", *status, path))
 	if err != nil {
 		log.Fatalf("efctl: %v", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		log.Fatalf("efctl: %s returned %s", what, resp.Status)
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		log.Fatalf("efctl: %s returned %s: %s", what, resp.Status, body)
 	}
 	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
 		log.Fatalf("efctl: %v", err)

@@ -27,12 +27,12 @@ func (h *recHandler) got() []string {
 	return append([]string(nil), h.events...)
 }
 
-func (h *recHandler) OnInitiation(string, *Initiation)  { h.add("init") }
-func (h *recHandler) OnPeerUp(string, *PeerUp)          { h.add("peerup") }
-func (h *recHandler) OnPeerDown(string, *PeerDown)      { h.add("peerdown") }
-func (h *recHandler) OnRoute(string, *RouteMonitoring)  { h.add("route") }
-func (h *recHandler) OnStats(string, *StatsReport)      { h.add("stats") }
-func (h *recHandler) OnTermination(string)              { h.add("term") }
+func (h *recHandler) OnInitiation(string, *Initiation) { h.add("init") }
+func (h *recHandler) OnPeerUp(string, *PeerUp)         { h.add("peerup") }
+func (h *recHandler) OnPeerDown(string, *PeerDown)     { h.add("peerdown") }
+func (h *recHandler) OnRoute(string, *RouteMonitoring) { h.add("route") }
+func (h *recHandler) OnStats(string, *StatsReport)     { h.add("stats") }
+func (h *recHandler) OnTermination(string)             { h.add("term") }
 
 func mustMarshal(t *testing.T, m Message) []byte {
 	t.Helper()

@@ -163,6 +163,14 @@ func Allocate(proj *Projection, inv *Inventory, cfg AllocatorConfig) *AllocResul
 // (feasibility permitting) before any new detours are chosen, which
 // suppresses override churn while an overload persists.
 func AllocateSticky(proj *Projection, inv *Inventory, cfg AllocatorConfig, prior map[netip.Prefix]Override) *AllocResult {
+	return AllocateStickyTraced(proj, inv, cfg, prior, nil)
+}
+
+// AllocateStickyTraced is AllocateSticky with decision provenance: when
+// tr is non-nil, every prefix the allocator considers gets a structured
+// trace record (candidates with rejection reasons, final outcome) in
+// tr. A nil tr records nothing and costs nothing.
+func AllocateStickyTraced(proj *Projection, inv *Inventory, cfg AllocatorConfig, prior map[netip.Prefix]Override, tr *CycleTrace) *AllocResult {
 	cfg.setDefaults()
 	res := &AllocResult{ResidualOverloadBps: make(map[int]float64)}
 
@@ -181,23 +189,36 @@ func AllocateSticky(proj *Projection, inv *Inventory, cfg AllocatorConfig, prior
 
 	// candidateDetourRate returns the best feasible detour for moving
 	// rate bps of a plan's traffic, given current working loads, or nil.
-	candidateDetourRate := func(plan *PrefixPlan, rate float64) *rib.Route {
+	// Each alternate's verdict is recorded into pt (nil = no tracing);
+	// the winner is flipped from "outranked" to accepted.
+	candidateDetourRate := func(plan *PrefixPlan, rate float64, phase string, pt *PrefixTrace) *rib.Route {
 		var best *rib.Route
 		var bestSpare float64
 		for _, alt := range plan.Alternates {
 			if alt.EgressIF == plan.Preferred.EgressIF {
+				pt.reject(CandidateTrace{Phase: phase, Via: alt, Reason: RejectSamePort})
 				continue // same port (e.g. another peer on the same IXP interface)
 			}
 			c := capOf(alt.EgressIF)
 			if c == 0 {
+				pt.reject(CandidateTrace{Phase: phase, Via: alt, Reason: RejectNoInterface})
 				continue
 			}
 			if load[alt.EgressIF]+rate > cfg.Target*c {
+				pt.reject(CandidateTrace{
+					Phase: phase, Via: alt, Reason: RejectWouldExceedTarget,
+					LoadBps: load[alt.EgressIF], MoveBps: rate, LimitBps: cfg.Target * c,
+				})
 				continue // would overload the target
 			}
+			pt.reject(CandidateTrace{
+				Phase: phase, Via: alt, Reason: RejectOutranked,
+				LoadBps: load[alt.EgressIF], MoveBps: rate, LimitBps: cfg.Target * c,
+			})
 			spare := cfg.Target*c - load[alt.EgressIF] - rate
 			switch cfg.TargetSelect {
 			case TargetFirstFeasible:
+				pt.markChosen(alt)
 				return alt
 			case TargetMostSpare:
 				if best == nil || spare > bestSpare {
@@ -211,10 +232,8 @@ func AllocateSticky(proj *Projection, inv *Inventory, cfg AllocatorConfig, prior
 				}
 			}
 		}
+		pt.markChosen(best)
 		return best
-	}
-	candidateDetour := func(plan *PrefixPlan) *rib.Route {
-		return candidateDetourRate(plan, plan.RateBps)
 	}
 
 	// Stickiness pass: retain still-needed, still-feasible detours from
@@ -235,13 +254,20 @@ func AllocateSticky(proj *Projection, inv *Inventory, cfg AllocatorConfig, prior
 				planKey = old.SplitOf
 				rateShare = 0.5
 			}
+			pt := tr.Prefix(planKey)
+			if pt != nil && old.SplitOf.IsValid() {
+				pt.SplitPrefix = prefix
+			}
 			plan, ok := proj.Plans[planKey]
 			if !ok {
+				pt.outcome(OutcomeNone, nil, "sticky detour lapsed: demand gone")
 				continue // demand gone
 			}
+			pt.setPlan(plan)
 			rate := plan.RateBps * rateShare
 			fromIF := plan.Preferred.EgressIF
 			if load[fromIF] <= cfg.Threshold*capOf(fromIF) {
+				pt.outcome(OutcomeNone, nil, "sticky detour lapsed: preferred interface below threshold")
 				continue // overload gone; let the detour lapse
 			}
 			var via *rib.Route
@@ -252,11 +278,19 @@ func AllocateSticky(proj *Projection, inv *Inventory, cfg AllocatorConfig, prior
 				}
 			}
 			if via == nil {
+				pt.outcome(OutcomeNone, nil, "sticky detour lapsed: previous detour route withdrawn")
 				continue // the old detour route no longer exists
 			}
 			if load[via.EgressIF]+rate > cfg.Target*capOf(via.EgressIF) {
+				pt.reject(CandidateTrace{
+					Phase: "sticky", Via: via, Reason: RejectWouldExceedTarget,
+					LoadBps: load[via.EgressIF], MoveBps: rate, LimitBps: cfg.Target * capOf(via.EgressIF),
+				})
+				pt.outcome(OutcomeNone, nil, "sticky detour lapsed: no longer feasible")
 				continue // no longer feasible
 			}
+			pt.accept("sticky", via, load[via.EgressIF], rate, cfg.Target*capOf(via.EgressIF), 0)
+			pt.outcome(OutcomeRetained, via, "retained: overload persists")
 			load[fromIF] -= rate
 			load[via.EgressIF] += rate
 			moved[planKey] = true
@@ -305,8 +339,12 @@ func AllocateSticky(proj *Projection, inv *Inventory, cfg AllocatorConfig, prior
 			if moved[plan.Prefix] {
 				continue
 			}
-			if d := candidateDetour(plan); d != nil {
+			pt := tr.Prefix(plan.Prefix)
+			pt.setPlan(plan)
+			if d := candidateDetourRate(plan, plan.RateBps, "overload", pt); d != nil {
 				cands = append(cands, cand{plan, d})
+			} else {
+				pt.outcome(OutcomeNone, nil, "no feasible alternate")
 			}
 		}
 		switch cfg.Select {
@@ -333,30 +371,48 @@ func AllocateSticky(proj *Projection, inv *Inventory, cfg AllocatorConfig, prior
 			})
 		}
 
-		for _, c := range cands {
+		for ci, c := range cands {
 			if load[overIF] <= drainBps {
+				if tr != nil {
+					for _, rest := range cands[ci:] {
+						tr.Prefix(rest.plan.Prefix).outcome(OutcomeNotNeeded, nil,
+							"interface drained below target before this prefix")
+					}
+				}
+				break
+			}
+			if cfg.MaxDetours > 0 && len(res.Overrides) >= cfg.MaxDetours {
+				if tr != nil {
+					for _, rest := range cands[ci:] {
+						pt := tr.Prefix(rest.plan.Prefix)
+						pt.reject(CandidateTrace{Phase: "overload", Via: rest.detour, Reason: RejectMoveBudget})
+						pt.outcome(OutcomeNone, nil, "move budget exhausted (MaxDetours)")
+					}
+				}
 				break
 			}
 			// Re-validate: earlier moves may have consumed the target's
 			// headroom.
-			detour := candidateDetour(c.plan)
+			pt := tr.Prefix(c.plan.Prefix)
+			pt.resetCandidates()
+			detour := candidateDetourRate(c.plan, c.plan.RateBps, "overload", pt)
 			if detour == nil {
+				pt.outcome(OutcomeNone, nil, "no feasible alternate after earlier moves")
 				continue
-			}
-			if cfg.MaxDetours > 0 && len(res.Overrides) >= cfg.MaxDetours {
-				break
 			}
 			load[overIF] -= c.plan.RateBps
 			load[detour.EgressIF] += c.plan.RateBps
 			moved[c.plan.Prefix] = true
+			reason := fmt.Sprintf("if %d projected %.0f%% > %.0f%%",
+				overIF, overUtil*100, cfg.Threshold*100)
+			pt.outcome(OutcomeDetoured, detour, reason)
 			res.Overrides = append(res.Overrides, Override{
 				Prefix:  c.plan.Prefix,
 				Via:     detour,
 				FromIF:  overIF,
 				ToIF:    detour.EgressIF,
 				RateBps: c.plan.RateBps,
-				Reason: fmt.Sprintf("if %d projected %.0f%% > %.0f%%",
-					overIF, overUtil*100, cfg.Threshold*100),
+				Reason:  reason,
 			})
 			res.DetouredBps += c.plan.RateBps
 		}
@@ -381,7 +437,8 @@ func AllocateSticky(proj *Projection, inv *Inventory, cfg AllocatorConfig, prior
 					break
 				}
 				half := plan.RateBps / 2
-				detour := candidateDetourRate(plan, half)
+				pt := tr.Prefix(plan.Prefix)
+				detour := candidateDetourRate(plan, half, "split", pt)
 				if detour == nil {
 					continue
 				}
@@ -392,6 +449,12 @@ func AllocateSticky(proj *Projection, inv *Inventory, cfg AllocatorConfig, prior
 				load[overIF] -= half
 				load[detour.EgressIF] += half
 				moved[plan.Prefix] = true
+				reason := fmt.Sprintf("split: if %d projected %.0f%% > %.0f%%, no whole-prefix detour fits",
+					overIF, overUtil*100, cfg.Threshold*100)
+				if pt != nil {
+					pt.SplitPrefix = lo
+				}
+				pt.outcome(OutcomeSplit, detour, reason)
 				res.Overrides = append(res.Overrides, Override{
 					Prefix:  lo,
 					SplitOf: plan.Prefix,
@@ -399,8 +462,7 @@ func AllocateSticky(proj *Projection, inv *Inventory, cfg AllocatorConfig, prior
 					FromIF:  overIF,
 					ToIF:    detour.EgressIF,
 					RateBps: half,
-					Reason: fmt.Sprintf("split: if %d projected %.0f%% > %.0f%%, no whole-prefix detour fits",
-						overIF, overUtil*100, cfg.Threshold*100),
+					Reason:  reason,
 				})
 				res.DetouredBps += half
 			}

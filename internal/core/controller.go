@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/netip"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -26,6 +27,10 @@ type Config struct {
 	Traffic TrafficSource
 	// Allocator parameterizes the overload algorithm.
 	Allocator AllocatorConfig
+	// Trace bounds decision-provenance retention (see trace.go). The
+	// zero value enables tracing with defaults; set Trace.Disable to
+	// turn per-prefix tracing off.
+	Trace TraceConfig
 	// CycleInterval is the period of the control loop when driven by
 	// Run. Default 30 s (the paper's cadence). It also derives the
 	// cycle deadline and the default health thresholds.
@@ -49,8 +54,10 @@ type Config struct {
 	// allocation and may contribute additional overrides (e.g.
 	// performance-aware moves from PerfAllocate). Overload overrides
 	// win conflicts: contributions for prefixes already overridden are
-	// dropped.
-	ExtraOverrides func(proj *Projection, alloc *AllocResult) []Override
+	// dropped. tr is the cycle's decision trace (nil when tracing is
+	// disabled); implementations should thread it into
+	// PerfAllocateTraced or record into it directly.
+	ExtraOverrides func(proj *Projection, alloc *AllocResult, tr *CycleTrace) []Override
 	// ProjectionEpsilon is the relative per-prefix demand change below
 	// which the cross-cycle plan cache reuses the previous cycle's plan
 	// (and its demand figure) verbatim. Zero reuses plans only when a
@@ -113,6 +120,10 @@ type Controller struct {
 
 	panicArmed atomic.Bool // one-shot fault-injection hook (E11)
 
+	// Cycle-phase instrumentation (latency + heap allocations per
+	// phase, surfaced at /metrics as edgefabric_phase_*).
+	phCollect, phProject, phAllocate, phExtra, phInject *metrics.Phase
+
 	mu        sync.Mutex
 	closed    bool
 	seq       uint64
@@ -120,6 +131,8 @@ type Controller struct {
 	history   []CycleReport // ring buffer once full
 	histNext  int           // next overwrite index when len == maxHist
 	maxHist   int
+	traces    []*CycleTrace // decision-provenance ring, bounded by Trace.Cycles
+	traceNext int
 }
 
 // New builds a Controller.
@@ -134,6 +147,7 @@ func New(cfg Config) (*Controller, error) {
 		cfg.CycleInterval = 30 * time.Second
 	}
 	cfg.Health.setDefaults(cfg.CycleInterval)
+	cfg.Trace.setDefaults()
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
@@ -180,6 +194,11 @@ func New(cfg Config) (*Controller, error) {
 		bmpStop: cancel,
 		maxHist: 4096,
 	}
+	c.phCollect = cfg.Metrics.Phase("edgefabric_phase_collect")
+	c.phProject = cfg.Metrics.Phase("edgefabric_phase_project")
+	c.phAllocate = cfg.Metrics.Phase("edgefabric_phase_allocate")
+	c.phExtra = cfg.Metrics.Phase("edgefabric_phase_perf")
+	c.phInject = cfg.Metrics.Phase("edgefabric_phase_inject")
 	c.collector = &bmp.Collector{
 		Handler: &healthHandler{inner: store, health: health},
 		Logf:    cfg.Logf,
@@ -536,18 +555,34 @@ func (c *Controller) RunCycle() (report *CycleReport, err error) {
 		return report, nil
 	}
 
+	var tr *CycleTrace
+	if !c.cfg.Trace.Disable {
+		tr = NewCycleTrace(c.cfg.Trace.MaxPrefixes)
+		tr.Time = now
+	}
+
+	span := c.phCollect.Start()
 	demand := c.cfg.Traffic.Rates()
+	span.End()
+
+	span = c.phProject.Start()
 	proj := c.projector.Project(c.store.Table(), demand)
-	alloc := AllocateSticky(proj, c.cfg.Inventory, c.cfg.Allocator, c.injector.Installed())
+	span.End()
+
+	span = c.phAllocate.Start()
+	alloc := AllocateStickyTraced(proj, c.cfg.Inventory, c.cfg.Allocator, c.injector.Installed(), tr)
+	span.End()
+
 	overrides := alloc.Overrides
 	detoured := alloc.DetouredBps
 	if c.cfg.ExtraOverrides != nil {
+		span = c.phExtra.Start()
 		taken := make(map[netip.Prefix]bool, len(overrides))
 		for _, o := range overrides {
 			taken[o.Prefix] = true
 		}
 		overrides = append([]Override(nil), overrides...)
-		for _, o := range c.cfg.ExtraOverrides(proj, alloc) {
+		for _, o := range c.cfg.ExtraOverrides(proj, alloc, tr) {
 			if taken[o.Prefix] {
 				continue
 			}
@@ -555,8 +590,12 @@ func (c *Controller) RunCycle() (report *CycleReport, err error) {
 			overrides = append(overrides, o)
 			detoured += o.RateBps
 		}
+		span.End()
 	}
+
+	span = c.phInject.Start()
 	res, serr := c.injector.Sync(overrides)
+	span.End()
 
 	report = &CycleReport{
 		Time:                now,
@@ -577,6 +616,7 @@ func (c *Controller) RunCycle() (report *CycleReport, err error) {
 		report.IfUtil[info.ID] = proj.IfLoadBps[info.ID] / info.CapacityBps
 	}
 	c.finishReport(report, started)
+	c.pushTrace(tr, report.Seq)
 
 	if serr != nil {
 		c.registry.Counter("edgefabric_injection_errors_total").Inc()
@@ -602,6 +642,143 @@ func (c *Controller) History() []CycleReport {
 		out = append(out, c.history[:c.histNext]...)
 	}
 	return out
+}
+
+// pushTrace publishes a completed cycle trace into the bounded ring.
+func (c *Controller) pushTrace(tr *CycleTrace, seq uint64) {
+	if tr == nil {
+		return
+	}
+	tr.Seq = seq
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.traces) < c.cfg.Trace.Cycles {
+		c.traces = append(c.traces, tr)
+		return
+	}
+	c.traces[c.traceNext] = tr
+	c.traceNext = (c.traceNext + 1) % len(c.traces)
+}
+
+// latestTraceLocked returns the most recent cycle trace, or nil.
+// Caller holds c.mu.
+func (c *Controller) latestTraceLocked() *CycleTrace {
+	var latest *CycleTrace
+	for _, t := range c.traces {
+		if latest == nil || t.Seq > latest.Seq {
+			latest = t
+		}
+	}
+	return latest
+}
+
+// Explain renders the decision trace for a prefix: the most recent
+// retained cycle in which the allocator considered it, with every
+// candidate alternate and its concrete rejection reason. A prefix the
+// allocator never looked at (no overload on its preferred interface, no
+// perf report) gets a synthesized explanation from the current table and
+// demand instead.
+func (c *Controller) Explain(p netip.Prefix) string {
+	p = p.Masked()
+	c.mu.Lock()
+	var best *CycleTrace
+	var pt *PrefixTrace
+	for _, t := range c.traces {
+		if cand := t.Lookup(p); cand != nil && (best == nil || t.Seq > best.Seq) {
+			best, pt = t, cand
+		}
+	}
+	latest := c.latestTraceLocked()
+	c.mu.Unlock()
+
+	if pt == nil {
+		return c.explainUnconsidered(p, latest)
+	}
+	s := fmt.Sprintf("cycle %d @ %s\n%s", best.Seq, best.Time.Format(time.RFC3339), pt.Format(c.cfg.Inventory))
+	if latest != nil && latest.Seq != best.Seq {
+		s += fmt.Sprintf("note: not considered in the latest cycle (%d); showing cycle %d\n",
+			latest.Seq, best.Seq)
+	}
+	return s
+}
+
+// explainUnconsidered synthesizes an explanation for a prefix no
+// retained cycle traced: the allocators only look at prefixes on
+// overloaded interfaces (or with qualifying perf reports), so "no
+// record" itself carries information.
+func (c *Controller) explainUnconsidered(p netip.Prefix, latest *CycleTrace) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "prefix %s\n", p)
+	if latest != nil {
+		fmt.Fprintf(&b, "  not considered by the allocator in any retained cycle (latest cycle %d)\n", latest.Seq)
+	} else {
+		b.WriteString("  no decision traces retained (tracing disabled or no cycle has run)\n")
+	}
+	routes := c.store.Table().Routes(p)
+	organic := 0
+	var preferred *rib.Route
+	for _, r := range routes {
+		if r.PeerClass == rib.ClassController {
+			continue
+		}
+		if organic == 0 {
+			preferred = r
+		}
+		organic++
+	}
+	if organic == 0 {
+		b.WriteString("  no organic routes for the prefix in the table\n")
+		return b.String()
+	}
+	rate := c.cfg.Traffic.Rates()[p]
+	fmt.Fprintf(&b, "  demand %.2f Gbps, preferred %s via %s (%s), %d organic route(s)\n",
+		rate/1e9, ifName(c.cfg.Inventory, preferred.EgressIF), preferred.PeerAddr,
+		preferred.PeerClass, organic)
+	threshold := c.cfg.Allocator.Threshold
+	if threshold == 0 {
+		threshold = 0.95
+	}
+	var lastUtil map[int]float64
+	c.mu.Lock()
+	if n := len(c.history); n > 0 {
+		idx := n - 1
+		if n == c.maxHist {
+			idx = (c.histNext - 1 + c.maxHist) % c.maxHist
+		}
+		lastUtil = c.history[idx].IfUtil
+	}
+	c.mu.Unlock()
+	if u, ok := lastUtil[preferred.EgressIF]; ok {
+		fmt.Fprintf(&b, "  preferred interface projected %.1f%% last cycle (threshold %.0f%%): %s\n",
+			u*100, threshold*100, map[bool]string{
+				true:  "overloaded",
+				false: "below threshold, so the overload allocator had no reason to look",
+			}[u > threshold])
+	}
+	return b.String()
+}
+
+// ExplainSummary renders a one-line-per-prefix digest of the most recent
+// cycle trace (for GET /explain without a prefix argument).
+func (c *Controller) ExplainSummary() string {
+	c.mu.Lock()
+	latest := c.latestTraceLocked()
+	c.mu.Unlock()
+	if latest == nil {
+		return "no decision traces retained (tracing disabled or no cycle has run)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycle %d @ %s: %d prefix(es) considered",
+		latest.Seq, latest.Time.Format(time.RFC3339), latest.Len())
+	if latest.Truncated > 0 {
+		fmt.Fprintf(&b, " (+%d beyond trace bound)", latest.Truncated)
+	}
+	b.WriteString("\n")
+	for _, p := range latest.Prefixes() {
+		pt := latest.Lookup(p)
+		fmt.Fprintf(&b, "  %-22s %-24s %s\n", p, pt.Outcome, pt.Detail)
+	}
+	return b.String()
 }
 
 // Installed returns the injector's currently-announced override set.

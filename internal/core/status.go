@@ -59,6 +59,20 @@ func (c *Controller) StatusHandler() http.Handler {
 			fmt.Fprintln(w, FormatReport(&hist[i], c.cfg.Inventory))
 		}
 	})
+	mux.HandleFunc("GET /explain", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		arg := r.URL.Query().Get("prefix")
+		if arg == "" {
+			fmt.Fprint(w, c.ExplainSummary())
+			return
+		}
+		p, err := netip.ParsePrefix(arg)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad prefix %q: %v", arg, err), http.StatusBadRequest)
+			return
+		}
+		fmt.Fprint(w, c.Explain(p))
+	})
 	mux.HandleFunc("GET /routes", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		tab := c.store.Table()
@@ -88,7 +102,7 @@ func (c *Controller) StatusHandler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		var b strings.Builder
 		b.WriteString("edgefabric controller status\n\n")
-		b.WriteString("endpoints: /metrics /overrides /cycles /routes /health\n")
+		b.WriteString("endpoints: /metrics /overrides /cycles /routes /health /explain?prefix=\n")
 		fmt.Fprint(w, b.String())
 	})
 	return mux

@@ -88,6 +88,18 @@ func TestStatusHandlerEndpoints(t *testing.T) {
 	if code != 200 || !strings.Contains(body, "prefixes: 4") || !strings.Contains(body, "private") {
 		t.Errorf("/routes = %d %q", code, body)
 	}
+	code, body = get(t, srv, "/explain")
+	if code != 200 || !strings.Contains(body, "considered") {
+		t.Errorf("/explain = %d %q", code, body)
+	}
+	code, body = get(t, srv, "/explain?prefix=10.0.0.0/24")
+	if code != 200 || !strings.Contains(body, "outcome") {
+		t.Errorf("/explain?prefix= = %d %q", code, body)
+	}
+	code, _ = get(t, srv, "/explain?prefix=bogus")
+	if code != 400 {
+		t.Errorf("/explain?prefix=bogus = %d, want 400", code)
+	}
 	code, _ = get(t, srv, "/nope")
 	if code != 404 {
 		t.Errorf("/nope = %d, want 404", code)

@@ -112,6 +112,54 @@ func TestAllocateStickyNoStickyFlag(t *testing.T) {
 	}
 }
 
+// A split override is keyed by the more-specific half with SplitOf set;
+// retention must look the demand up under the aggregate's plan and move
+// only half the rate (rateShare = 0.5).
+func TestAllocateStickySplitRetention(t *testing.T) {
+	inv := testInventory(t)
+	tab := rib.NewTable(rib.DefaultPolicy())
+	agg := netip.MustParsePrefix("10.0.0.0/24")
+	tab.Add(route(agg.String(), "172.20.0.1", rib.ClassPrivate, 0, 65010))
+	tab.Add(route(agg.String(), "172.20.0.9", rib.ClassTransit, 3, 64601, 65010))
+	// 22G on the 10G PNI: too big for any whole-prefix detour, the
+	// situation the split pass exists for.
+	demand := map[netip.Prefix]float64{agg: 22e9}
+	cfg := AllocatorConfig{Threshold: 0.95, AllowSplit: true}
+
+	proj := Project(tab, demand)
+	transit := proj.Plans[agg].Alternates[0]
+	lo, _, ok := rib.Split(agg)
+	if !ok {
+		t.Fatal("split failed")
+	}
+	prior := map[netip.Prefix]Override{
+		lo: {Prefix: lo, SplitOf: agg, Via: transit, FromIF: 0, ToIF: 3, RateBps: 11e9},
+	}
+	res := AllocateSticky(proj, inv, cfg, prior)
+	if res.Retained != 1 {
+		t.Fatalf("retained = %d, want 1 (overrides %+v)", res.Retained, res.Overrides)
+	}
+	if len(res.Overrides) != 1 {
+		t.Fatalf("overrides = %+v, want only the retained split half", res.Overrides)
+	}
+	o := res.Overrides[0]
+	if o.Prefix != lo || o.SplitOf != agg {
+		t.Errorf("retained override keys = %s (SplitOf %s), want %s (SplitOf %s)", o.Prefix, o.SplitOf, lo, agg)
+	}
+	if o.RateBps != 11e9 {
+		t.Errorf("retained rate = %g, want half the aggregate's 22e9", o.RateBps)
+	}
+	if res.DetouredBps != 11e9 {
+		t.Errorf("detoured = %g, want 11e9", res.DetouredBps)
+	}
+	// Load bookkeeping: the PNI keeps the other half (11G > 9.5G
+	// threshold), which the allocator cannot fix — the aggregate is
+	// marked moved, so no re-move or second split may appear.
+	if got := res.ResidualOverloadBps[0]; got <= 0 {
+		t.Errorf("residual on if0 = %g, want > 0 (half the demand stays)", got)
+	}
+}
+
 func TestAllocateStickyDropsVanishedRoute(t *testing.T) {
 	inv, tab, demand := stickyFixture(t)
 	cfg := AllocatorConfig{Threshold: 0.95}

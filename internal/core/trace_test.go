@@ -1,0 +1,295 @@
+package core
+
+import (
+	"context"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"edgefabric/internal/altpath"
+	"edgefabric/internal/rib"
+)
+
+func TestTraceDetouredPrefix(t *testing.T) {
+	inv, tab, demand := stickyFixture(t)
+	tr := NewCycleTrace(0)
+	res := AllocateStickyTraced(Project(tab, demand), inv, AllocatorConfig{Threshold: 0.95}, nil, tr)
+	if len(res.Overrides) == 0 {
+		t.Fatal("no overrides")
+	}
+	moved := res.Overrides[0]
+	pt := tr.Lookup(moved.Prefix)
+	if pt == nil {
+		t.Fatalf("no trace for detoured prefix %s", moved.Prefix)
+	}
+	if pt.Outcome != OutcomeDetoured {
+		t.Errorf("outcome = %s, want %s", pt.Outcome, OutcomeDetoured)
+	}
+	if pt.Chosen == nil || pt.Chosen.EgressIF != moved.ToIF {
+		t.Errorf("chosen = %+v, override went to if %d", pt.Chosen, moved.ToIF)
+	}
+	accepted := 0
+	for _, c := range pt.Candidates {
+		if c.Reason == RejectNone {
+			accepted++
+		}
+	}
+	if accepted != 1 {
+		t.Errorf("accepted candidates = %d, want exactly 1 (candidates %+v)", accepted, pt.Candidates)
+	}
+	out := pt.Format(inv)
+	if !strings.Contains(out, "ACCEPTED") || !strings.Contains(out, "override installed") {
+		t.Errorf("Format missing accept/outcome:\n%s", out)
+	}
+}
+
+func TestTraceSkippedPrefixRejections(t *testing.T) {
+	inv := testInventory(t)
+	tab := rib.NewTable(rib.DefaultPolicy())
+	// pA: 11G on the 10G PNI, only alternate is the IXP port...
+	tab.Add(route("10.0.0.0/24", "172.20.0.1", rib.ClassPrivate, 0, 65010))
+	tab.Add(route("10.0.0.0/24", "172.20.0.3", rib.ClassPublic, 2, 65012, 65010))
+	// ...which pB already fills to 94%.
+	tab.Add(route("10.0.9.0/24", "172.20.0.3", rib.ClassPublic, 2, 65012, 65040))
+	demand := map[netip.Prefix]float64{
+		netip.MustParsePrefix("10.0.0.0/24"): 11e9,
+		netip.MustParsePrefix("10.0.9.0/24"): 9.4e9,
+	}
+	tr := NewCycleTrace(0)
+	res := AllocateStickyTraced(Project(tab, demand), inv, AllocatorConfig{Threshold: 0.95}, nil, tr)
+	if len(res.Overrides) != 0 {
+		t.Fatalf("unexpected overrides: %+v", res.Overrides)
+	}
+	pt := tr.Lookup(netip.MustParsePrefix("10.0.0.0/24"))
+	if pt == nil {
+		t.Fatal("no trace for the skipped prefix")
+	}
+	if pt.Outcome != OutcomeNone {
+		t.Errorf("outcome = %s, want %s", pt.Outcome, OutcomeNone)
+	}
+	var exceed *CandidateTrace
+	for i := range pt.Candidates {
+		if pt.Candidates[i].Reason == RejectWouldExceedTarget {
+			exceed = &pt.Candidates[i]
+		}
+	}
+	if exceed == nil {
+		t.Fatalf("no would-exceed-target candidate recorded: %+v", pt.Candidates)
+	}
+	if exceed.LoadBps != 9.4e9 || exceed.MoveBps != 11e9 || exceed.LimitBps != 0.95*10e9 {
+		t.Errorf("numbers = load %g move %g limit %g", exceed.LoadBps, exceed.MoveBps, exceed.LimitBps)
+	}
+	out := pt.Format(inv)
+	if !strings.Contains(out, "would exceed target") || !strings.Contains(out, "no feasible alternate") {
+		t.Errorf("Format missing rejection detail:\n%s", out)
+	}
+}
+
+func TestTracePerfPassRecords(t *testing.T) {
+	inv := testInventory(t)
+	tab := buildTable(3)
+	demand := map[netip.Prefix]float64{
+		netip.MustParsePrefix("10.0.0.0/24"): 1e9,
+		netip.MustParsePrefix("10.0.1.0/24"): 1e9,
+		netip.MustParsePrefix("10.0.2.0/24"): 1e9,
+	}
+	proj := Project(tab, demand)
+	transit := proj.Plans[netip.MustParsePrefix("10.0.0.0/24")].Alternates[0]
+	reports := []*altpath.PrefixReport{
+		perfReport("10.0.0.0/24", 35, transit, 32), // qualifies
+		perfReport("10.0.1.0/24", 5, transit, 32),  // gap too small
+		perfReport("10.0.2.0/24", 40, transit, 4),  // too few samples
+	}
+	tr := NewCycleTrace(0)
+	out := PerfAllocateTraced(proj, inv, reports, nil, AllocatorConfig{}, PerfConfig{MinGainMS: 20}, tr)
+	if len(out) != 1 {
+		t.Fatalf("overrides = %+v", out)
+	}
+	if pt := tr.Lookup(netip.MustParsePrefix("10.0.0.0/24")); pt == nil || pt.Outcome != OutcomePerfMoved {
+		t.Errorf("moved prefix trace = %+v", pt)
+	}
+	pt := tr.Lookup(netip.MustParsePrefix("10.0.2.0/24"))
+	if pt == nil || len(pt.Candidates) == 0 || pt.Candidates[0].Reason != RejectInsufficientSamples {
+		t.Fatalf("insufficient-samples trace = %+v", pt)
+	}
+	if pt.Candidates[0].Samples != 4 || pt.Candidates[0].NeedSamples != 16 {
+		t.Errorf("sample numbers = %+v", pt.Candidates[0])
+	}
+	pt = tr.Lookup(netip.MustParsePrefix("10.0.1.0/24"))
+	if pt == nil || len(pt.Candidates) == 0 || pt.Candidates[0].Reason != RejectGapBelowThreshold {
+		t.Fatalf("below-threshold trace = %+v", pt)
+	}
+}
+
+func TestCycleTraceBound(t *testing.T) {
+	tr := NewCycleTrace(2)
+	a := netip.MustParsePrefix("10.0.0.0/24")
+	if tr.Prefix(a) == nil || tr.Prefix(netip.MustParsePrefix("10.0.1.0/24")) == nil {
+		t.Fatal("first two prefixes must be traced")
+	}
+	if tr.Prefix(netip.MustParsePrefix("10.0.2.0/24")) != nil {
+		t.Error("third prefix traced past the bound")
+	}
+	if tr.Truncated != 1 {
+		t.Errorf("truncated = %d, want 1", tr.Truncated)
+	}
+	// Existing records stay reachable past the bound.
+	if tr.Prefix(a) == nil {
+		t.Error("existing record lost after bound hit")
+	}
+	if tr.Len() != 2 {
+		t.Errorf("len = %d, want 2", tr.Len())
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *CycleTrace
+	p := netip.MustParsePrefix("10.0.0.0/24")
+	pt := tr.Prefix(p)
+	if pt != nil {
+		t.Fatal("nil tracer handed out a record")
+	}
+	pt.setPlan(&PrefixPlan{})
+	pt.reject(CandidateTrace{})
+	pt.resetCandidates()
+	pt.markChosen(nil)
+	pt.accept("overload", nil, 0, 0, 0, 0)
+	pt.outcome(OutcomeDetoured, nil, "x")
+	if tr.Lookup(p) != nil || tr.Len() != 0 || tr.Prefixes() != nil {
+		t.Error("nil tracer reported contents")
+	}
+}
+
+func TestTraceEnumStrings(t *testing.T) {
+	reasons := []RejectReason{RejectNone, RejectSamePort, RejectNoInterface,
+		RejectWouldExceedTarget, RejectInsufficientSamples, RejectGapBelowThreshold,
+		RejectMoveBudget, RejectOutranked, RejectReason(99)}
+	for _, r := range reasons {
+		if r.String() == "" {
+			t.Errorf("empty String for reason %d", int(r))
+		}
+	}
+	outcomes := []TraceOutcome{OutcomeNone, OutcomeDetoured, OutcomeRetained,
+		OutcomeSplit, OutcomePerfMoved, OutcomeNotNeeded, TraceOutcome(99)}
+	for _, o := range outcomes {
+		if o.String() == "" {
+			t.Errorf("empty String for outcome %d", int(o))
+		}
+	}
+}
+
+func TestControllerExplain(t *testing.T) {
+	ctrl, _ := statusController(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := ctrl.WaitReady(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctrl.RunCycle(); err != nil {
+		t.Fatal(err)
+	}
+	installed := ctrl.Installed()
+	if len(installed) == 0 {
+		t.Fatal("no overrides installed")
+	}
+	var detoured netip.Prefix
+	for p := range installed {
+		detoured = p
+	}
+	s := ctrl.Explain(detoured)
+	if !strings.Contains(s, "override installed") || !strings.Contains(s, "ACCEPTED") {
+		t.Errorf("Explain(detoured %s):\n%s", detoured, s)
+	}
+	if !strings.Contains(s, "cycle 1") {
+		t.Errorf("Explain missing cycle header:\n%s", s)
+	}
+
+	// A prefix the allocator never considered (routeless).
+	s = ctrl.Explain(netip.MustParsePrefix("192.168.0.0/24"))
+	if !strings.Contains(s, "not considered") || !strings.Contains(s, "no organic routes") {
+		t.Errorf("Explain(unconsidered):\n%s", s)
+	}
+
+	// A prefix with routes and demand whose interface was fine, or that
+	// was considered and left alone — either way Explain must answer.
+	others := 0
+	for _, p := range []string{"10.0.0.0/24", "10.0.1.0/24", "10.0.2.0/24", "10.0.3.0/24"} {
+		pfx := netip.MustParsePrefix(p)
+		if _, ok := installed[pfx]; ok {
+			continue
+		}
+		others++
+		s := ctrl.Explain(pfx)
+		if !strings.Contains(s, pfx.String()) || !strings.Contains(s, "outcome") {
+			t.Errorf("Explain(%s):\n%s", pfx, s)
+		}
+	}
+	if others == 0 {
+		t.Error("every prefix detoured; fixture should leave some in place")
+	}
+
+	sum := ctrl.ExplainSummary()
+	if !strings.Contains(sum, "considered") || !strings.Contains(sum, "cycle 1") {
+		t.Errorf("ExplainSummary:\n%s", sum)
+	}
+}
+
+func TestControllerTraceDisabled(t *testing.T) {
+	inv := testInventory(t)
+	demand := staticTraffic{}
+	ctrl, err := New(Config{
+		Inventory: inv,
+		Traffic:   demand,
+		LocalAS:   64500,
+		Trace:     TraceConfig{Disable: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ctrl.Close)
+	pr, conn := newFakePR(t, 64500)
+	_ = pr
+	if err := ctrl.AddInjectionSession(netip.MustParseAddr("10.255.0.1"), conn); err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Store().Table().Add(route("10.0.0.0/24", "172.20.0.1", rib.ClassPrivate, 0, 65010))
+	ctrl.Store().Table().Add(route("10.0.0.0/24", "172.20.0.9", rib.ClassTransit, 3, 64601, 65010))
+	demand[netip.MustParsePrefix("10.0.0.0/24")] = 11e9
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := ctrl.WaitReady(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctrl.RunCycle(); err != nil {
+		t.Fatal(err)
+	}
+	s := ctrl.Explain(netip.MustParsePrefix("10.0.0.0/24"))
+	if !strings.Contains(s, "no decision traces retained") {
+		t.Errorf("Explain with tracing disabled:\n%s", s)
+	}
+}
+
+func TestTraceRingBounded(t *testing.T) {
+	ctrl, _ := statusController(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := ctrl.WaitReady(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ { // default Trace.Cycles is 8
+		if _, err := ctrl.RunCycle(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctrl.mu.Lock()
+	n := len(ctrl.traces)
+	latest := ctrl.latestTraceLocked()
+	ctrl.mu.Unlock()
+	if n != 8 {
+		t.Errorf("trace ring holds %d, want 8", n)
+	}
+	if latest == nil || latest.Seq != 12 {
+		t.Errorf("latest trace seq = %v, want 12", latest)
+	}
+}

@@ -82,9 +82,9 @@ type Harness struct {
 	Traffic    *sflow.Collector
 	// Loss sits between the routers' sFlow agents and the collector;
 	// fault experiments script datagram loss or total feed death on it.
-	Loss *netsim.LossySink
-	Measurer   *altpath.Measurer // nil unless PerfAware or built by an experiment
-	Inventory  *core.Inventory
+	Loss      *netsim.LossySink
+	Measurer  *altpath.Measurer // nil unless PerfAware or built by an experiment
+	Inventory *core.Inventory
 
 	cancel context.CancelFunc
 	ticks  int
@@ -223,7 +223,7 @@ func NewHarness(ctx context.Context, cfg HarnessConfig) (*Harness, error) {
 
 	// The perf-aware hook needs the controller's route store, which only
 	// exists after core.New; bind it through a late-set closure.
-	var extra func(*core.Projection, *core.AllocResult) []core.Override
+	var extra func(*core.Projection, *core.AllocResult, *core.CycleTrace) []core.Override
 	ctrl, err := core.New(core.Config{
 		Inventory:     inv,
 		Traffic:       traffic,
@@ -234,11 +234,11 @@ func NewHarness(ctx context.Context, cfg HarnessConfig) (*Harness, error) {
 		Now:           clock.Now,
 		Audit:         cfg.Audit,
 		Logf:          cfg.Logf,
-		ExtraOverrides: func(proj *core.Projection, alloc *core.AllocResult) []core.Override {
+		ExtraOverrides: func(proj *core.Projection, alloc *core.AllocResult, tr *core.CycleTrace) []core.Override {
 			if extra == nil {
 				return nil
 			}
-			return extra(proj, alloc)
+			return extra(proj, alloc, tr)
 		},
 	})
 	if err != nil {
@@ -259,7 +259,7 @@ func NewHarness(ctx context.Context, cfg HarnessConfig) (*Harness, error) {
 		}
 		h.Measurer = meas
 		pcfg := cfg.PerfCfg
-		extra = func(proj *core.Projection, alloc *core.AllocResult) []core.Override {
+		extra = func(proj *core.Projection, alloc *core.AllocResult, tr *core.CycleTrace) []core.Override {
 			// Measure the prefixes that currently have demand, then
 			// fold qualifying gains into this cycle's override set.
 			var prefixes []netip.Prefix
@@ -267,7 +267,7 @@ func NewHarness(ctx context.Context, cfg HarnessConfig) (*Harness, error) {
 				prefixes = append(prefixes, p)
 			}
 			meas.MeasureRound(prefixes)
-			return core.PerfAllocate(proj, inv, meas.Reports(), alloc, cfg.Allocator, pcfg)
+			return core.PerfAllocateTraced(proj, inv, meas.Reports(), alloc, cfg.Allocator, pcfg, tr)
 		}
 	}
 
@@ -366,6 +366,16 @@ func (h *Harness) Run(d time.Duration, observe func(*netsim.TickStats, *core.Cyc
 			observe(stats, report)
 		}
 	}
+}
+
+// Explain renders the controller's decision trace for a prefix (see
+// core.Controller.Explain). Empty when the harness runs without a
+// controller.
+func (h *Harness) Explain(p netip.Prefix) string {
+	if h.Controller == nil {
+		return ""
+	}
+	return h.Controller.Explain(p)
 }
 
 // Close tears the whole harness down.

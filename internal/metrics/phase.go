@@ -1,0 +1,63 @@
+package metrics
+
+import (
+	rtmetrics "runtime/metrics"
+	"time"
+)
+
+// Phase instruments one named stage of a repeating loop (e.g. a
+// controller cycle phase) with a latency histogram and a heap-allocation
+// histogram. Allocation counts come from the runtime's cumulative
+// /gc/heap/allocs:objects sample, so they are process-global: activity on
+// other goroutines during the span is attributed to it. That is cheap
+// (no stop-the-world, unlike runtime.ReadMemStats) and accurate enough
+// for the single-threaded controller loop the phases wrap.
+type Phase struct {
+	seconds *Histogram
+	allocs  *Histogram
+}
+
+func heapAllocObjects() uint64 {
+	var s [1]rtmetrics.Sample
+	s[0].Name = "/gc/heap/allocs:objects"
+	rtmetrics.Read(s[:])
+	if s[0].Value.Kind() != rtmetrics.KindUint64 {
+		return 0
+	}
+	return s[0].Value.Uint64()
+}
+
+// Phase returns the phase with the given name, creating its histograms
+// (name_seconds, name_allocs) if needed.
+func (r *Registry) Phase(name string) *Phase {
+	return &Phase{
+		seconds: r.Histogram(name+"_seconds", 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10),
+		allocs:  r.Histogram(name+"_allocs", 10, 100, 1e3, 1e4, 1e5, 1e6),
+	}
+}
+
+// PhaseSpan is one in-flight timing of a Phase; obtain with Start, finish
+// with End.
+type PhaseSpan struct {
+	p      *Phase
+	start  time.Time
+	allocs uint64
+}
+
+// Start begins timing a span of this phase. Safe on a nil Phase (the
+// returned span's End is a no-op).
+func (p *Phase) Start() PhaseSpan {
+	if p == nil {
+		return PhaseSpan{}
+	}
+	return PhaseSpan{p: p, start: time.Now(), allocs: heapAllocObjects()}
+}
+
+// End records the span's wall time and heap allocations.
+func (s PhaseSpan) End() {
+	if s.p == nil {
+		return
+	}
+	s.p.seconds.Observe(time.Since(s.start).Seconds())
+	s.p.allocs.Observe(float64(heapAllocObjects() - s.allocs))
+}

@@ -41,9 +41,9 @@ type Collector struct {
 	cfg        CollectorConfig
 	bucketSpan time.Duration
 
-	mu       sync.Mutex
-	buckets  []map[netip.Prefix]float64 // scaled bytes per bucket
-	times    []time.Time                // start time of each bucket
+	mu         sync.Mutex
+	buckets    []map[netip.Prefix]float64 // scaled bytes per bucket
+	times      []time.Time                // start time of each bucket
 	cur        int
 	datagram   uint64
 	malformed  uint64 // undecodable datagrams (transport-level)

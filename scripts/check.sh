@@ -4,6 +4,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> gofmt -l"
+badfmt=$(gofmt -l .)
+if [ -n "$badfmt" ]; then
+  echo "gofmt: files need formatting:" >&2
+  echo "$badfmt" >&2
+  exit 1
+fi
+
 echo "==> go vet ./..."
 go vet ./...
 
@@ -15,6 +23,12 @@ go test -race ./...
 
 echo "==> go test -bench=BenchmarkProject -benchtime=1x"
 go test -run '^$' -bench=BenchmarkProject -benchtime=1x -benchmem .
+
+# Full-cycle smoke, tracing on and off (the pattern matches both
+# BenchmarkRunCycleSteadyState and ...NoTrace): catches hot-path
+# regressions in the decision-provenance plumbing before merge.
+echo "==> go test -bench=BenchmarkRunCycleSteadyState -benchtime=1x"
+go test -run '^$' -bench='BenchmarkRunCycleSteadyState' -benchtime=1x -benchmem .
 
 # Fuzz smoke: 10 s per wire-format decoder. Catches decode panics the
 # seed corpora miss; a real finding reproduces via the usual testdata

@@ -1,0 +1,300 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/netip"
+	"os"
+	"time"
+
+	"edgefabric/internal/api"
+	"edgefabric/internal/core"
+	"edgefabric/internal/exp"
+	"edgefabric/internal/netsim"
+	"edgefabric/internal/sflow"
+)
+
+// FleetFile is the --fleet configuration: one process hosting many PoP
+// controllers. Two shapes, never mixed:
+//
+// Remote fleet — every PoP names a popsim inventory; the process opens
+// ONE shared sFlow UDP listener and demuxes datagrams to PoPs by agent
+// address (the routers' sflow_agent entries):
+//
+//	{
+//	  "sflow_listen": "127.0.0.1:6343",
+//	  "pops": [
+//	    {"name": "sea", "inventory": "/tmp/sea.json"},
+//	    {"name": "lhr", "inventory": "/tmp/lhr.json"}
+//	  ]
+//	}
+//
+// Embedded fleet — no inventories; each PoP is a self-contained
+// simulation, still sharing one in-process sFlow demux:
+//
+//	{
+//	  "pops": [
+//	    {"name": "sea", "prefixes": 800, "peak_gbps": 200, "seed": 1},
+//	    {"name": "lhr", "prefixes": 400, "peak_gbps": 100, "seed": 2}
+//	  ]
+//	}
+type FleetFile struct {
+	// SFlowListen is the shared UDP listener (remote fleet only).
+	SFlowListen string `json:"sflow_listen,omitempty"`
+	// PoPs are the hosted sites.
+	PoPs []FleetPoPSpec `json:"pops"`
+}
+
+// FleetPoPSpec describes one hosted PoP.
+type FleetPoPSpec struct {
+	// Name scopes the PoP in the API (/v1/pops/{name}/...).
+	Name string `json:"name"`
+	// Inventory is a popsim inventory path (remote fleet).
+	Inventory string `json:"inventory,omitempty"`
+	// Embedded-fleet scenario knobs.
+	Prefixes int     `json:"prefixes,omitempty"`
+	PeakGbps float64 `json:"peak_gbps,omitempty"`
+	Seed     int64   `json:"seed,omitempty"`
+}
+
+func loadFleetFile(path string) (*FleetFile, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f FleetFile
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil, fmt.Errorf("fleet file %s: %w", path, err)
+	}
+	if len(f.PoPs) == 0 {
+		return nil, fmt.Errorf("fleet file %s: no pops", path)
+	}
+	remote := 0
+	names := make(map[string]bool, len(f.PoPs))
+	for i := range f.PoPs {
+		p := &f.PoPs[i]
+		if p.Name == "" {
+			p.Name = fmt.Sprintf("pop-%d", i+1)
+		}
+		if names[p.Name] {
+			return nil, fmt.Errorf("fleet file %s: duplicate pop %q", path, p.Name)
+		}
+		names[p.Name] = true
+		if p.Inventory != "" {
+			remote++
+		}
+	}
+	if remote != 0 && remote != len(f.PoPs) {
+		return nil, fmt.Errorf("fleet file %s: mixed remote (inventory) and embedded pops", path)
+	}
+	return &f, nil
+}
+
+func (f *FleetFile) remote() bool { return f.PoPs[0].Inventory != "" }
+
+// runFleet hosts every PoP in the fleet file inside this process.
+func runFleet(ctx context.Context, path string, cycle time.Duration, threshold float64, duration time.Duration, statusAddr string, audit *core.AuditLogger, verbose bool) {
+	ff, err := loadFleetFile(path)
+	if err != nil {
+		log.Fatalf("fleet: %v", err)
+	}
+	var logf func(string, ...any)
+	if verbose {
+		logf = log.Printf
+	}
+	if ff.remote() {
+		runRemoteFleet(ctx, ff, cycle, threshold, duration, statusAddr, audit, logf)
+		return
+	}
+	runEmbeddedFleet(ctx, ff, threshold, duration, statusAddr, audit, logf)
+}
+
+// runRemoteFleet attaches one controller per popsim inventory, all
+// ingesting sFlow from one shared UDP listener through a demux keyed by
+// the routers' agent addresses.
+func runRemoteFleet(ctx context.Context, ff *FleetFile, cycle time.Duration, threshold float64, duration time.Duration, statusAddr string, audit *core.AuditLogger, logf func(string, ...any)) {
+	listen := ff.SFlowListen
+	if listen == "" {
+		listen = "127.0.0.1:6343"
+	}
+	udp, err := net.ListenPacket("udp", listen)
+	if err != nil {
+		log.Fatalf("sflow listen: %v", err)
+	}
+	demux := sflow.NewDemux()
+	go func() {
+		if err := demux.ServeUDP(ctx, udp); err != nil {
+			log.Printf("sflow ingest: %v", err)
+		}
+	}()
+	log.Printf("fleet sFlow listener on %s (shared, demuxed by agent address)", listen)
+
+	apiSrv := api.NewServer()
+	type member struct {
+		name string
+		ctrl *core.Controller
+		inv  *core.Inventory
+	}
+	var members []member
+	for _, spec := range ff.PoPs {
+		invFile, err := core.LoadInventoryFile(spec.Inventory)
+		if err != nil {
+			log.Fatalf("%s: inventory: %v", spec.Name, err)
+		}
+		var ctrl *core.Controller
+		traffic := sflow.NewCollector(sflow.CollectorConfig{Mapper: lateStoreMapper{ctrl: &ctrl}})
+		// Demux this PoP's routers' samples to its own collector. An
+		// inventory without sflow_agent entries (pre-fleet popsim) falls
+		// back to the router address.
+		for _, r := range invFile.Routers {
+			agent := r.SFlowAgent
+			if agent == "" {
+				agent = r.Addr
+			}
+			a, err := netip.ParseAddr(agent)
+			if err != nil {
+				log.Fatalf("%s: router %s sflow agent %q: %v", spec.Name, r.Name, agent, err)
+			}
+			demux.Register(a, traffic)
+		}
+		ctrl, err = attachController(invFile, traffic, cycle, threshold, audit, logf)
+		if err != nil {
+			log.Fatalf("%s: %v", spec.Name, err)
+		}
+		defer ctrl.Close()
+		if err := apiSrv.AddPoP(spec.Name, ctrl); err != nil {
+			log.Fatalf("%s: %v", spec.Name, err)
+		}
+		members = append(members, member{name: spec.Name, ctrl: ctrl, inv: ctrl.Inventory()})
+	}
+
+	// Each member converges independently; one slow PoP must not block
+	// the others' readiness, so wait sequentially under one deadline but
+	// tolerate stragglers (their health ladder reports them).
+	readyCtx, cancel := context.WithTimeout(ctx, 60*time.Second)
+	for _, m := range members {
+		if err := m.ctrl.WaitReady(readyCtx, 1); err != nil {
+			log.Printf("%s: not ready yet (%v); continuing, health gating applies", m.name, err)
+			continue
+		}
+		log.Printf("%s: controller ready, %d routes", m.name, m.ctrl.Store().Table().RouteCount())
+	}
+	cancel()
+	serveStatus(ctx, statusAddr, apiSrv)
+
+	ticker := time.NewTicker(cycle)
+	defer ticker.Stop()
+	var deadline <-chan time.Time
+	if duration > 0 {
+		deadline = time.After(duration)
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			log.Printf("interrupted; withdrawing overrides")
+			return
+		case <-deadline:
+			return
+		case <-ticker.C:
+			// Independent per-PoP cycles: a member frozen in fail-static
+			// (or erroring) never gates its siblings.
+			for _, m := range members {
+				report, err := m.ctrl.RunCycle()
+				if err != nil {
+					log.Printf("%s: cycle: %v", m.name, err)
+					continue
+				}
+				fmt.Printf("[%s] %s\n", m.name, core.FormatReport(report, m.inv))
+			}
+		}
+	}
+}
+
+// runEmbeddedFleet fast-forwards self-contained simulations for every
+// PoP in one process, sharing one sFlow demux — the one-command fleet
+// demonstration.
+func runEmbeddedFleet(ctx context.Context, ff *FleetFile, threshold float64, duration time.Duration, statusAddr string, audit *core.AuditLogger, logf func(string, ...any)) {
+	if duration == 0 {
+		duration = 24 * time.Hour
+	}
+	cfgs := make([]exp.HarnessConfig, len(ff.PoPs))
+	for i, spec := range ff.PoPs {
+		prefixes := spec.Prefixes
+		if prefixes == 0 {
+			prefixes = 1000
+		}
+		peak := spec.PeakGbps
+		if peak == 0 {
+			peak = 200
+		}
+		seed := spec.Seed
+		if seed == 0 {
+			seed = int64(i + 1)
+		}
+		cfgs[i] = exp.HarnessConfig{
+			Synth: netsim.SynthConfig{
+				Seed:     seed,
+				Name:     spec.Name,
+				PoPIndex: i + 1,
+				Prefixes: prefixes,
+				PeakBps:  peak * 1e9,
+			},
+			Allocator:         core.AllocatorConfig{Threshold: threshold},
+			ControllerEnabled: true,
+			Audit:             audit,
+			Logf:              logf,
+		}
+	}
+	log.Printf("building embedded fleet (%d PoPs)...", len(cfgs))
+	fh, err := exp.NewFleetHostFromConfigs(ctx, cfgs)
+	if err != nil {
+		log.Fatalf("fleet host: %v", err)
+	}
+	defer fh.Close()
+	serveStatus(ctx, statusAddr, fh.API)
+	log.Printf("fleet converged (%d PoPs); simulating %s of virtual time", len(fh.PoPs), duration)
+
+	type tally struct {
+		cycles, withOverrides int
+		peakDetour            float64
+		offered, drops        float64
+	}
+	tallies := make([]tally, len(fh.PoPs))
+	ticks := int(duration / fh.PoPs[0].Cfg.TickLen)
+	for t := 0; t < ticks && ctx.Err() == nil; t++ {
+		for i, h := range fh.PoPs {
+			stats, r := h.Step()
+			tl := &tallies[i]
+			tl.offered += stats.TotalDemandBps()
+			tl.drops += stats.TotalDropsBps()
+			if r == nil {
+				continue
+			}
+			tl.cycles++
+			if len(r.Overrides) > 0 {
+				tl.withOverrides++
+				if frac := r.DetouredBps / r.DemandBps; frac > tl.peakDetour {
+					tl.peakDetour = frac
+				}
+			}
+			if r.Seq%40 == 0 || len(r.ResidualOverloadBps) > 0 {
+				fmt.Printf("[%s] %s\n", h.Scenario.Topo.Name, core.FormatReport(r, h.Inventory))
+			}
+		}
+	}
+	malformed, unknown := fh.Demux.Stats()
+	fmt.Printf("\nfleet summary (%d PoPs; shared sFlow demux: %d malformed, %d unknown-agent):\n",
+		len(fh.PoPs), malformed, unknown)
+	for i, h := range fh.PoPs {
+		tl := &tallies[i]
+		dropFrac := 0.0
+		if tl.offered > 0 {
+			dropFrac = tl.drops / tl.offered
+		}
+		fmt.Printf("  %-10s %d cycles, %d with overrides, peak detour %.1f%%, dropped %.4f%%\n",
+			h.Scenario.Topo.Name, tl.cycles, tl.withOverrides, tl.peakDetour*100, dropFrac*100)
+	}
+}

@@ -10,6 +10,11 @@
 // simulation (PoP + controller in one process) and fast-forwards a full
 // virtual day, printing controller activity and a closing summary —
 // a one-command demonstration of the whole system.
+//
+// In fleet mode (--fleet fleet.json), it hosts many PoPs' controllers in
+// one process — each with its own inventory, feeds, injection sessions,
+// and health ladder — behind one sFlow ingest point and one versioned,
+// PoP-scoped status API (/v1/pops/{pop}/...). See fleet.go.
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"edgefabric/internal/api"
 	"edgefabric/internal/core"
 	"edgefabric/internal/exp"
 	"edgefabric/internal/netsim"
@@ -35,6 +41,7 @@ import (
 func main() {
 	var (
 		invPath     = flag.String("inventory", "", "inventory JSON from popsim (remote mode)")
+		fleetPath   = flag.String("fleet", "", "fleet JSON hosting many PoPs in one process (see fleet.go)")
 		sflowListen = flag.String("sflow-listen", "127.0.0.1:6343", "UDP address for sFlow ingest (remote mode)")
 		cycle       = flag.Duration("cycle", 5*time.Second, "control cycle interval (remote mode, wall clock)")
 		threshold   = flag.Float64("threshold", 0.95, "interface utilization threshold")
@@ -55,6 +62,10 @@ func main() {
 
 	audit := openAudit(*auditPath)
 	servePprof(ctx, *pprofAddr)
+	if *fleetPath != "" {
+		runFleet(ctx, *fleetPath, *cycle, *threshold, *duration, *status, audit, *verbose)
+		return
+	}
 	if *invPath != "" {
 		runRemote(ctx, *invPath, *sflowListen, *cycle, *threshold, *duration, *status, audit, *verbose)
 		return
@@ -74,20 +85,74 @@ func openAudit(path string) *core.AuditLogger {
 	return core.NewAuditLogger(f)
 }
 
-// runRemote attaches to popsim's TCP/UDP surface.
-func runRemote(ctx context.Context, invPath, sflowListen string, cycle time.Duration, threshold float64, duration time.Duration, statusAddr string, audit *core.AuditLogger, verbose bool) {
-	invFile, err := core.LoadInventoryFile(invPath)
-	if err != nil {
-		log.Fatalf("inventory: %v", err)
-	}
+// attachController builds a controller over a popsim inventory file and
+// supervises its BMP feeds and injection sessions through TCP dialers.
+// The caller owns the traffic collector's ingest path (a dedicated UDP
+// listener in single mode, a shared demux registration in fleet mode).
+func attachController(invFile *core.InventoryFile, traffic *sflow.Collector, cycle time.Duration, threshold float64, audit *core.AuditLogger, logf func(string, ...any)) (*core.Controller, error) {
 	inv, err := invFile.Build()
 	if err != nil {
-		log.Fatalf("inventory: %v", err)
+		return nil, fmt.Errorf("inventory: %w", err)
 	}
 	for _, p := range invFile.Peers {
 		if alias := netsim.V6AliasFor(p.Addr); alias != p.Addr {
 			_ = inv.RegisterPeerAlias(alias, p.Addr)
 		}
+	}
+	ctrl, err := core.New(core.Config{
+		Inventory:     inv,
+		Traffic:       traffic,
+		Allocator:     core.AllocatorConfig{Threshold: threshold},
+		CycleInterval: cycle,
+		LocalAS:       invFile.LocalAS,
+		Audit:         audit,
+		Logf:          logf,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("controller: %w", err)
+	}
+	// Feeds and sessions are supervised: a dead popsim connection is
+	// redialed with backoff instead of silently staying down, and the
+	// injector re-announces the installed set on re-establishment.
+	for _, r := range invFile.Routers {
+		if r.BMP != "" {
+			ctrl.AddBMPFeedDialer(r.Name, tcpDialer(r.BMP))
+			log.Printf("%s: BMP feed %s supervised (%s)", invFile.PoP, r.Name, r.BMP)
+		}
+		if r.Inject != "" {
+			addr, err := netip.ParseAddr(r.Addr)
+			if err != nil {
+				ctrl.Close()
+				return nil, fmt.Errorf("router addr %q: %w", r.Addr, err)
+			}
+			if err := ctrl.AddInjectionSessionDialer(addr, tcpDialer(r.Inject)); err != nil {
+				ctrl.Close()
+				return nil, fmt.Errorf("injection session %s: %w", r.Name, err)
+			}
+			log.Printf("%s: injection session %s supervised (%s)", invFile.PoP, r.Name, r.Inject)
+		}
+	}
+	return ctrl, nil
+}
+
+// lateStoreMapper maps sample destinations through a controller's route
+// store once the controller exists (the collector is built first).
+type lateStoreMapper struct {
+	ctrl **core.Controller
+}
+
+func (m lateStoreMapper) MapPrefix(a netip.Addr) netip.Prefix {
+	if c := *m.ctrl; c != nil {
+		return c.Store().LookupPrefix(a)
+	}
+	return netip.Prefix{}
+}
+
+// runRemote attaches to popsim's TCP/UDP surface.
+func runRemote(ctx context.Context, invPath, sflowListen string, cycle time.Duration, threshold float64, duration time.Duration, statusAddr string, audit *core.AuditLogger, verbose bool) {
+	invFile, err := core.LoadInventoryFile(invPath)
+	if err != nil {
+		log.Fatalf("inventory: %v", err)
 	}
 
 	var logf func(string, ...any)
@@ -102,53 +167,19 @@ func runRemote(ctx context.Context, invPath, sflowListen string, cycle time.Dura
 	}
 
 	var ctrl *core.Controller
-	traffic := sflow.NewCollector(sflow.CollectorConfig{
-		Mapper: sflow.PrefixMapperFunc(func(a netip.Addr) netip.Prefix {
-			if ctrl == nil {
-				return netip.Prefix{}
-			}
-			return ctrl.Store().LookupPrefix(a)
-		}),
-	})
+	traffic := sflow.NewCollector(sflow.CollectorConfig{Mapper: lateStoreMapper{ctrl: &ctrl}})
 	go func() {
 		if err := traffic.ServeUDP(ctx, udp); err != nil {
 			log.Printf("sflow ingest: %v", err)
 		}
 	}()
 
-	ctrl, err = core.New(core.Config{
-		Inventory:     inv,
-		Traffic:       traffic,
-		Allocator:     core.AllocatorConfig{Threshold: threshold},
-		CycleInterval: cycle,
-		LocalAS:       invFile.LocalAS,
-		Audit:         audit,
-		Logf:          logf,
-	})
+	ctrl, err = attachController(invFile, traffic, cycle, threshold, audit, logf)
 	if err != nil {
-		log.Fatalf("controller: %v", err)
+		log.Fatalf("%v", err)
 	}
 	defer ctrl.Close()
 
-	// Feeds and sessions are supervised: a dead popsim connection is
-	// redialed with backoff instead of silently staying down, and the
-	// injector re-announces the installed set on re-establishment.
-	for _, r := range invFile.Routers {
-		if r.BMP != "" {
-			ctrl.AddBMPFeedDialer(r.Name, tcpDialer(r.BMP))
-			log.Printf("BMP feed %s supervised (%s)", r.Name, r.BMP)
-		}
-		if r.Inject != "" {
-			addr, err := netip.ParseAddr(r.Addr)
-			if err != nil {
-				log.Fatalf("router addr %q: %v", r.Addr, err)
-			}
-			if err := ctrl.AddInjectionSessionDialer(addr, tcpDialer(r.Inject)); err != nil {
-				log.Fatalf("injection session %s: %v", r.Name, err)
-			}
-			log.Printf("injection session %s supervised (%s)", r.Name, r.Inject)
-		}
-	}
 	readyCtx, cancel := context.WithTimeout(ctx, 60*time.Second)
 	err = ctrl.WaitReady(readyCtx, 1)
 	cancel()
@@ -156,7 +187,7 @@ func runRemote(ctx context.Context, invPath, sflowListen string, cycle time.Dura
 		log.Fatalf("ready: %v", err)
 	}
 	log.Printf("controller ready: %d routes collected", ctrl.Store().Table().RouteCount())
-	serveStatus(ctx, statusAddr, ctrl)
+	serveStatus(ctx, statusAddr, singlePoPAPI(popName(invFile.PoP), ctrl))
 
 	ticker := time.NewTicker(cycle)
 	defer ticker.Stop()
@@ -177,7 +208,7 @@ func runRemote(ctx context.Context, invPath, sflowListen string, cycle time.Dura
 				log.Printf("cycle: %v", err)
 				continue
 			}
-			fmt.Println(core.FormatReport(report, inv))
+			fmt.Println(core.FormatReport(report, ctrl.Inventory()))
 		}
 	}
 }
@@ -191,18 +222,35 @@ func tcpDialer(addr string) func(ctx context.Context) (net.Conn, error) {
 	}
 }
 
-// serveStatus exposes the controller status API when addr is nonempty.
-func serveStatus(ctx context.Context, addr string, ctrl *core.Controller) {
+// popName defaults an unnamed PoP.
+func popName(name string) string {
+	if name == "" {
+		return "pop-1"
+	}
+	return name
+}
+
+// singlePoPAPI wraps one controller in the versioned status API.
+func singlePoPAPI(name string, ctrl *core.Controller) *api.Server {
+	srv := api.NewServer()
+	if err := srv.AddPoP(name, ctrl); err != nil {
+		log.Fatalf("status API: %v", err)
+	}
+	return srv
+}
+
+// serveStatus exposes the versioned status API when addr is nonempty.
+func serveStatus(ctx context.Context, addr string, apiSrv *api.Server) {
 	if addr == "" {
 		return
 	}
-	srv := &http.Server{Addr: addr, Handler: ctrl.StatusHandler()}
+	srv := &http.Server{Addr: addr, Handler: apiSrv.Handler()}
 	go func() {
 		<-ctx.Done()
 		srv.Close()
 	}()
 	go func() {
-		log.Printf("status API on http://%s/ (endpoints: /metrics /overrides /cycles /routes /health /explain)", addr)
+		log.Printf("status API on http://%s/v1/ (PoPs: %v; legacy unversioned endpoints deprecated)", addr, apiSrv.PoPNames())
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			log.Printf("status server: %v", err)
 		}
@@ -256,7 +304,7 @@ func runEmbedded(ctx context.Context, prefixes int, peakGbps float64, seed int64
 		log.Fatalf("harness: %v", err)
 	}
 	defer h.Close()
-	serveStatus(ctx, statusAddr, h.Controller)
+	serveStatus(ctx, statusAddr, singlePoPAPI(h.Scenario.Topo.Name, h.Controller))
 	log.Printf("%s converged; simulating %s of virtual time", h, duration)
 
 	var cycles, withOverrides int

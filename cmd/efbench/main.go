@@ -1,5 +1,5 @@
 // Command efbench regenerates every experiment in EXPERIMENTS.md
-// (E1–E10): it builds the synthetic PoP scenario at the requested scale,
+// (E1–E10, FLEET, E13): it builds the synthetic PoP scenario at the requested scale,
 // runs the plain-BGP baseline and the Edge-Fabric-controlled arms over
 // simulated days, and prints each experiment's rows. The output of
 // `efbench -scale paper` is what EXPERIMENTS.md records.
@@ -138,6 +138,28 @@ func main() {
 		}
 		fmt.Fprint(w, fl.Run(day/4).String(), "\n")
 		fl.Close()
+	}
+
+	if want("E13") {
+		// Fleet-host isolation: hosted vs isolated decision equivalence,
+		// then a BMP outage contained to one member. The ladder is tuned
+		// so fail-static lands within the outage window and fail-back /
+		// BMP flush stay out of it.
+		fb := withController(base, true)
+		// Start at pop-1's demand peak so the compared cycles actually
+		// carry override decisions (equivalence on idle cycles is
+		// vacuous).
+		fb.Start = time.Date(2017, 3, 1, 19, 45, 0, 0, time.UTC)
+		fb.Health = core.HealthConfig{
+			RoutesStaleAfter: 45 * time.Second,
+			RoutesFailAfter:  time.Hour,
+			BMPFlushAfter:    time.Hour,
+		}
+		res, err := exp.E13FleetIsolation(ctx, exp.FleetConfig{Base: fb, PoPs: 4, PeakHourSpreadH: 0.5}, 6, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprint(w, res.String(), "\n")
 	}
 
 	fmt.Fprintf(w, "total wall time %s\n", time.Since(started).Round(time.Second))

@@ -1,73 +1,265 @@
-// Command efctl queries a running edgefabricd's status API (started
-// with --status):
+// Command efctl queries a running edgefabricd's versioned status API
+// (started with --status). It speaks /v1 and understands the uniform
+// response envelope, so it works against single-PoP daemons and fleet
+// hosts alike:
 //
-//	efctl -status 127.0.0.1:8080 overrides
-//	efctl -status 127.0.0.1:8080 cycles
-//	efctl -status 127.0.0.1:8080 metrics
-//	efctl -status 127.0.0.1:8080 routes
-//	efctl -status 127.0.0.1:8080 health
-//	efctl -status 127.0.0.1:8080 explain 93.184.216.0/24
+//	efctl -addr 127.0.0.1:8080 pops
+//	efctl -addr 127.0.0.1:8080 health
+//	efctl -addr 127.0.0.1:8080 -pop lhr overrides
+//	efctl -addr 127.0.0.1:8080 -pop lhr cycles -limit 5
+//	efctl -addr 127.0.0.1:8080 -pop lhr routes -after 10.0.4.0/24
+//	efctl -addr 127.0.0.1:8080 -pop lhr explain 93.184.216.0/24
+//	efctl -addr 127.0.0.1:8080 metrics
+//
+// Against a single-PoP daemon -pop may be omitted: efctl resolves the
+// sole PoP via /v1/pops. Exit codes: 0 success, 2 usage error, 3
+// transport failure, 4 the API returned an error envelope.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"net/http"
 	"net/url"
 	"os"
 	"time"
 )
 
+const (
+	exitOK        = 0
+	exitUsage     = 2
+	exitTransport = 3
+	exitAPI       = 4
+)
+
+// envelope mirrors api.Envelope with the data left raw for
+// pretty-printing.
+type envelope struct {
+	Data  json.RawMessage `json:"data"`
+	Error *struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+	PoP   string `json:"pop,omitempty"`
+	Cycle uint64 `json:"cycle,omitempty"`
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: efctl [flags] command [arg]
+
+commands:
+  pops                 list hosted PoPs with state and counters
+  health               fleet health rollup (every PoP's ladder state)
+  metrics              Prometheus metrics text, pop="..." labels
+  overrides            active overrides of one PoP (needs -pop on fleets)
+  cycles               recent cycle reports (-limit, -after SEQ)
+  routes               RIB routes per prefix (-limit, -after PREFIX)
+  explain [prefix]     latest cycle's decision trace, or one prefix's
+
+flags:
+`)
+	flag.PrintDefaults()
+}
+
 func main() {
-	status := flag.String("status", "127.0.0.1:8080", "edgefabricd status API address")
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", "", "edgefabricd status API address (host:port)")
+	statusAlias := flag.String("status", "", "alias for -addr (deprecated)")
+	pop := flag.String("pop", "", "PoP name (optional when the daemon hosts exactly one)")
 	timeout := flag.Duration("timeout", 5*time.Second, "request timeout")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: efctl [-status host:port] overrides|cycles|metrics|routes|health|explain [prefix]\n")
-		flag.PrintDefaults()
-	}
+	limit := flag.Int("limit", 0, "page size for cycles/routes (0 = server default)")
+	after := flag.String("after", "", "pagination cursor: cycle sequence (cycles) or prefix (routes)")
+	flag.Usage = usage
 	flag.Parse()
-	if flag.NArg() < 1 {
-		flag.Usage()
-		os.Exit(2)
+
+	host := *addr
+	if host == "" {
+		host = *statusAlias
 	}
-	what := flag.Arg(0)
-	path := what
-	switch what {
-	case "overrides", "cycles", "metrics", "routes", "health":
-		if flag.NArg() != 1 {
-			flag.Usage()
-			os.Exit(2)
-		}
-	case "explain":
-		// Optional prefix argument: without one, /explain summarizes the
-		// latest cycle's decisions; with one, it prints that prefix's
-		// full decision trace.
-		switch flag.NArg() {
-		case 1:
-		case 2:
-			path = "explain?prefix=" + url.QueryEscape(flag.Arg(1))
-		default:
-			flag.Usage()
-			os.Exit(2)
-		}
-	default:
-		flag.Usage()
-		os.Exit(2)
+	if host == "" {
+		host = "127.0.0.1:8080"
+	}
+	if flag.NArg() < 1 {
+		usage()
+		return exitUsage
+	}
+	cmd := flag.Arg(0)
+	cli := &client{base: "http://" + host, http: &http.Client{Timeout: *timeout}}
+
+	query := url.Values{}
+	if *limit > 0 {
+		query.Set("limit", fmt.Sprint(*limit))
+	}
+	if *after != "" {
+		query.Set("after", *after)
 	}
 
-	client := &http.Client{Timeout: *timeout}
-	resp, err := client.Get(fmt.Sprintf("http://%s/%s", *status, path))
+	switch cmd {
+	case "pops":
+		if flag.NArg() != 1 {
+			usage()
+			return exitUsage
+		}
+		return cli.show("/v1/pops", nil)
+	case "health":
+		if flag.NArg() != 1 {
+			usage()
+			return exitUsage
+		}
+		if *pop != "" {
+			return cli.show("/v1/pops/"+url.PathEscape(*pop)+"/health", nil)
+		}
+		return cli.show("/v1/health", nil)
+	case "metrics":
+		if flag.NArg() != 1 {
+			usage()
+			return exitUsage
+		}
+		return cli.showText("/v1/metrics", nil)
+	case "overrides", "cycles", "routes", "explain":
+		if cmd == "explain" {
+			switch flag.NArg() {
+			case 1:
+			case 2:
+				query.Set("prefix", flag.Arg(1))
+			default:
+				usage()
+				return exitUsage
+			}
+		} else if flag.NArg() != 1 {
+			usage()
+			return exitUsage
+		}
+		name, code := cli.resolvePoP(*pop)
+		if code != exitOK {
+			return code
+		}
+		path := "/v1/pops/" + url.PathEscape(name) + "/" + cmd
+		if cmd == "explain" {
+			return cli.showText(path, query)
+		}
+		return cli.show(path, query)
+	default:
+		fmt.Fprintf(os.Stderr, "efctl: unknown command %q\n", cmd)
+		usage()
+		return exitUsage
+	}
+}
+
+type client struct {
+	base string
+	http *http.Client
+}
+
+// get fetches path and decodes the envelope. A non-nil envelope with
+// Error set means the API answered with a typed error (exit 4 land);
+// a returned error means transport or malformed response (exit 3 land).
+func (c *client) get(path string, query url.Values) (*envelope, error) {
+	u := c.base + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	resp, err := c.http.Get(u)
 	if err != nil {
-		log.Fatalf("efctl: %v", err)
+		return nil, err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-		log.Fatalf("efctl: %s returned %s: %s", what, resp.Status, body)
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
 	}
-	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
-		log.Fatalf("efctl: %v", err)
+	var env envelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		return nil, fmt.Errorf("%s: non-envelope response (%s): %.200s", path, resp.Status, body)
 	}
+	return &env, nil
+}
+
+// show fetches path and pretty-prints the envelope's data.
+func (c *client) show(path string, query url.Values) int {
+	env, err := c.get(path, query)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "efctl: %v\n", err)
+		return exitTransport
+	}
+	if env.Error != nil {
+		fmt.Fprintf(os.Stderr, "efctl: api error %s: %s\n", env.Error.Code, env.Error.Message)
+		return exitAPI
+	}
+	var buf json.RawMessage = env.Data
+	out, err := json.MarshalIndent(buf, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "efctl: %v\n", err)
+		return exitTransport
+	}
+	fmt.Println(string(out))
+	return exitOK
+}
+
+// showText fetches path and prints data.text verbatim — for the
+// metrics and explain endpoints, whose payloads are preformatted text.
+func (c *client) showText(path string, query url.Values) int {
+	env, err := c.get(path, query)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "efctl: %v\n", err)
+		return exitTransport
+	}
+	if env.Error != nil {
+		fmt.Fprintf(os.Stderr, "efctl: api error %s: %s\n", env.Error.Code, env.Error.Message)
+		return exitAPI
+	}
+	var doc struct {
+		Text string `json:"text"`
+	}
+	if err := json.Unmarshal(env.Data, &doc); err != nil || doc.Text == "" {
+		// Fall back to the raw data if the payload isn't text-shaped.
+		fmt.Println(string(env.Data))
+		return exitOK
+	}
+	fmt.Print(doc.Text)
+	if len(doc.Text) > 0 && doc.Text[len(doc.Text)-1] != '\n' {
+		fmt.Println()
+	}
+	return exitOK
+}
+
+// resolvePoP returns the PoP to scope requests to: the -pop flag when
+// given, else the daemon's sole PoP, else a usage error listing the
+// choices.
+func (c *client) resolvePoP(flagPoP string) (string, int) {
+	if flagPoP != "" {
+		return flagPoP, exitOK
+	}
+	env, err := c.get("/v1/pops", nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "efctl: %v\n", err)
+		return "", exitTransport
+	}
+	if env.Error != nil {
+		fmt.Fprintf(os.Stderr, "efctl: api error %s: %s\n", env.Error.Code, env.Error.Message)
+		return "", exitAPI
+	}
+	var doc struct {
+		Items []struct {
+			Name string `json:"name"`
+		} `json:"items"`
+	}
+	if err := json.Unmarshal(env.Data, &doc); err != nil {
+		fmt.Fprintf(os.Stderr, "efctl: decode /v1/pops: %v\n", err)
+		return "", exitTransport
+	}
+	if len(doc.Items) == 1 {
+		return doc.Items[0].Name, exitOK
+	}
+	names := make([]string, len(doc.Items))
+	for i, it := range doc.Items {
+		names[i] = it.Name
+	}
+	fmt.Fprintf(os.Stderr, "efctl: daemon hosts %d PoPs %v; pick one with -pop\n", len(names), names)
+	return "", exitUsage
 }

@@ -41,6 +41,8 @@ func main() {
 		rsMembers  = flag.Int("rs-members", 40, "route-server member ASes")
 		transits   = flag.Int("transits", 2, "transit providers")
 		routers    = flag.Int("routers", 2, "peering routers")
+		popIndex   = flag.Int("pop-index", 0, "router-ID block (10.255.<index>.x); give each PoP of a fleet a distinct index so their sFlow agent addresses stay disjoint")
+		popName    = flag.String("name", "", "PoP name (default from the synthesizer)")
 		peakGbps   = flag.Float64("peak-gbps", 400, "peak PoP demand (Gbps)")
 		headroom   = flag.Float64("pni-headroom-min", 0.7, "min PNI capacity / AS peak ratio")
 		headroomMx = flag.Float64("pni-headroom-max", 1.8, "max PNI capacity / AS peak ratio")
@@ -82,6 +84,8 @@ func main() {
 	} else {
 		sc, err = netsim.Synthesize(netsim.SynthConfig{
 			Seed:               *seed,
+			Name:               *popName,
+			PoPIndex:           *popIndex,
 			Prefixes:           *prefixes,
 			EdgeASes:           *edgeASes,
 			PrivatePeers:       *private,
@@ -167,8 +171,17 @@ func main() {
 			ID: ifc.ID, Name: ifc.Name, CapacityBps: ifc.CapacityBps, Router: ifc.Router,
 		})
 	}
+	agentOf := make(map[string]string, len(sc.Topo.Routers))
+	for i := range sc.Topo.Routers {
+		r := &sc.Topo.Routers[i]
+		agentOf[r.Name] = r.RouterID.String()
+	}
 	for i, router := range pop.Routers() {
-		ep := core.RouterEndpoints{Name: router, Addr: pop.RouterIP(router).String()}
+		ep := core.RouterEndpoints{
+			Name:       router,
+			Addr:       pop.RouterIP(router).String(),
+			SFlowAgent: agentOf[router],
+		}
 		if *bmpBase > 0 {
 			br, err := netsim.NewBridge(fmt.Sprintf("127.0.0.1:%d", *bmpBase+i), pop.BMPConn(router))
 			if err != nil {

@@ -242,6 +242,22 @@ func (h *healthHandler) OnTermination(router string) {
 // collector's prefix mapper).
 func (c *Controller) Store() *RouteStore { return c.store }
 
+// Inventory exposes the controller's peer/interface inventory (e.g. for
+// interface naming in the status API).
+func (c *Controller) Inventory() *Inventory { return c.cfg.Inventory }
+
+// Now returns the controller's current time in its own time base (the
+// simulator's virtual clock, wall clock in production).
+func (c *Controller) Now() time.Time { return c.cfg.Now() }
+
+// LastSeq returns the sequence number of the most recent completed
+// cycle (zero before the first cycle).
+func (c *Controller) LastSeq() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.seq
+}
+
 // Metrics exposes the controller's metrics registry.
 func (c *Controller) Metrics() *metrics.Registry { return c.registry }
 

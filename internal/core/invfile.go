@@ -33,6 +33,12 @@ type RouterEndpoints struct {
 	// runs).
 	BMP    string `json:"bmp,omitempty"`
 	Inject string `json:"inject,omitempty"`
+	// SFlowAgent is the agent address the router stamps on its sFlow
+	// datagrams. A fleet host demuxes a shared sFlow listener to PoPs
+	// by this address, so fleet members' agent addresses must be
+	// disjoint. Empty in inventories that predate fleet mode (the
+	// router Addr is used as a fallback).
+	SFlowAgent string `json:"sflow_agent,omitempty"`
 }
 
 // Encode writes the file as indented JSON.

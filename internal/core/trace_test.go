@@ -11,6 +11,36 @@ import (
 	"edgefabric/internal/rib"
 )
 
+// statusController builds a full controller over the test inventory
+// with a fake peering router, four prefixes that each have a private
+// and a transit route, and enough demand to force detours (12G of
+// demand preferring a 10G PNI).
+func statusController(t *testing.T) (*Controller, *fakePR) {
+	t.Helper()
+	inv := testInventory(t)
+	demand := staticTraffic{}
+	ctrl, err := New(Config{
+		Inventory: inv,
+		Traffic:   demand,
+		LocalAS:   64500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ctrl.Close)
+	pr, conn := newFakePR(t, 64500)
+	if err := ctrl.AddInjectionSession(netip.MustParseAddr("10.255.0.1"), conn); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		prefix := []string{"10.0.0.0/24", "10.0.1.0/24", "10.0.2.0/24", "10.0.3.0/24"}[i]
+		ctrl.Store().Table().Add(route(prefix, "172.20.0.1", rib.ClassPrivate, 0, 65010))
+		ctrl.Store().Table().Add(route(prefix, "172.20.0.9", rib.ClassTransit, 3, 64601, 65010))
+		demand[netip.MustParsePrefix(prefix)] = 3e9 // 12G on a 10G PNI
+	}
+	return ctrl, pr
+}
+
 func TestTraceDetouredPrefix(t *testing.T) {
 	inv, tab, demand := stickyFixture(t)
 	tr := NewCycleTrace(0)

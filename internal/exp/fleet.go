@@ -31,24 +31,35 @@ type FleetConfig struct {
 	PeakHourSpreadH float64
 }
 
-// NewFleet builds and converges all member PoPs.
-func NewFleet(ctx context.Context, cfg FleetConfig) (*Fleet, error) {
+func (cfg *FleetConfig) setDefaults() {
 	if cfg.PoPs == 0 {
 		cfg.PoPs = 4
 	}
 	if cfg.PeakHourSpreadH == 0 {
 		cfg.PeakHourSpreadH = 2
 	}
+}
+
+// popConfig derives member i's harness config: a distinct seed, name,
+// router-ID block (PoPIndex), and staggered demand peak.
+func (cfg *FleetConfig) popConfig(i int) HarnessConfig {
+	hc := cfg.Base
+	hc.Synth.Seed = cfg.Base.Synth.Seed + int64(i)*1000
+	hc.Synth.Name = fmt.Sprintf("pop-%d", i+1)
+	hc.Synth.PoPIndex = i + 1
+	hc.Demand.PeakHourUTC = 20 + float64(i)*cfg.PeakHourSpreadH
+	for hc.Demand.PeakHourUTC >= 24 {
+		hc.Demand.PeakHourUTC -= 24
+	}
+	return hc
+}
+
+// NewFleet builds and converges all member PoPs.
+func NewFleet(ctx context.Context, cfg FleetConfig) (*Fleet, error) {
+	cfg.setDefaults()
 	f := &Fleet{}
 	for i := 0; i < cfg.PoPs; i++ {
-		hc := cfg.Base
-		hc.Synth.Seed = cfg.Base.Synth.Seed + int64(i)*1000
-		hc.Synth.Name = fmt.Sprintf("pop-%d", i+1)
-		hc.Demand.PeakHourUTC = 20 + float64(i)*cfg.PeakHourSpreadH
-		for hc.Demand.PeakHourUTC >= 24 {
-			hc.Demand.PeakHourUTC -= 24
-		}
-		h, err := NewHarness(ctx, hc)
+		h, err := NewHarness(ctx, cfg.popConfig(i))
 		if err != nil {
 			f.Close()
 			return nil, fmt.Errorf("exp: fleet pop %d: %w", i+1, err)

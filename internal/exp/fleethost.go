@@ -1,0 +1,66 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+
+	"edgefabric/internal/api"
+	"edgefabric/internal/sflow"
+)
+
+// FleetHost runs a whole Fleet's controllers inside one process — the
+// daemon's --fleet mode in harness form. Unlike Fleet (independent
+// harnesses, one collector each), the member PoPs share a single sFlow
+// ingest point: every router exports into one Demux, which routes each
+// datagram to its PoP's collector by agent address. Everything else —
+// inventories, route stores, BMP feeds, injection sessions, health
+// ladders — stays strictly per-PoP, so one member entering fail-static
+// never gates another.
+type FleetHost struct {
+	Fleet
+	// Demux is the shared ingest point standing in for the process's
+	// one UDP listener.
+	Demux *sflow.Demux
+	// API is the versioned PoP-scoped surface over every member
+	// controller.
+	API *api.Server
+}
+
+// NewFleetHost builds and converges a fleet sharing one sFlow demux and
+// one API server. Controller-enabled members register with the API under
+// their PoP name.
+func NewFleetHost(ctx context.Context, cfg FleetConfig) (*FleetHost, error) {
+	cfg.setDefaults()
+	cfgs := make([]HarnessConfig, cfg.PoPs)
+	for i := range cfgs {
+		cfgs[i] = cfg.popConfig(i)
+	}
+	return NewFleetHostFromConfigs(ctx, cfgs)
+}
+
+// NewFleetHostFromConfigs builds a fleet host from explicit per-member
+// harness configs (the daemon's --fleet mode derives these from its
+// fleet file). Each member's SFlowDemux is forced to the shared demux;
+// a zero PoPIndex is assigned positionally so router IDs stay disjoint.
+func NewFleetHostFromConfigs(ctx context.Context, cfgs []HarnessConfig) (*FleetHost, error) {
+	fh := &FleetHost{Demux: sflow.NewDemux(), API: api.NewServer()}
+	for i, hc := range cfgs {
+		hc.SFlowDemux = fh.Demux
+		if hc.Synth.PoPIndex == 0 {
+			hc.Synth.PoPIndex = i + 1
+		}
+		h, err := NewHarness(ctx, hc)
+		if err != nil {
+			fh.Close()
+			return nil, fmt.Errorf("exp: fleet host pop %d: %w", i+1, err)
+		}
+		fh.PoPs = append(fh.PoPs, h)
+		if h.Controller != nil {
+			if err := fh.API.AddPoP(h.Scenario.Topo.Name, h.Controller); err != nil {
+				fh.Close()
+				return nil, err
+			}
+		}
+	}
+	return fh, nil
+}

@@ -50,6 +50,12 @@ type HarnessConfig struct {
 	Health core.HealthConfig
 	// SamplingRate is the sFlow 1-in-N rate. Default 8192.
 	SamplingRate uint32
+	// SFlowDemux, when set, is a shared fleet-host ingest point: the
+	// PoP's routers register their agent addresses against this
+	// harness's own collector and export through the demux instead of
+	// straight into the collector. Requires router IDs disjoint from
+	// every other PoP on the same demux (see netsim.SynthConfig.PoPIndex).
+	SFlowDemux *sflow.Demux
 	// Audit, when set, receives one JSON line per controller cycle.
 	Audit *core.AuditLogger
 	// Logf, when set, receives one-line log events.
@@ -168,9 +174,19 @@ func NewHarness(ctx context.Context, cfg HarnessConfig) (*Harness, error) {
 		Now:     clock.Now,
 	})
 
+	// In fleet-host mode the PoP's agents export into the shared demux,
+	// which routes each datagram back to this PoP's collector by agent
+	// address — exactly the path a shared UDP listener takes.
+	var sink sflow.Sink = traffic
+	if cfg.SFlowDemux != nil {
+		for _, r := range sc.Topo.Routers {
+			cfg.SFlowDemux.Register(r.RouterID, traffic)
+		}
+		sink = cfg.SFlowDemux
+	}
 	// The lossy wrapper is transparent until a fault experiment scripts
 	// loss on it.
-	loss := netsim.NewLossySink(traffic, cfg.Synth.Seed)
+	loss := netsim.NewLossySink(sink, cfg.Synth.Seed)
 	pop, err := netsim.NewPoP(netsim.PoPConfig{
 		Scenario:     sc,
 		Demand:       demand,
@@ -382,6 +398,11 @@ func (h *Harness) Explain(p netip.Prefix) string {
 func (h *Harness) Close() {
 	if h.Controller != nil {
 		h.Controller.Close()
+	}
+	if h.Cfg.SFlowDemux != nil {
+		for _, r := range h.Scenario.Topo.Routers {
+			h.Cfg.SFlowDemux.Unregister(r.RouterID)
+		}
 	}
 	h.cancel()
 	h.PoP.Close()

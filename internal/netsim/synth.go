@@ -21,6 +21,13 @@ type SynthConfig struct {
 	Seed int64
 	// Name labels the PoP. Default "pop-1".
 	Name string
+	// PoPIndex distinguishes this PoP's router IDs (sFlow agent
+	// addresses) from other PoPs synthesized for the same fleet: router
+	// r gets 10.255.{PoPIndex}.{r+1}. Default 0, the historical single
+	// PoP address block. A fleet host sharing one sFlow listener
+	// requires the blocks to be disjoint, since samples demux to PoPs
+	// by agent address.
+	PoPIndex int
 	// LocalAS is the content provider AS. Default 64500.
 	LocalAS uint32
 	// Routers is the number of peering routers. Default 2.
@@ -162,8 +169,15 @@ func (s *Scenario) NewDemand(cfg DemandConfig) (*DemandModel, error) {
 // cfg.Seed.
 func Synthesize(cfg SynthConfig) (*Scenario, error) {
 	cfg.setDefaults()
+	// Every AS originates at least one prefix, so more ASes than
+	// prefixes is unsatisfiable; shrink the AS count instead of looping
+	// forever trying to scale per-AS prefix counts below one.
+	if cfg.EdgeASes > cfg.Prefixes {
+		cfg.EdgeASes = cfg.Prefixes
+	}
 	if cfg.PrivatePeers+cfg.PublicPeers+cfg.RouteServerMembers > cfg.EdgeASes {
-		return nil, fmt.Errorf("netsim: peer counts exceed EdgeASes")
+		return nil, fmt.Errorf("netsim: peer counts (%d) exceed EdgeASes (%d); tiny scenarios need explicit peer counts",
+			cfg.PrivatePeers+cfg.PublicPeers+cfg.RouteServerMembers, cfg.EdgeASes)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
@@ -188,7 +202,7 @@ func Synthesize(cfg SynthConfig) (*Scenario, error) {
 		counts[i]++
 		scaled++
 	}
-	for i := 0; scaled > cfg.Prefixes; i = (i + 1) % cfg.EdgeASes {
+	for i := 0; scaled > cfg.Prefixes && scaled > cfg.EdgeASes; i = (i + 1) % cfg.EdgeASes {
 		if counts[i] > 1 {
 			counts[i]--
 			scaled--
@@ -255,7 +269,7 @@ func Synthesize(cfg SynthConfig) (*Scenario, error) {
 	for r := 0; r < cfg.Routers; r++ {
 		topo.Routers = append(topo.Routers, Router{
 			Name:     fmt.Sprintf("pr%d", r+1),
-			RouterID: netip.AddrFrom4([4]byte{10, 255, 0, byte(r + 1)}),
+			RouterID: netip.AddrFrom4([4]byte{10, 255, byte(cfg.PoPIndex), byte(r + 1)}),
 		})
 	}
 	ifID := 0

@@ -1,0 +1,99 @@
+package sflow
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/netip"
+	"sync"
+)
+
+// Demux fans one sFlow ingest stream out to many collectors keyed by
+// the exporting agent's address — the fleet host's shared listener: N
+// PoPs' routers all export to one UDP socket, and each datagram lands
+// in the collector of the PoP its agent belongs to. Safe for
+// concurrent use.
+type Demux struct {
+	mu      sync.RWMutex
+	byAgent map[netip.Addr]*Collector
+
+	statMu    sync.Mutex
+	malformed uint64 // undecodable datagrams
+	unknown   uint64 // datagrams from an unregistered agent
+}
+
+// NewDemux returns an empty Demux; datagrams are dropped (and counted
+// unknown) until agents are registered.
+func NewDemux() *Demux {
+	return &Demux{byAgent: make(map[netip.Addr]*Collector)}
+}
+
+// Register routes datagrams whose agent address is agent to c. A PoP
+// registers every one of its routers' agent addresses against its own
+// collector. Registering an agent twice overwrites the previous
+// binding.
+func (d *Demux) Register(agent netip.Addr, c *Collector) {
+	d.mu.Lock()
+	d.byAgent[agent.Unmap()] = c
+	d.mu.Unlock()
+}
+
+// Unregister removes an agent binding (e.g. when a PoP is torn down).
+func (d *Demux) Unregister(agent netip.Addr) {
+	d.mu.Lock()
+	delete(d.byAgent, agent.Unmap())
+	d.mu.Unlock()
+}
+
+// SendDatagram implements Sink: decode the datagram header once and
+// hand the whole datagram to the owning PoP's collector. A datagram
+// from an unregistered agent is dropped and counted, never delivered
+// to another PoP — isolation is the point.
+func (d *Demux) SendDatagram(b []byte) error {
+	dg, err := Decode(b)
+	if err != nil {
+		d.statMu.Lock()
+		d.malformed++
+		d.statMu.Unlock()
+		return err
+	}
+	d.mu.RLock()
+	c := d.byAgent[dg.Agent.Unmap()]
+	d.mu.RUnlock()
+	if c == nil {
+		d.statMu.Lock()
+		d.unknown++
+		d.statMu.Unlock()
+		return nil
+	}
+	c.Ingest(dg)
+	return nil
+}
+
+// ServeUDP ingests datagrams from conn until ctx ends or the socket
+// fails, demuxing each to its PoP's collector. The fleet host runs one
+// of these for the whole process.
+func (d *Demux) ServeUDP(ctx context.Context, conn net.PacketConn) error {
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+	buf := make([]byte, MaxDatagramLen)
+	for {
+		n, _, err := conn.ReadFrom(buf)
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		// Malformed datagrams are counted by SendDatagram, not fatal.
+		_ = d.SendDatagram(buf[:n])
+	}
+}
+
+// Stats reports malformed (undecodable) datagrams and datagrams from
+// unregistered agents.
+func (d *Demux) Stats() (malformed, unknownAgent uint64) {
+	d.statMu.Lock()
+	defer d.statMu.Unlock()
+	return d.malformed, d.unknown
+}

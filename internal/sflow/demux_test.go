@@ -1,0 +1,82 @@
+package sflow
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+)
+
+// demuxDatagram builds an encoded datagram from the given agent carrying
+// one 1000-byte record toward dst.
+func demuxDatagram(t *testing.T, agent, dst string) []byte {
+	t.Helper()
+	b, err := MarshalBytes(&Datagram{
+		Agent: netip.MustParseAddr(agent),
+		Samples: []FlowSample{{
+			SamplingRate: 1,
+			Records:      []FlowRecord{{Dst: netip.MustParseAddr(dst), FrameLen: 1000}},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestDemuxRoutesByAgent(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	newC := func() *Collector {
+		return NewCollector(CollectorConfig{Mapper: fixedMapper{}, Now: clock})
+	}
+	popA, popB := newC(), newC()
+	d := NewDemux()
+	d.Register(netip.MustParseAddr("10.255.1.1"), popA)
+	d.Register(netip.MustParseAddr("10.255.2.1"), popB)
+
+	if err := d.SendDatagram(demuxDatagram(t, "10.255.1.1", "198.51.100.9")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SendDatagram(demuxDatagram(t, "10.255.2.1", "203.0.113.9")); err != nil {
+		t.Fatal(err)
+	}
+	// A third PoP's agent that nobody registered: dropped, not delivered.
+	if err := d.SendDatagram(demuxDatagram(t, "10.255.3.1", "198.51.100.9")); err != nil {
+		t.Fatal(err)
+	}
+
+	aRates, bRates := popA.Rates(), popB.Rates()
+	pA := netip.MustParsePrefix("198.51.100.0/24")
+	pB := netip.MustParsePrefix("203.0.113.0/24")
+	if aRates[pA] == 0 || aRates[pB] != 0 {
+		t.Errorf("pop A rates = %v, want only %s", aRates, pA)
+	}
+	if bRates[pB] == 0 || bRates[pA] != 0 {
+		t.Errorf("pop B rates = %v, want only %s", bRates, pB)
+	}
+	if malformed, unknown := d.Stats(); malformed != 0 || unknown != 1 {
+		t.Errorf("stats = (%d malformed, %d unknown), want (0, 1)", malformed, unknown)
+	}
+
+	// Undecodable datagrams are counted malformed and return the error.
+	if err := d.SendDatagram([]byte{0, 1, 2}); err == nil {
+		t.Error("malformed datagram decoded cleanly")
+	}
+	if malformed, _ := d.Stats(); malformed != 1 {
+		t.Errorf("malformed = %d, want 1", malformed)
+	}
+}
+
+func TestDemuxUnregister(t *testing.T) {
+	c := NewCollector(CollectorConfig{Mapper: fixedMapper{}})
+	d := NewDemux()
+	agent := netip.MustParseAddr("10.255.1.1")
+	d.Register(agent, c)
+	d.Unregister(agent)
+	if err := d.SendDatagram(demuxDatagram(t, "10.255.1.1", "198.51.100.9")); err != nil {
+		t.Fatal(err)
+	}
+	if _, unknown := d.Stats(); unknown != 1 {
+		t.Errorf("unknown = %d, want 1 after unregister", unknown)
+	}
+}

@@ -38,4 +38,31 @@ for pkg in ./internal/bgp ./internal/bmp ./internal/sflow; do
   go test -run '^$' -fuzz=FuzzDecode -fuzztime=10s "$pkg"
 done
 
+# API surface gate: the /v1 route list is a golden artifact
+# (internal/api/testdata/api_v1_routes.txt); any addition or rename must
+# update the golden file in the same change.
+echo "==> API v1 surface golden check"
+go test -count=1 -run 'TestAPISurfaceGolden' ./internal/api
+
+# Fleet smoke: a 2-PoP embedded fleet must build, share one sFlow demux
+# with zero misrouted datagrams, and print a per-PoP summary.
+echo "==> edgefabricd --fleet 2-PoP smoke"
+fleettmp=$(mktemp -d)
+trap 'rm -rf "$fleettmp"' EXIT
+go build -o "$fleettmp/edgefabricd" ./cmd/edgefabricd
+cat > "$fleettmp/fleet.json" <<'EOF'
+{
+  "pops": [
+    {"name": "smoke-a", "prefixes": 200, "peak_gbps": 80, "seed": 7},
+    {"name": "smoke-b", "prefixes": 150, "peak_gbps": 60, "seed": 8}
+  ]
+}
+EOF
+# Capture then grep (grep -q on a live pipe would SIGPIPE the daemon
+# mid-summary under pipefail).
+"$fleettmp/edgefabricd" --fleet "$fleettmp/fleet.json" --duration 30m \
+  > "$fleettmp/fleet.out" 2>&1
+grep -q "fleet summary (2 PoPs; shared sFlow demux: 0 malformed, 0 unknown-agent)" \
+  "$fleettmp/fleet.out"
+
 echo "OK"

@@ -38,7 +38,9 @@ func hotTable(nPrefixes, routesPer, nIFs int) (*rib.Table, map[netip.Prefix]floa
 	tab := rib.NewTable(rib.DefaultPolicy())
 	demand := make(map[netip.Prefix]float64, nPrefixes)
 	for i := 0; i < nPrefixes; i++ {
-		p := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i >> 8), byte(i), 0}), 24)
+		// Spill into successive /8s past 65536 prefixes so million-entry
+		// tables stay valid /24s (matches the netsim address plan).
+		p := netip.PrefixFrom(netip.AddrFrom4([4]byte{byte(10 + i>>16), byte(i >> 8), byte(i), 0}), 24)
 		for j := 0; j < routesPer; j++ {
 			ord := (i + j) % (nIFs * 2)
 			tab.Add(hotRoute(p, ord, ord%nIFs))
@@ -61,6 +63,65 @@ func BenchmarkProject50k(b *testing.B) {
 	}
 	if len(proj.Plans) != 50_000 {
 		b.Fatalf("projection covered %d prefixes", len(proj.Plans))
+	}
+}
+
+// BenchmarkProject1M measures the cold, full projection pass at
+// Internet-table scale: one million /24s with three routes each. Table
+// construction dominates wall time, so it is excluded from the timer;
+// run this benchmark by name — the check.sh gate deliberately skips it.
+func BenchmarkProject1M(b *testing.B) {
+	tab, demand := hotTable(1_000_000, 3, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var proj *core.Projection
+	for i := 0; i < b.N; i++ {
+		proj = core.Project(tab, demand)
+	}
+	if len(proj.Plans) != 1_000_000 {
+		b.Fatalf("projection covered %d prefixes", len(proj.Plans))
+	}
+}
+
+// BenchmarkProjectDelta1M measures the steady-state dirty cycle at the
+// same scale: each iteration perturbs ~1% of the demand map past the
+// tail tolerance and runs one delta projection, the per-cycle cost the
+// controller pays between full sweeps.
+func BenchmarkProjectDelta1M(b *testing.B) {
+	const n = 1_000_000
+	tab, demand := hotTable(n, 3, 16)
+	prefixes := make([]netip.Prefix, 0, n)
+	base := make([]float64, 0, n)
+	for p, bps := range demand {
+		prefixes = append(prefixes, p)
+		base = append(base, bps)
+	}
+	pj := &core.Projector{
+		HeavyK:         8192,
+		TailEpsilon:    0.25,
+		TailStride:     16,
+		FullSweepEvery: -1,
+	}
+	if _, st := pj.ProjectDelta(tab, demand); !st.Full {
+		b.Fatalf("first delta cycle should be a full build, got %+v", st)
+	}
+	const window = n / 100
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := (i * window) % n
+		for j := lo; j < lo+window; j++ {
+			k := j % n
+			f := 1.6
+			if i%2 == 1 {
+				f = 1.0 // back to baseline — still a >25% move
+			}
+			demand[prefixes[k]] = base[k] * f
+		}
+		_, st := pj.ProjectDelta(tab, demand)
+		if st.Full {
+			b.Fatalf("dirty cycle fell back to a full rebuild: %q", st.FullReason)
+		}
 	}
 }
 

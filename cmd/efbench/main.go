@@ -1,5 +1,6 @@
 // Command efbench regenerates every experiment in EXPERIMENTS.md
-// (E1–E10, FLEET, E13): it builds the synthetic PoP scenario at the requested scale,
+// (E1–E10, FLEET, E13, plus E14 when named explicitly via -only):
+// it builds the synthetic PoP scenario at the requested scale,
 // runs the plain-BGP baseline and the Edge-Fabric-controlled arms over
 // simulated days, and prints each experiment's rows. The output of
 // `efbench -scale paper` is what EXPERIMENTS.md records.
@@ -156,6 +157,23 @@ func main() {
 			BMPFlushAfter:    time.Hour,
 		}
 		res, err := exp.E13FleetIsolation(ctx, exp.FleetConfig{Base: fb, PoPs: 4, PeakHourSpreadH: 0.5}, 6, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprint(w, res.String(), "\n")
+	}
+
+	// E14 is the one arm that skips the wire harness (a full Internet
+	// table would spend its time in emulated BGP, not the controller):
+	// it loads the RIB directly and times delta cycles. It allocates
+	// several GB at paper scale, so it only runs when asked for by
+	// name (-only E14).
+	if *only != "" && want("E14") {
+		n := 100_000
+		if *scale == "paper" {
+			n = 1_000_000
+		}
+		res, err := exp.E14MillionPrefix(exp.ScaleConfig{Prefixes: n, Seed: *seed})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -6,17 +6,23 @@
 // and edgefabricd cannot share one feed.
 //
 //	ribdump -connect 127.0.0.1:11019 -n 20
+//
+// Output is streamed through a fixed-size buffer as messages decode:
+// dumping a million-route table holds one message in memory at a time,
+// not the rendered dump.
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/netip"
 	"os"
 	"os/signal"
-	"strings"
+	"strconv"
 	"sync/atomic"
 	"syscall"
 
@@ -37,53 +43,62 @@ func main() {
 	if err != nil {
 		log.Fatalf("dial: %v", err)
 	}
-	h := &printer{max: int64(*maxMsgs), done: stop}
+	// One write syscall per route line dominates large dumps; buffer the
+	// output and flush once the stream ends (or we are interrupted).
+	w := bufio.NewWriterSize(os.Stdout, 1<<18)
+	h := &printer{w: w, max: int64(*maxMsgs), done: stop}
 	col := &bmp.Collector{Handler: h}
-	if err := col.HandleConn(ctx, *connect, conn); err != nil && ctx.Err() == nil {
-		log.Fatalf("stream: %v", err)
+	streamErr := col.HandleConn(ctx, *connect, conn)
+	fmt.Fprintf(w, "-- %d route messages, %d peer events --\n", h.routes.Load(), h.peers.Load())
+	if err := w.Flush(); err != nil {
+		log.Fatalf("stdout: %v", err)
 	}
-	fmt.Printf("-- %d route messages, %d peer events --\n", h.routes.Load(), h.peers.Load())
+	if streamErr != nil && ctx.Err() == nil {
+		log.Fatalf("stream: %v", streamErr)
+	}
 }
 
 type printer struct {
 	bmp.NopHandler
-	routes atomic.Int64
-	peers  atomic.Int64
-	max    int64
-	done   func()
+	w       *bufio.Writer
+	routes  atomic.Int64
+	peers   atomic.Int64
+	max     int64
+	done    func()
+	pathBuf []byte
 }
 
 func (p *printer) OnInitiation(router string, m *bmp.Initiation) {
-	fmt.Printf("initiation from %s: %v\n", router, m.Info)
+	fmt.Fprintf(p.w, "initiation from %s: %v\n", router, m.Info)
 }
 
 func (p *printer) OnPeerUp(router string, m *bmp.PeerUp) {
 	p.peers.Add(1)
-	fmt.Printf("peer up   %s AS%d\n", m.Peer.PeerAddr, m.Peer.PeerAS)
+	fmt.Fprintf(p.w, "peer up   %s AS%d\n", m.Peer.PeerAddr, m.Peer.PeerAS)
 }
 
 func (p *printer) OnPeerDown(router string, m *bmp.PeerDown) {
 	p.peers.Add(1)
-	fmt.Printf("peer down %s AS%d reason %d\n", m.Peer.PeerAddr, m.Peer.PeerAS, m.Reason)
+	fmt.Fprintf(p.w, "peer down %s AS%d reason %d\n", m.Peer.PeerAddr, m.Peer.PeerAS, m.Reason)
 }
 
 func (p *printer) OnRoute(router string, m *bmp.RouteMonitoring) {
 	u := m.Update
-	path := formatPath(u.Attrs.FlatASPath())
+	path := p.formatPath(u.Attrs.FlatASPath())
 	for _, w := range u.Withdrawn {
-		fmt.Printf("withdraw %-22s from %s\n", w, m.Peer.PeerAddr)
+		p.withdraw(w, m.Peer.PeerAddr)
 	}
 	if u.Attrs.MPUnreach != nil {
 		for _, w := range u.Attrs.MPUnreach.Withdrawn {
-			fmt.Printf("withdraw %-22s from %s\n", w, m.Peer.PeerAddr)
+			p.withdraw(w, m.Peer.PeerAddr)
 		}
 	}
 	for _, n := range u.NLRI {
-		fmt.Printf("route    %-22s via %-15s path %s\n", n, u.Attrs.NextHop, path)
+		p.route(n, u.Attrs.NextHop, path)
 	}
 	if u.Attrs.MPReach != nil {
 		for _, n := range u.Attrs.MPReach.NLRI {
-			fmt.Printf("route    %-22s via %-15s path %s\n", n, u.Attrs.MPReach.NextHop, path)
+			p.route(n, u.Attrs.MPReach.NextHop, path)
 		}
 	}
 	if p.routes.Add(1) == p.max {
@@ -91,13 +106,26 @@ func (p *printer) OnRoute(router string, m *bmp.RouteMonitoring) {
 	}
 }
 
-func formatPath(asns []uint32) string {
+func (p *printer) withdraw(w netip.Prefix, from netip.Addr) {
+	fmt.Fprintf(p.w, "withdraw %-22s from %s\n", w, from)
+}
+
+func (p *printer) route(n netip.Prefix, via netip.Addr, path []byte) {
+	fmt.Fprintf(p.w, "route    %-22s via %-15s path %s\n", n, via, path)
+}
+
+// formatPath renders an AS path into a buffer reused across messages.
+func (p *printer) formatPath(asns []uint32) []byte {
+	b := p.pathBuf[:0]
 	if len(asns) == 0 {
-		return "(empty)"
+		b = append(b, "(empty)"...)
 	}
-	parts := make([]string, len(asns))
 	for i, a := range asns {
-		parts[i] = fmt.Sprint(a)
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = strconv.AppendUint(b, uint64(a), 10)
 	}
-	return strings.Join(parts, " ")
+	p.pathBuf = b
+	return b
 }

@@ -2,8 +2,9 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"net/netip"
-	"sort"
+	"slices"
 
 	"edgefabric/internal/rib"
 )
@@ -329,45 +330,87 @@ func AllocateStickyTraced(proj *Projection, inv *Inventory, cfg AllocatorConfig,
 		drainBps := cfg.Threshold * capOf(overIF)
 
 		// Candidate prefixes on the interface, with their current best
-		// detours.
+		// detours. With heavy-hitter prioritization in force
+		// (Projection.HeavyThrBps > 0) only plans at or above the
+		// threshold are consulted first: detouring favors the biggest
+		// flows anyway, and skipping the (far larger) tail keeps this
+		// pass O(heavy) instead of O(interface). The tail is consulted
+		// only when the feasible heavy movers cannot cover the excess.
 		type cand struct {
 			plan   *PrefixPlan
 			detour *rib.Route
 		}
 		var cands []cand
-		for _, plan := range proj.PrefixesOnInterface(overIF) {
-			if moved[plan.Prefix] {
-				continue
+		bucket := proj.PrefixesOnInterface(overIF)
+		collect := func(lo, hi float64) float64 {
+			feasible := 0.0
+			for _, plan := range bucket {
+				if moved[plan.Prefix] || plan.RateBps < lo || plan.RateBps >= hi {
+					continue
+				}
+				pt := tr.Prefix(plan.Prefix)
+				pt.setPlan(plan)
+				if d := candidateDetourRate(plan, plan.RateBps, "overload", pt); d != nil {
+					cands = append(cands, cand{plan, d})
+					feasible += plan.RateBps
+				} else {
+					pt.outcome(OutcomeNone, nil, "no feasible alternate")
+				}
 			}
-			pt := tr.Prefix(plan.Prefix)
-			pt.setPlan(plan)
-			if d := candidateDetourRate(plan, plan.RateBps, "overload", pt); d != nil {
-				cands = append(cands, cand{plan, d})
-			} else {
-				pt.outcome(OutcomeNone, nil, "no feasible alternate")
-			}
+			return feasible
 		}
+		const inf = math.MaxFloat64
+		if thr := proj.HeavyThrBps; thr > 0 {
+			feasible := collect(thr, inf)
+			if feasible < load[overIF]-drainBps {
+				collect(0, thr)
+			}
+		} else {
+			collect(0, inf)
+		}
+		// The final prefix tiebreak makes each order total, so the
+		// (faster, unstable) sort is deterministic. Candidates arrive
+		// prefix-ordered per collect pass, so for fully-tied entries
+		// this matches what a stable sort produced.
 		switch cfg.Select {
 		case SelectLargestFirst:
-			sort.SliceStable(cands, func(a, b int) bool {
-				return cands[a].plan.RateBps > cands[b].plan.RateBps
+			slices.SortFunc(cands, func(a, b cand) int {
+				if a.plan.RateBps != b.plan.RateBps {
+					if a.plan.RateBps > b.plan.RateBps {
+						return -1
+					}
+					return 1
+				}
+				return rib.ComparePrefixes(a.plan.Prefix, b.plan.Prefix)
 			})
 		case SelectRandom:
 			// PrefixesOnInterface order is stable by prefix — arbitrary
 			// with respect to rate and alternatives.
 		default: // SelectBestAlternative
-			sort.SliceStable(cands, func(a, b int) bool {
-				da, db := cands[a].detour, cands[b].detour
+			slices.SortFunc(cands, func(a, b cand) int {
+				da, db := a.detour, b.detour
 				if da.PeerClass != db.PeerClass {
-					return da.PeerClass < db.PeerClass
+					if da.PeerClass < db.PeerClass {
+						return -1
+					}
+					return 1
 				}
 				// More spare headroom on the detour target first.
 				sa := cfg.Target*capOf(da.EgressIF) - load[da.EgressIF]
 				sb := cfg.Target*capOf(db.EgressIF) - load[db.EgressIF]
 				if sa != sb {
-					return sa > sb
+					if sa > sb {
+						return -1
+					}
+					return 1
 				}
-				return cands[a].plan.RateBps > cands[b].plan.RateBps
+				if a.plan.RateBps != b.plan.RateBps {
+					if a.plan.RateBps > b.plan.RateBps {
+						return -1
+					}
+					return 1
+				}
+				return rib.ComparePrefixes(a.plan.Prefix, b.plan.Prefix)
 			})
 		}
 
@@ -426,8 +469,14 @@ func AllocateStickyTraced(proj *Projection, inv *Inventory, cfg AllocatorConfig,
 				}
 				splitCands = append(splitCands, plan)
 			}
-			sort.SliceStable(splitCands, func(a, b int) bool {
-				return splitCands[a].RateBps > splitCands[b].RateBps
+			slices.SortFunc(splitCands, func(a, b *PrefixPlan) int {
+				if a.RateBps != b.RateBps {
+					if a.RateBps > b.RateBps {
+						return -1
+					}
+					return 1
+				}
+				return rib.ComparePrefixes(a.Prefix, b.Prefix)
 			})
 			for _, plan := range splitCands {
 				if load[overIF] <= drainBps {

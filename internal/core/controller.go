@@ -65,6 +65,27 @@ type Config struct {
 	ProjectionEpsilon float64
 	// ProjectionWorkers caps projection fan-out; 0 uses GOMAXPROCS.
 	ProjectionWorkers int
+	// DisableDeltaProjection reverts the control loop to full-scan
+	// projection and allocation every cycle. The delta path (default)
+	// recomputes only prefixes whose routes or demand changed, with a
+	// periodic full-sweep safety pass; see Projector.ProjectDelta.
+	DisableDeltaProjection bool
+	// FullSweepEvery is the delta-cycle cadence of the projection's
+	// full-rebuild safety pass. 0 uses the projector default (64);
+	// negative disables the periodic sweep.
+	FullSweepEvery int
+	// HeavyHitterK enables heavy-hitter prioritization: the top-K
+	// prefixes by rate always track demand exactly, while the tail may
+	// reuse cached plans within TailEpsilon. 0 treats every prefix
+	// exactly.
+	HeavyHitterK int
+	// TailEpsilon is the relative demand tolerance for tail (non-
+	// heavy-hitter) prefixes when HeavyHitterK is set.
+	TailEpsilon float64
+	// TailStride, with HeavyHitterK set, visits each tail prefix's
+	// demand only every TailStride-th delta cycle (rotating stripes);
+	// see Projector.TailStride. Values <= 1 visit everything.
+	TailStride int
 	// BMPBackoffMin / BMPBackoffMax bound the supervised BMP feed
 	// redial backoff (wall clock). Defaults 100 ms / 2 s.
 	BMPBackoffMin, BMPBackoffMax time.Duration
@@ -106,12 +127,13 @@ type CycleReport struct {
 // route store, traffic source, projection, allocator, injector, and the
 // input-health tracker that gates it all.
 type Controller struct {
-	cfg       Config
-	store     *RouteStore
-	injector  *Injector
-	registry  *metrics.Registry
-	projector Projector
-	health    *HealthTracker
+	cfg        Config
+	store      *RouteStore
+	injector   *Injector
+	registry   *metrics.Registry
+	projector  Projector
+	allocState AllocState
+	health     *HealthTracker
 
 	collector *bmp.Collector
 	bmpWG     sync.WaitGroup
@@ -187,8 +209,12 @@ func New(cfg Config) (*Controller, error) {
 		registry: cfg.Metrics,
 		health:   health,
 		projector: Projector{
-			Epsilon: cfg.ProjectionEpsilon,
-			Workers: cfg.ProjectionWorkers,
+			Epsilon:        cfg.ProjectionEpsilon,
+			Workers:        cfg.ProjectionWorkers,
+			FullSweepEvery: cfg.FullSweepEvery,
+			HeavyK:         cfg.HeavyHitterK,
+			TailEpsilon:    cfg.TailEpsilon,
+			TailStride:     cfg.TailStride,
 		},
 		bmpCtx:  ctx,
 		bmpStop: cancel,
@@ -428,6 +454,22 @@ func (c *Controller) exportHealth(ih InputHealth) {
 	}
 }
 
+// exportDeltaStats publishes the delta-projection cycle accounting.
+func (c *Controller) exportDeltaStats(ds DeltaStats) {
+	m := c.registry
+	if ds.Full {
+		m.Counter("edgefabric_delta_full_sweeps_total").Inc()
+	}
+	if ds.Unchanged {
+		m.Counter("edgefabric_delta_unchanged_cycles_total").Inc()
+	}
+	m.Counter("edgefabric_delta_recomputed_total").Add(uint64(ds.Recomputed))
+	m.Counter("edgefabric_delta_rate_refresh_total").Add(uint64(ds.RateOnly))
+	m.Counter("edgefabric_delta_removed_total").Add(uint64(ds.Removed))
+	m.Gauge("edgefabric_delta_live_prefixes").Set(float64(ds.Live))
+	m.Gauge("edgefabric_delta_heavy_threshold_bps").Set(ds.HeavyThr)
+}
+
 // installedOverrides renders the injector's installed set as a sorted
 // override slice (the frozen cycle's "desired" set).
 func (c *Controller) installedOverrides() []Override {
@@ -506,6 +548,11 @@ func (c *Controller) RunCycle() (report *CycleReport, err error) {
 			return
 		} else {
 			c.health.NotePanic()
+			// A panic mid-projection can leave the incremental
+			// projection state half-edited; force the next cycle to
+			// rebuild from scratch rather than trust it.
+			c.projector.ResetDelta()
+			c.allocState = AllocState{}
 			c.registry.Counter("edgefabric_cycle_panics_total").Inc()
 			if c.cfg.Logf != nil {
 				c.cfg.Logf("cycle panic recovered: %v", r)
@@ -582,11 +629,23 @@ func (c *Controller) RunCycle() (report *CycleReport, err error) {
 	span.End()
 
 	span = c.phProject.Start()
-	proj := c.projector.Project(c.store.Table(), demand)
+	var proj *Projection
+	var ds DeltaStats
+	if c.cfg.DisableDeltaProjection {
+		proj = c.projector.Project(c.store.Table(), demand)
+	} else {
+		proj, ds = c.projector.ProjectDelta(c.store.Table(), demand)
+		c.exportDeltaStats(ds)
+	}
 	span.End()
 
 	span = c.phAllocate.Start()
-	alloc := AllocateStickyTraced(proj, c.cfg.Inventory, c.cfg.Allocator, c.injector.Installed(), tr)
+	var alloc *AllocResult
+	if c.cfg.DisableDeltaProjection {
+		alloc = AllocateStickyTraced(proj, c.cfg.Inventory, c.cfg.Allocator, c.injector.Installed(), tr)
+	} else {
+		alloc = AllocateDelta(proj, c.cfg.Inventory, c.cfg.Allocator, c.injector.Installed(), tr, &ds, &c.allocState)
+	}
 	span.End()
 
 	overrides := alloc.Overrides

@@ -1,0 +1,532 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"edgefabric/internal/rib"
+)
+
+// churn applies one round of deterministic route + demand churn to a
+// scenario: demand jitter on a slice of prefixes, a few demand
+// appearances and disappearances, route adds and removes, and the
+// occasional whole-peer flush — the update mix a live PoP sees.
+func churn(t *testing.T, tab *rib.Table, demand map[netip.Prefix]float64, rng *rand.Rand, nPrefixes, round int) {
+	t.Helper()
+	pfx := func(i int) netip.Prefix {
+		return netip.MustParsePrefix(fmt.Sprintf("10.%d.%d.0/24", i/256, i%256))
+	}
+	peers := []struct {
+		addr  string
+		class rib.PeerClass
+		ifID  int
+		as    uint32
+	}{
+		{"172.20.0.1", rib.ClassPrivate, 0, 65010},
+		{"172.20.0.2", rib.ClassPrivate, 1, 65011},
+		{"172.20.0.3", rib.ClassPublic, 2, 65012},
+		{"172.20.0.9", rib.ClassTransit, 3, 64601},
+	}
+
+	// Demand jitter on ~2% of prefixes.
+	for i := 0; i < nPrefixes/50+1; i++ {
+		demand[pfx(rng.Intn(nPrefixes))] = float64(rng.Intn(900)+100) * 1e6
+	}
+	// A few prefixes lose all demand; a few gain it back (or appear for
+	// the first time, possibly with no routes at all → unrouted).
+	for i := 0; i < 3; i++ {
+		delete(demand, pfx(rng.Intn(nPrefixes)))
+	}
+	for i := 0; i < 3; i++ {
+		demand[pfx(rng.Intn(nPrefixes))] = float64(rng.Intn(900)+100) * 1e6
+	}
+	demand[netip.MustParsePrefix(fmt.Sprintf("192.168.%d.0/24", rng.Intn(8)))] = 50e6
+
+	// Route churn: adds (including controller injections the projection
+	// must ignore) and removes.
+	for i := 0; i < 4; i++ {
+		p := peers[rng.Intn(len(peers))]
+		tab.Add(route(pfx(rng.Intn(nPrefixes)).String(), p.addr, p.class, p.ifID, p.as))
+	}
+	if rng.Intn(2) == 0 {
+		tab.Add(route(pfx(rng.Intn(nPrefixes)).String(), "172.20.0.250", rib.ClassController, 3, 64601))
+	}
+	for i := 0; i < 2; i++ {
+		target := pfx(rng.Intn(nPrefixes))
+		if routes := tab.Routes(target); len(routes) > 0 {
+			tab.Remove(target, routes[rng.Intn(len(routes))].PeerAddr)
+		}
+	}
+	// Every few rounds, flush a whole peer (session loss) and bring a
+	// couple of its routes back.
+	if round%4 == 3 {
+		p := peers[rng.Intn(len(peers))]
+		tab.RemovePeer(netip.MustParseAddr(p.addr))
+		for i := 0; i < 2; i++ {
+			tab.Add(route(pfx(rng.Intn(nPrefixes)).String(), p.addr, p.class, p.ifID, p.as))
+		}
+	}
+}
+
+// samePlanIndex asserts PrefixesOnInterface agrees between two
+// projections for every interface either knows about.
+func samePlanIndex(t *testing.T, label string, a, b *Projection) {
+	t.Helper()
+	ifs := map[int]bool{}
+	for id := range a.IfLoadBps {
+		ifs[id] = true
+	}
+	for id := range b.IfLoadBps {
+		ifs[id] = true
+	}
+	for id := range ifs {
+		pa, pb := a.PrefixesOnInterface(id), b.PrefixesOnInterface(id)
+		if len(pa) != len(pb) {
+			t.Fatalf("%s: if%d plan count %d != %d", label, id, len(pa), len(pb))
+		}
+		for i := range pa {
+			if pa[i].Prefix != pb[i].Prefix {
+				t.Fatalf("%s: if%d slot %d: %v != %v", label, id, i, pa[i].Prefix, pb[i].Prefix)
+			}
+		}
+	}
+}
+
+// TestProjectDeltaEquivalence drives the delta projector through a long
+// churn sequence with the periodic sweep disabled and asserts, each
+// cycle, that the incrementally-maintained projection is semantically
+// identical to a from-scratch projection of the same table + demand.
+func TestProjectDeltaEquivalence(t *testing.T) {
+	const nPrefixes = 400
+	tab, demand := equivScenario(nPrefixes, 21)
+	rng := rand.New(rand.NewSource(99))
+	pj := &Projector{Workers: 1, FullSweepEvery: -1}
+
+	for round := 0; round < 40; round++ {
+		if round > 0 {
+			churn(t, tab, demand, rng, nPrefixes, round)
+		}
+		got, st := pj.ProjectDelta(tab, demand)
+		want := Project(tab, demand)
+		label := fmt.Sprintf("round %d (full=%v %s)", round, st.Full, st.FullReason)
+		sameProjection(t, label, got, want)
+		samePlanIndex(t, label, got, want)
+		if round == 0 && !st.Full {
+			t.Fatal("first delta cycle must be a full build")
+		}
+		if round > 0 && st.Full {
+			t.Fatalf("round %d: unexpected full rebuild (%s)", round, st.FullReason)
+		}
+	}
+}
+
+// TestProjectDeltaFullSweep: the periodic safety pass fires on cadence
+// and lands on the same projection.
+func TestProjectDeltaFullSweep(t *testing.T) {
+	const nPrefixes = 200
+	tab, demand := equivScenario(nPrefixes, 5)
+	rng := rand.New(rand.NewSource(7))
+	pj := &Projector{Workers: 1, FullSweepEvery: 3}
+
+	fulls := 0
+	for round := 0; round < 10; round++ {
+		if round > 0 {
+			churn(t, tab, demand, rng, nPrefixes, round)
+		}
+		got, st := pj.ProjectDelta(tab, demand)
+		if st.Full {
+			fulls++
+		}
+		sameProjection(t, fmt.Sprintf("round %d", round), got, Project(tab, demand))
+	}
+	// Round 0 is always full; then every 3rd delta cycle.
+	if fulls < 3 {
+		t.Errorf("full sweeps = %d, want at least 3 in 10 rounds at cadence 3", fulls)
+	}
+}
+
+// TestProjectDeltaJournalOverflow: a reader that outran the table's
+// mutation journal falls back to a full rebuild — and is still
+// equivalent.
+func TestProjectDeltaJournalOverflow(t *testing.T) {
+	const nPrefixes = 100
+	tab, demand := equivScenario(nPrefixes, 11)
+	pj := &Projector{Workers: 1, FullSweepEvery: -1}
+	pj.ProjectDelta(tab, demand)
+
+	// Blow straight past the journal window (rib journalCap = 64k).
+	for i := 0; i < 70_000; i++ {
+		tab.Add(route("10.0.1.0/24", "172.20.0.1", rib.ClassPrivate, 0, 65010, uint32(i%1000)))
+	}
+	got, st := pj.ProjectDelta(tab, demand)
+	if !st.Full || st.FullReason != "route journal overflow" {
+		t.Fatalf("stats = %+v, want full rebuild on journal overflow", st)
+	}
+	sameProjection(t, "post-overflow", got, Project(tab, demand))
+
+	// And the cursor is re-anchored: the next cycle is a delta again.
+	tab.Add(route("10.0.2.0/24", "172.20.0.2", rib.ClassPrivate, 1, 65011))
+	got, st = pj.ProjectDelta(tab, demand)
+	if st.Full {
+		t.Fatalf("stats = %+v, want delta cycle after re-anchor", st)
+	}
+	sameProjection(t, "post-recover", got, Project(tab, demand))
+}
+
+// TestProjectDeltaStats: the cycle accounting distinguishes rate-only
+// refreshes, snapshot recomputes, and removals, and flags untouched
+// cycles as Unchanged.
+func TestProjectDeltaStats(t *testing.T) {
+	tab, demand := equivScenario(100, 3)
+	pj := &Projector{Workers: 1, FullSweepEvery: -1}
+	pj.ProjectDelta(tab, demand)
+
+	// Idle cycle: nothing changed.
+	_, st := pj.ProjectDelta(tab, demand)
+	if !st.Unchanged || st.Recomputed != 0 || st.RateOnly != 0 || st.Removed != 0 {
+		t.Fatalf("idle stats = %+v, want unchanged", st)
+	}
+
+	// Pure demand move on a routed prefix: in-place, no snapshot.
+	var target netip.Prefix
+	for p := range pj.cur.Plans {
+		target = p
+		break
+	}
+	demand[target] *= 3
+	_, st = pj.ProjectDelta(tab, demand)
+	if st.RateOnly != 1 || st.Recomputed != 0 || st.Unchanged {
+		t.Fatalf("rate-move stats = %+v, want 1 rate-only", st)
+	}
+	if pj.cur.Plans[target].RateBps != demand[target] {
+		t.Fatalf("rate not refreshed in place")
+	}
+
+	// Route change: snapshot-driven recompute.
+	tab.Add(route(target.String(), "172.20.0.9", rib.ClassTransit, 3, 64601))
+	_, st = pj.ProjectDelta(tab, demand)
+	if st.Recomputed != 1 || st.Unchanged {
+		t.Fatalf("route-change stats = %+v, want 1 recompute", st)
+	}
+
+	// Demand disappearance: removal.
+	delete(demand, target)
+	proj, st := pj.ProjectDelta(tab, demand)
+	if st.Removed != 1 || st.Unchanged {
+		t.Fatalf("removal stats = %+v, want 1 removed", st)
+	}
+	if _, ok := proj.Plans[target]; ok {
+		t.Fatalf("%v still projected after demand vanished", target)
+	}
+	sameProjection(t, "after removal", proj, Project(tab, demand))
+}
+
+// TestProjectDeltaHeavyHitters: with HeavyK + TailEpsilon set, heavy
+// prefixes track demand exactly while tail prefixes may coast within
+// TailEpsilon — and the divergence is bounded by exactly that.
+func TestProjectDeltaHeavyHitters(t *testing.T) {
+	tab := rib.NewTable(rib.DefaultPolicy())
+	demand := make(map[netip.Prefix]float64)
+	const n = 100
+	for i := 0; i < n; i++ {
+		prefix := fmt.Sprintf("10.0.%d.0/24", i)
+		tab.Add(route(prefix, "172.20.0.1", rib.ClassPrivate, 0, 65010))
+		// Rates 1..100 Mbps: distinct, so the top-K set is unambiguous.
+		demand[netip.MustParsePrefix(prefix)] = float64(i+1) * 1e6
+	}
+	pj := &Projector{Workers: 1, FullSweepEvery: -1, HeavyK: 10, TailEpsilon: 0.5}
+	// The first (full) cycle computes the threshold, which applies from
+	// the second cycle on (one-cycle lag). 10th largest of 1..100 Mbps
+	// is 91 Mbps.
+	if _, st := pj.ProjectDelta(tab, demand); st.HeavyThr != 0 {
+		t.Fatalf("threshold %v applied on the very first cycle", st.HeavyThr)
+	}
+	if _, st := pj.ProjectDelta(tab, demand); st.HeavyThr != 91e6 {
+		t.Fatalf("heavy threshold = %v, want 91e6", st.HeavyThr)
+	}
+
+	// Jitter everything by +20% (within TailEpsilon, beyond Epsilon=0):
+	// tail plans coast on stale rates, heavy plans refresh exactly.
+	for p := range demand {
+		demand[p] *= 1.2
+	}
+	proj, st := pj.ProjectDelta(tab, demand)
+	heavyRefreshed, tailCoasted := 0, 0
+	for p, plan := range proj.Plans {
+		want := demand[p]
+		if want/1.2 >= 91e6 || want >= 91e6 {
+			if plan.RateBps != want {
+				t.Fatalf("heavy hitter %v rate %v, want exact %v", p, plan.RateBps, want)
+			}
+			heavyRefreshed++
+		} else if plan.RateBps != want {
+			// Coasting is allowed only within TailEpsilon.
+			if d := want - plan.RateBps; d < 0 || d > 0.5*want {
+				t.Fatalf("tail %v rate %v diverged beyond TailEpsilon from %v", p, plan.RateBps, want)
+			}
+			tailCoasted++
+		}
+	}
+	if heavyRefreshed < 10 {
+		t.Errorf("heavy refreshed = %d, want >= 10", heavyRefreshed)
+	}
+	if tailCoasted == 0 {
+		t.Error("no tail prefix coasted despite TailEpsilon")
+	}
+	if st.RateOnly < heavyRefreshed {
+		t.Errorf("stats RateOnly = %d < heavy refreshes %d", st.RateOnly, heavyRefreshed)
+	}
+}
+
+// TestProjectDeltaHeavyThrBandCollapse: the periodic threshold refresh
+// samples only rates within 2x of the standing threshold; when the
+// K-th largest rate falls below that band between refreshes, the
+// refresh must detect the collapse (fewer than K in-band samples),
+// zero the threshold, and re-collect unbanded on the next cycle.
+func TestProjectDeltaHeavyThrBandCollapse(t *testing.T) {
+	tab := rib.NewTable(rib.DefaultPolicy())
+	demand := make(map[netip.Prefix]float64)
+	const n = 100
+	for i := 0; i < n; i++ {
+		prefix := fmt.Sprintf("10.0.%d.0/24", i)
+		tab.Add(route(prefix, "172.20.0.1", rib.ClassPrivate, 0, 65010))
+		demand[netip.MustParsePrefix(prefix)] = float64(i+1) * 1e6
+	}
+	pj := &Projector{Workers: 1, FullSweepEvery: -1, HeavyK: 10}
+	pj.ProjectDelta(tab, demand) // full build; threshold applies next cycle
+	if _, st := pj.ProjectDelta(tab, demand); st.HeavyThr != 91e6 {
+		t.Fatalf("heavy threshold = %v, want 91e6", st.HeavyThr)
+	}
+	// Demand collapses 10x: the new 10th largest (9.1 Mbps) sits far
+	// below half the standing 91 Mbps threshold, invisible to a banded
+	// sample.
+	for p := range demand {
+		demand[p] /= 10
+	}
+	for cyc := 0; cyc < hhRefreshEvery+2; cyc++ {
+		_, st := pj.ProjectDelta(tab, demand)
+		switch st.HeavyThr {
+		case 9.1e6:
+			return // collapse detected and threshold re-derived exactly
+		case 91e6, 0: // stale until the refresh, zero right after it
+		default:
+			t.Fatalf("cycle %d: threshold %v, want 91e6, 0, or 9.1e6", cyc, st.HeavyThr)
+		}
+	}
+	t.Fatalf("threshold never recovered to 9.1e6 within %d cycles of the collapse", hhRefreshEvery+2)
+}
+
+// TestAllocateDeltaReuse: on a proven-unchanged cycle with the same
+// prior set, AllocateDelta returns the previous result without a scan;
+// any change falls through to the real allocator and matches
+// AllocateSticky exactly.
+func TestAllocateDeltaReuse(t *testing.T) {
+	inv := testInventory(t)
+	tab, demand := equivScenario(300, 17)
+	pj := &Projector{Workers: 1, FullSweepEvery: -1}
+	cfg := AllocatorConfig{Threshold: 0.95}
+	var st AllocState
+
+	proj, ds := pj.ProjectDelta(tab, demand)
+	prior := map[netip.Prefix]Override{}
+	r1 := AllocateDelta(proj, inv, cfg, prior, nil, &ds, &st)
+	want1 := AllocateSticky(proj, inv, cfg, prior)
+	if len(r1.Overrides) != len(want1.Overrides) {
+		t.Fatalf("delta alloc %d overrides, sticky %d", len(r1.Overrides), len(want1.Overrides))
+	}
+
+	// Unchanged cycle: same pointer back.
+	proj, ds = pj.ProjectDelta(tab, demand)
+	if !ds.Unchanged {
+		t.Fatalf("stats = %+v, want unchanged", ds)
+	}
+	if r2 := AllocateDelta(proj, inv, cfg, prior, nil, &ds, &st); r2 != r1 {
+		t.Fatal("unchanged cycle did not reuse the previous allocation")
+	}
+
+	// With tracing on, the fast path must not swallow the trace.
+	tr := NewCycleTrace(64)
+	if r3 := AllocateDelta(proj, inv, cfg, prior, tr, &ds, &st); r3 == r1 {
+		t.Fatal("traced cycle reused a result, leaving no fresh trace")
+	}
+
+	// A demand change invalidates reuse.
+	var target netip.Prefix
+	for p := range proj.Plans {
+		target = p
+		break
+	}
+	demand[target] *= 2
+	proj, ds = pj.ProjectDelta(tab, demand)
+	if ds.Unchanged {
+		t.Fatalf("stats = %+v, want changed after demand move", ds)
+	}
+	r4 := AllocateDelta(proj, inv, cfg, prior, nil, &ds, &st)
+	want4 := AllocateSticky(proj, inv, cfg, prior)
+	if len(r4.Overrides) != len(want4.Overrides) || r4.DetouredBps != want4.DetouredBps {
+		t.Fatalf("post-change delta alloc diverged: %d/%v vs %d/%v",
+			len(r4.Overrides), r4.DetouredBps, len(want4.Overrides), want4.DetouredBps)
+	}
+
+	// A different prior set also invalidates reuse.
+	proj, ds = pj.ProjectDelta(tab, demand)
+	if !ds.Unchanged {
+		t.Fatalf("stats = %+v, want unchanged on idle cycle", ds)
+	}
+	prior2 := map[netip.Prefix]Override{}
+	for _, o := range r4.Overrides {
+		prior2[o.Prefix] = o
+	}
+	if len(prior2) > 0 {
+		r5 := AllocateDelta(proj, inv, cfg, prior2, nil, &ds, &st)
+		if r5 == r4 {
+			t.Fatal("changed prior set reused a stale allocation")
+		}
+	}
+}
+
+// TestControllerDeltaEquivalence runs two full controllers — the
+// default delta-driven loop and one with DisableDeltaProjection — over
+// identical route tables and demand through overload onset, churn, and
+// decay, and asserts every cycle's decisions match.
+func TestControllerDeltaEquivalence(t *testing.T) {
+	mk := func(disable bool) (*Controller, staticTraffic) {
+		demand := staticTraffic{}
+		ctrl, err := New(Config{
+			Inventory:              testInventory(t),
+			Traffic:                demand,
+			LocalAS:                64500,
+			Allocator:              AllocatorConfig{Threshold: 0.95},
+			DisableDeltaProjection: disable,
+			FullSweepEvery:         -1, // pure delta: no safety-sweep crutch
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(ctrl.Close)
+		_, conn := newFakePR(t, 64500)
+		if err := ctrl.AddInjectionSession(netip.MustParseAddr("10.255.0.1"), conn); err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := ctrl.WaitReady(ctx, 0); err != nil {
+			t.Fatal(err)
+		}
+		return ctrl, demand
+	}
+	delta, demandD := mk(false)
+	full, demandF := mk(true)
+
+	apply := func(f func(tab *rib.Table, demand staticTraffic)) {
+		f(delta.Store().Table(), demandD)
+		f(full.Store().Table(), demandF)
+	}
+	// Base: 10 prefixes preferring the 10G PNI with a transit alternate.
+	apply(func(tab *rib.Table, demand staticTraffic) {
+		for i := 0; i < 10; i++ {
+			prefix := fmt.Sprintf("10.0.%d.0/24", i)
+			tab.Add(route(prefix, "172.20.0.1", rib.ClassPrivate, 0, 65010))
+			tab.Add(route(prefix, "172.20.0.9", rib.ClassTransit, 3, 64601, 65010))
+			demand[netip.MustParsePrefix(prefix)] = 0.5e9
+		}
+	})
+
+	steps := []func(tab *rib.Table, demand staticTraffic){
+		func(*rib.Table, staticTraffic) {}, // idle
+		func(tab *rib.Table, demand staticTraffic) { // overload onset
+			for p := range demand {
+				demand[p] = 1.2e9
+			}
+		},
+		func(*rib.Table, staticTraffic) {}, // sticky retention cycle
+		func(tab *rib.Table, demand staticTraffic) { // route churn under overload
+			tab.Add(route("10.0.3.0/24", "172.20.0.2", rib.ClassPrivate, 1, 65011))
+			tab.Remove(netip.MustParsePrefix("10.0.5.0/24"), netip.MustParseAddr("172.20.0.1"))
+		},
+		func(tab *rib.Table, demand staticTraffic) { // decay
+			for p := range demand {
+				demand[p] = 0.2e9
+			}
+		},
+		func(*rib.Table, staticTraffic) {}, // idle again
+	}
+	for i, step := range steps {
+		apply(step)
+		repD, errD := delta.RunCycle()
+		repF, errF := full.RunCycle()
+		if errD != nil || errF != nil {
+			t.Fatalf("step %d: cycle errors %v / %v", i, errD, errF)
+		}
+		if len(repD.Overrides) != len(repF.Overrides) {
+			t.Fatalf("step %d: %d overrides (delta) != %d (full)", i, len(repD.Overrides), len(repF.Overrides))
+		}
+		for j := range repD.Overrides {
+			od, of := repD.Overrides[j], repF.Overrides[j]
+			if od.Prefix != of.Prefix || od.ToIF != of.ToIF || od.FromIF != of.FromIF || od.RateBps != of.RateBps {
+				t.Fatalf("step %d override %d: %+v != %+v", i, j, od, of)
+			}
+		}
+		if !floatClose(repD.DetouredBps, repF.DetouredBps) {
+			t.Fatalf("step %d: detoured %v != %v", i, repD.DetouredBps, repF.DetouredBps)
+		}
+		for id, u := range repF.IfUtil {
+			if !floatClose(repD.IfUtil[id], u) {
+				t.Fatalf("step %d: if%d util %v != %v", i, id, repD.IfUtil[id], u)
+			}
+		}
+	}
+	if delta.Metrics().Counter("edgefabric_delta_full_sweeps_total").Value() != 1 {
+		t.Error("delta controller should have exactly the initial full sweep")
+	}
+	if full.Metrics().Counter("edgefabric_delta_recomputed_total").Value() != 0 {
+		t.Error("full-scan controller should not touch delta metrics")
+	}
+}
+
+// TestKthLargest pins the quickselect helper.
+func TestKthLargest(t *testing.T) {
+	for _, tc := range []struct {
+		in   []float64
+		k    int
+		want float64
+	}{
+		{[]float64{5, 1, 4, 2, 3}, 1, 5},
+		{[]float64{5, 1, 4, 2, 3}, 3, 3},
+		{[]float64{5, 1, 4, 2, 3}, 5, 1},
+		{[]float64{7, 7, 7}, 2, 7},
+		{[]float64{2, 1}, 2, 1},
+		{[]float64{9}, 1, 9},
+	} {
+		in := append([]float64(nil), tc.in...)
+		if got := kthLargest(in, tc.k); got != tc.want {
+			t.Errorf("kthLargest(%v, %d) = %v, want %v", tc.in, tc.k, got, tc.want)
+		}
+	}
+	// Against sort on random input.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(200) + 1
+		a := make([]float64, n)
+		for i := range a {
+			a[i] = float64(rng.Intn(50))
+		}
+		k := rng.Intn(n) + 1
+		b := append([]float64(nil), a...)
+		// Selection by full sort (descending).
+		for i := 0; i < len(b); i++ {
+			for j := i + 1; j < len(b); j++ {
+				if b[j] > b[i] {
+					b[i], b[j] = b[j], b[i]
+				}
+			}
+		}
+		if got := kthLargest(a, k); got != b[k-1] {
+			t.Fatalf("trial %d: kthLargest(n=%d, k=%d) = %v, want %v", trial, n, k, got, b[k-1])
+		}
+	}
+}

@@ -52,6 +52,10 @@ type Projection struct {
 	Plans map[netip.Prefix]*PrefixPlan
 	// UnroutedBps is demand for prefixes with no organic route.
 	UnroutedBps float64
+	// HeavyThrBps is the heavy-hitter rate threshold in force for this
+	// cycle (0 = every prefix is tracked exactly). The allocator uses
+	// it to consult heavy plans first when draining an overload.
+	HeavyThrBps float64
 
 	// byIF indexes plans by preferred egress interface, built during
 	// projection so the allocator's repeated PrefixesOnInterface calls
@@ -59,6 +63,11 @@ type Projection struct {
 	// ifSorted records which already are.
 	byIF     map[int][]*PrefixPlan
 	ifSorted map[int]bool
+	// bucketPos tracks each plan's slot in its byIF bucket so the
+	// delta path (ProjectDelta) can move or remove plans in O(1). Nil
+	// on one-shot projections; maintained only while a Projection is
+	// the projector's live incremental state.
+	bucketPos map[netip.Prefix]int
 }
 
 // projectParallelMin is the demanded-prefix count below which projection
@@ -80,6 +89,25 @@ type Projector struct {
 	Epsilon float64
 	// Workers caps the projection fan-out. 0 means GOMAXPROCS.
 	Workers int
+	// FullSweepEvery is the delta-cycle cadence of ProjectDelta's
+	// full-rebuild safety pass. 0 defaults to defaultFullSweepEvery;
+	// negative disables the periodic sweep (overflow fallback remains).
+	FullSweepEvery int
+	// HeavyK enables heavy-hitter prioritization: the top-K prefixes
+	// by rate are always tracked exactly (Epsilon tolerance) while the
+	// tail may coast on TailEpsilon. 0 treats every prefix exactly.
+	HeavyK int
+	// TailEpsilon is the relative demand tolerance applied to tail
+	// (non-heavy-hitter) prefixes when HeavyK is set. Values at or
+	// below Epsilon have no effect.
+	TailEpsilon float64
+	// TailStride, with HeavyK set, makes ProjectDelta's demand scan
+	// visit each tail (below-threshold) prefix only every
+	// TailStride-th cycle, rotating through address stripes; heavy
+	// hitters, route changes, and rates crossing the heavy threshold
+	// are still applied every cycle. Values <= 1 visit everything
+	// every cycle.
+	TailStride int
 
 	// nocache drops cross-cycle caching: the one-shot Project uses it
 	// to skip cache bookkeeping that a discarded Projector never reads.
@@ -90,12 +118,28 @@ type Projector struct {
 	views   []rib.RouteView
 	scratch []netip.Prefix
 	rates   []float64
+
+	// Delta state (see delta.go): the live projection edited in place,
+	// the journal cursor into the route table, cycles since the last
+	// full sweep, and reusable scratch for the dirty machinery.
+	cur          *Projection
+	lastVer      uint64
+	sinceSweep   int
+	dirtyStamp   map[netip.Prefix]uint64
+	changedBuf   []netip.Prefix
+	snapPrefixes []netip.Prefix
+	snapRates    []float64
+	alloc        planChunk
+	hhThr        float64
+	hhBuf        []float64
+	sinceThr     int
 }
 
 type cachedPlan struct {
-	plan *PrefixPlan
-	gen  uint64 // table generation the plan was computed at
-	seq  uint64 // last projection cycle the plan was used
+	plan *PrefixPlan // nil for a cached unrouted prefix
+	rate float64     // last demand seen (== plan.RateBps when plan != nil)
+	gen  uint64      // table generation the plan was computed at
+	seq  uint64      // last projection cycle the plan was used
 }
 
 // planned pairs a computed plan with the route generation backing it,
@@ -111,6 +155,17 @@ type projShard struct {
 	ifLoad   map[int]float64
 	unrouted float64
 	alloc    planChunk
+	// unroutedRecs carries cache records for unrouted prefixes so the
+	// delta path can track them without re-snapshotting every cycle.
+	unroutedRecs []unroutedRec
+}
+
+// unroutedRec is a cache record for a demanded prefix with no organic
+// route.
+type unroutedRec struct {
+	prefix netip.Prefix
+	rate   float64
+	gen    uint64
 }
 
 // planChunk hands out PrefixPlans from fixed-size blocks, trading one
@@ -147,7 +202,9 @@ func Project(routes *rib.Table, demand map[netip.Prefix]float64) *Projection {
 func (pj *Projector) Project(routes *rib.Table, demand map[netip.Prefix]float64) *Projection {
 	pj.seq++
 	if pj.cache == nil && !pj.nocache {
-		pj.cache = make(map[netip.Prefix]cachedPlan)
+		// Sized up front: growing a million-entry map incrementally
+		// spends seconds zeroing successively larger buckets.
+		pj.cache = make(map[netip.Prefix]cachedPlan, len(demand))
 	}
 
 	prefixes, rates := pj.scratch[:0], pj.rates[:0]
@@ -213,8 +270,11 @@ func (pj *Projector) Project(routes *rib.Table, demand map[netip.Prefix]float64)
 			ifID := pp.plan.Preferred.EgressIF
 			proj.byIF[ifID] = append(proj.byIF[ifID], pp.plan)
 			if !pj.nocache {
-				pj.cache[pp.plan.Prefix] = cachedPlan{plan: pp.plan, gen: pp.gen, seq: pj.seq}
+				pj.cache[pp.plan.Prefix] = cachedPlan{plan: pp.plan, rate: pp.plan.RateBps, gen: pp.gen, seq: pj.seq}
 			}
+		}
+		for _, ur := range s.unroutedRecs {
+			pj.cache[ur.prefix] = cachedPlan{rate: ur.rate, gen: ur.gen, seq: pj.seq}
 		}
 	}
 	// Evict plans whose prefixes stopped appearing in demand, amortized:
@@ -226,6 +286,11 @@ func (pj *Projector) Project(routes *rib.Table, demand map[netip.Prefix]float64)
 			}
 		}
 	}
+	// The threshold in force during this cycle is what the allocator
+	// should see; refresh it for the next cycle afterwards (rates is
+	// done feeding the shards; quickselect may permute it).
+	proj.HeavyThrBps = pj.hhThr
+	pj.updateHeavyThr(rates)
 	return proj
 }
 
@@ -241,11 +306,21 @@ func (pj *Projector) projectShard(s *projShard, prefixes []netip.Prefix, rates [
 		view := views[i]
 		if view.Routes == nil {
 			s.unrouted += bps
+			if !pj.nocache {
+				s.unroutedRecs = append(s.unroutedRecs, unroutedRec{prefix, bps, 0})
+			}
 			continue
 		}
 		var plan *PrefixPlan
 		if c, ok := pj.cache[prefix]; ok && c.gen == view.Gen {
-			if equalWithin(c.plan.RateBps, bps, pj.Epsilon) {
+			if c.plan == nil {
+				// Same table state that had no organic route last time:
+				// still unrouted, no need to re-filter.
+				s.unrouted += bps
+				s.unroutedRecs = append(s.unroutedRecs, unroutedRec{prefix, bps, view.Gen})
+				continue
+			}
+			if equalWithin(c.plan.RateBps, bps, pj.tolFor(c.plan.RateBps, bps)) {
 				plan = c.plan // routes and demand unchanged: reuse verbatim
 			} else {
 				// Routes unchanged: reuse the filtered organic slices,
@@ -263,6 +338,9 @@ func (pj *Projector) projectShard(s *projShard, prefixes []netip.Prefix, rates [
 		}
 		if plan == nil {
 			s.unrouted += bps
+			if !pj.nocache {
+				s.unroutedRecs = append(s.unroutedRecs, unroutedRec{prefix, bps, view.Gen})
+			}
 			continue
 		}
 		s.planned = append(s.planned, planned{plan, view.Gen})
@@ -369,6 +447,11 @@ func (p *Projection) PrefixesOnInterface(ifID int) []*PrefixPlan {
 			sort.Slice(out, func(a, b int) bool {
 				return rib.ComparePrefixes(out[a].Prefix, out[b].Prefix) < 0
 			})
+			if p.bucketPos != nil {
+				for i, plan := range out {
+					p.bucketPos[plan.Prefix] = i
+				}
+			}
 			p.ifSorted[ifID] = true
 		}
 		return out

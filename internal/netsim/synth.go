@@ -420,18 +420,28 @@ func announcements(as *EdgeAS, via []uint32) []Announcement {
 	return out
 }
 
-// v4Prefix returns the i-th synthetic user /24 inside 10.0.0.0/8 and a
-// representative host in it.
+// v4Prefix returns the i-th synthetic user /24 and a representative
+// host in it. The first 64k live in 10.0.0.0/8 (the historical layout,
+// kept byte-identical so seeds reproduce); million-prefix tables spill
+// into the successive /8s (11/8, 12/8, ...).
 func v4Prefix(i int) (netip.Prefix, netip.Addr) {
-	a := netip.AddrFrom4([4]byte{10, byte(i >> 8), byte(i), 0})
-	rep := netip.AddrFrom4([4]byte{10, byte(i >> 8), byte(i), 1})
+	a := netip.AddrFrom4([4]byte{byte(10 + i>>16), byte(i >> 8), byte(i), 0})
+	rep := netip.AddrFrom4([4]byte{byte(10 + i>>16), byte(i >> 8), byte(i), 1})
 	return netip.PrefixFrom(a, 24), rep
 }
 
-// v6Prefix returns the i-th synthetic user /48 inside 2001:db8::/32.
+// v6Prefix returns the i-th synthetic user /48. The first 64k live in
+// 2001:db8::/32 (historical layout); the spill goes to the larger
+// documentation block 3fff::/20 (RFC 9637), which holds 2^28 /48s.
 func v6Prefix(i int) (netip.Prefix, netip.Addr) {
 	var b [16]byte
-	copy(b[:], []byte{0x20, 0x01, 0x0d, 0xb8})
+	if i < 1<<16 {
+		copy(b[:], []byte{0x20, 0x01, 0x0d, 0xb8})
+	} else {
+		b[0], b[1] = 0x3f, 0xff
+		b[2] = byte(i >> 24 & 0x0f)
+		b[3] = byte(i >> 16)
+	}
 	b[4] = byte(i >> 8)
 	b[5] = byte(i)
 	addr := netip.AddrFrom16(b)

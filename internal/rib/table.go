@@ -41,6 +41,62 @@ type Table struct {
 	// waitCh, when non-nil, is closed on the next mutation to wake
 	// WaitChange / WaitRouteCount blockers.
 	waitCh chan struct{}
+
+	// attrs interns AS-path and community slices shared across the
+	// table; arena chunk-allocates the stored Route values. Both are
+	// touched only under the write lock.
+	attrs u32Interner
+	arena routeArena
+	// journal is a ring of the masked prefixes touched by the last
+	// journalCap mutations: the entry for table version v lives at
+	// (v-1) % journalCap, which works because every version increment
+	// records exactly one prefix. ChangedSince reads it to hand the
+	// controller a dirty set instead of a full-table scan.
+	journal []netip.Prefix
+}
+
+// journalCap bounds the mutation journal. A consumer that falls more
+// than journalCap mutations behind gets ok=false from ChangedSince and
+// must resynchronize with a full scan — the same safety valve a BMP
+// client uses when its peer's queue overflows.
+const journalCap = 1 << 16
+
+// recordChange logs the masked prefix of the mutation that produced the
+// table's current version. Caller holds the write lock and has already
+// incremented t.version.
+func (t *Table) recordChange(p netip.Prefix) {
+	idx := int((t.version - 1) % journalCap)
+	if len(t.journal) < journalCap {
+		// Versions start at 1 and each one records once, so idx always
+		// equals len(t.journal) while the ring is still filling.
+		t.journal = append(t.journal, p)
+		return
+	}
+	t.journal[idx] = p
+}
+
+// ChangedSince reports the prefixes mutated after table version since,
+// and the version the report is current through (pass it back as the
+// next call's since). The result may repeat a prefix mutated more than
+// once. ok=false means the journal no longer reaches back to since —
+// more than journalCap mutations elapsed, or since is from another
+// table's timeline — and the caller must fall back to a full scan.
+// Results are appended to dst (reused when it has capacity).
+func (t *Table) ChangedSince(since uint64, dst []netip.Prefix) (changed []netip.Prefix, now uint64, ok bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	now = t.version
+	if since > now {
+		return dst[:0], now, false
+	}
+	if now-since > uint64(len(t.journal)) {
+		return dst[:0], now, false
+	}
+	changed = dst[:0]
+	for v := since + 1; v <= now; v++ {
+		changed = append(changed, t.journal[int((v-1)%journalCap)])
+	}
+	return changed, now, true
 }
 
 // tableEntry holds one prefix's routes, preference-sorted best-first.
@@ -153,20 +209,23 @@ func (t *Table) WaitRouteCount(ctx context.Context, n int) error {
 // address): a route from the same neighbor for the same prefix replaces
 // the previous one, per BGP implicit-withdraw semantics. Add does not
 // apply import policy; see Accept. It reports whether the best route for
-// the prefix changed. The table takes ownership of r; the caller must
-// not mutate it afterward.
+// the prefix changed. The table takes ownership of r (including its
+// attribute slices); the caller must not mutate it afterward. The
+// stored copy lives in the table's route arena with its AS path and
+// communities interned, so r itself is garbage as soon as Add returns.
 func (t *Table) Add(r *Route) bool {
 	if r == nil || !r.Prefix.IsValid() {
 		return false
 	}
 	p := r.Prefix.Masked()
-	if p != r.Prefix {
-		r = r.Clone()
-		r.Prefix = p
-	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	r = t.arena.put(r)
+	r.Prefix = p
+	r.ASPath = t.attrs.intern(r.ASPath)
+	r.Communities = t.attrs.intern(r.Communities)
 	t.version++
+	t.recordChange(p)
 	e, ok := t.entries[p]
 	if !ok {
 		e = &tableEntry{}
@@ -238,6 +297,7 @@ func (t *Table) Remove(prefix netip.Prefix, peer netip.Addr) bool {
 		return false
 	}
 	t.version++
+	t.recordChange(p)
 	t.nroutes--
 	oldBest := e.bestRoute()
 	if len(e.routes) == 1 {
@@ -281,6 +341,7 @@ func (t *Table) RemovePeer(peer netip.Addr) int {
 			continue
 		}
 		t.version++
+		t.recordChange(p)
 		t.nroutes -= removed
 		mutated = true
 		oldBest := e.bestRoute()

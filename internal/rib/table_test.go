@@ -8,20 +8,30 @@ import (
 	"testing/quick"
 )
 
+// sameRoute compares by route identity (prefix + neighbor): Table.Add
+// stores an arena copy of the caller's route, so pointer comparison
+// against the original no longer holds.
+func sameRoute(a, b *Route) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.Prefix == b.Prefix && a.PeerAddr == b.PeerAddr
+}
+
 func TestTableAddBest(t *testing.T) {
 	tab := NewTable(DefaultPolicy())
 	transit := mkRoute("10.1.0.0/24", "192.0.2.2", ClassTransit, 65002)
 	if changed := tab.Add(transit); !changed {
 		t.Error("first route should change best")
 	}
-	if got := tab.Best(netip.MustParsePrefix("10.1.0.0/24")); got != transit {
+	if got := tab.Best(netip.MustParsePrefix("10.1.0.0/24")); !sameRoute(got, transit) {
 		t.Fatalf("Best = %v", got)
 	}
 	private := mkRoute("10.1.0.0/24", "192.0.2.1", ClassPrivate, 65001)
 	if changed := tab.Add(private); !changed {
 		t.Error("better route should change best")
 	}
-	if got := tab.Best(netip.MustParsePrefix("10.1.0.0/24")); got != private {
+	if got := tab.Best(netip.MustParsePrefix("10.1.0.0/24")); !sameRoute(got, private) {
 		t.Fatalf("Best after private = %v", got)
 	}
 	// A worse route does not change best.
@@ -44,7 +54,7 @@ func TestTableImplicitWithdraw(t *testing.T) {
 	if tab.RouteCount() != 1 {
 		t.Errorf("RouteCount = %d, want 1 (implicit withdraw)", tab.RouteCount())
 	}
-	if got := tab.Best(netip.MustParsePrefix("10.1.0.0/24")); got != r2 {
+	if got := tab.Best(netip.MustParsePrefix("10.1.0.0/24")); got == nil || len(got.ASPath) != 2 {
 		t.Errorf("Best = %v, want replacement", got)
 	}
 }
@@ -59,7 +69,7 @@ func TestTableRemove(t *testing.T) {
 	if changed := tab.Remove(p, private.PeerAddr); !changed {
 		t.Error("removing best should report change")
 	}
-	if got := tab.Best(p); got != transit {
+	if got := tab.Best(p); !sameRoute(got, transit) {
 		t.Errorf("Best after remove = %v", got)
 	}
 	if changed := tab.Remove(p, transit.PeerAddr); !changed {
@@ -115,7 +125,7 @@ func TestTableLookupLPM(t *testing.T) {
 	}
 	for _, tc := range tests {
 		got := tab.Lookup(netip.MustParseAddr(tc.addr))
-		if got != tc.want {
+		if !sameRoute(got, tc.want) {
 			t.Errorf("Lookup(%s) = %v, want %v", tc.addr, got, tc.want)
 		}
 	}
@@ -139,7 +149,7 @@ func TestTableLookupIPv6(t *testing.T) {
 	if ok, _ := tab.Accept(r); !ok {
 		t.Fatal("v6 route rejected")
 	}
-	if got := tab.Lookup(netip.MustParseAddr("2001:db8::42")); got != r {
+	if got := tab.Lookup(netip.MustParseAddr("2001:db8::42")); !sameRoute(got, r) {
 		t.Errorf("v6 Lookup = %v", got)
 	}
 	if got := tab.Lookup(netip.MustParseAddr("2001:db9::42")); got != nil {
@@ -173,7 +183,7 @@ func TestTableOnBestChange(t *testing.T) {
 	if len(events) != 5 {
 		t.Fatalf("got %d events, want 5: %+v", len(events), events)
 	}
-	if events[0].Old != nil || events[0].New != transit {
+	if events[0].Old != nil || !sameRoute(events[0].New, transit) {
 		t.Errorf("event 0 = %+v", events[0])
 	}
 	last := events[len(events)-1]

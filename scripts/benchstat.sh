@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# benchstat.sh — diff two BENCH_*.json files written by check.sh and
+# fail when a hot-path benchmark's ns/op regressed beyond the threshold.
+#
+#   scripts/benchstat.sh OLD.json NEW.json [max-regression-%]
+#
+# The default threshold is 20%. Allocation counts are reported but not
+# gated (they are exact, so any change shows up as a diff in the
+# committed BENCH_hotpath.json anyway). A benchmark present in OLD but
+# missing from NEW fails the gate: silently dropping a benchmark is how
+# regressions hide. Set EF_BENCH_SKIP=1 to report without failing (for
+# known-noisy machines or intentional trade-offs — say so in the commit).
+set -euo pipefail
+
+if [ $# -lt 2 ]; then
+  echo "usage: $0 OLD.json NEW.json [max-regression-%]" >&2
+  exit 2
+fi
+old=$1
+new=$2
+thr=${3:-20}
+
+awk -v thr="$thr" -v oldf="$old" -v newf="$new" -v skip="${EF_BENCH_SKIP:-}" '
+function num(line, key,    v) {
+  if (!match(line, "\"" key "\": *-?[0-9.]+")) return ""
+  v = substr(line, RSTART, RLENGTH)
+  sub(/.*: */, "", v)
+  return v
+}
+function bname(line,    v) {
+  if (!match(line, /"name": *"[^"]+"/)) return ""
+  v = substr(line, RSTART, RLENGTH)
+  sub(/.*"name": *"/, "", v)
+  sub(/"$/, "", v)
+  return v
+}
+# load parses one results file; rec=1 records benchmark order globally.
+function load(file, ns, al, rec,    line, n, count) {
+  count = 0
+  while ((getline line < file) > 0) {
+    n = bname(line)
+    if (n == "" || num(line, "ns_per_op") == "") continue
+    ns[n] = num(line, "ns_per_op") + 0
+    al[n] = num(line, "allocs_per_op") + 0
+    count++
+    if (rec) order[count] = n
+  }
+  close(file)
+  return count
+}
+BEGIN {
+  nb = load(oldf, ons, oal, 1)
+  if (nb == 0) {
+    printf "benchstat: no benchmarks parsed from %s\n", oldf
+    exit 2
+  }
+  if (load(newf, nns, nal, 0) == 0) {
+    printf "benchstat: no benchmarks parsed from %s\n", newf
+    exit 2
+  }
+  printf "%-40s %14s %14s %8s  %s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs/op"
+  bad = 0
+  for (i = 1; i <= nb; i++) {
+    n = order[i]
+    if (!(n in nns)) {
+      printf "%-40s %14.0f %14s %8s\n", n, ons[n], "-", "GONE"
+      bad = 1
+      continue
+    }
+    d = (nns[n] - ons[n]) * 100 / ons[n]
+    flag = ""
+    if (d > thr) { flag = "  REGRESSED"; bad = 1 }
+    printf "%-40s %14.0f %14.0f %+7.1f%%  %d -> %d%s\n", n, ons[n], nns[n], d, oal[n], nal[n], flag
+  }
+  for (n in nns)
+    if (!(n in ons))
+      printf "%-40s %14s %14.0f %8s  %d (no baseline)\n", n, "-", nns[n], "new", nal[n]
+  if (bad) {
+    if (skip == "1") {
+      printf "benchstat: regression beyond %s%% (EF_BENCH_SKIP=1, not failing)\n", thr
+      exit 0
+    }
+    printf "benchstat: hot-path regression beyond %s%% — investigate or rerun on a quiet machine\n", thr
+    exit 1
+  }
+}
+' </dev/null

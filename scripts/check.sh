@@ -21,14 +21,44 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
-echo "==> go test -bench=BenchmarkProject -benchtime=1x"
-go test -run '^$' -bench=BenchmarkProject -benchtime=1x -benchmem .
-
-# Full-cycle smoke, tracing on and off (the pattern matches both
-# BenchmarkRunCycleSteadyState and ...NoTrace): catches hot-path
-# regressions in the decision-provenance plumbing before merge.
-echo "==> go test -bench=BenchmarkRunCycleSteadyState -benchtime=1x"
-go test -run '^$' -bench='BenchmarkRunCycleSteadyState' -benchtime=1x -benchmem .
+# Hot-path benchmarks -> BENCH_hotpath.json, gated against the
+# committed previous run. The 1M-prefix benchmarks are deliberately
+# excluded (minutes of table construction; they back EXPERIMENTS.md
+# E14, not the per-merge gate). -count=2 with min-of-runs in the JSON
+# keeps one noisy run from tripping the 20% regression gate; set
+# EF_BENCH_SKIP=1 to report without failing.
+echo "==> hot-path benchmarks -> BENCH_hotpath.json"
+benchout=$(mktemp)
+go test -run '^$' \
+  -bench='^(BenchmarkProject50k|BenchmarkTableRoutesSorted|BenchmarkRunCycleSteadyState|BenchmarkRunCycleSteadyStateNoTrace)$' \
+  -benchtime=3x -count=2 -benchmem . | tee "$benchout"
+awk -v gover="$(go env GOVERSION)" '
+/^Benchmark/ {
+  name = $1
+  sub(/-[0-9]+$/, "", name)
+  ns = $3 + 0
+  allocs = ""
+  for (i = 4; i <= NF; i++) if ($i == "allocs/op") allocs = $(i-1) + 0
+  if (!(name in best) || ns < best[name]) { best[name] = ns; al[name] = allocs }
+  if (!(name in seen)) { seen[name] = 1; order[++n] = name }
+}
+END {
+  printf "{\n  \"generated_by\": \"scripts/check.sh\",\n  \"go\": \"%s\",\n  \"benchmarks\": [\n", gover
+  for (i = 1; i <= n; i++) {
+    name = order[i]
+    printf "    {\"name\": \"%s\", \"ns_per_op\": %.0f, \"allocs_per_op\": %d}%s\n", \
+      name, best[name], al[name], (i < n ? "," : "")
+  }
+  printf "  ]\n}\n"
+}
+' "$benchout" > BENCH_hotpath.json.new
+rm -f "$benchout"
+if [ -f BENCH_hotpath.json ]; then
+  scripts/benchstat.sh BENCH_hotpath.json BENCH_hotpath.json.new 20
+else
+  echo "no previous BENCH_hotpath.json; baselining"
+fi
+mv BENCH_hotpath.json.new BENCH_hotpath.json
 
 # Fuzz smoke: 10 s per wire-format decoder. Catches decode panics the
 # seed corpora miss; a real finding reproduces via the usual testdata

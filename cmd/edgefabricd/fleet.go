@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"log"
-	"net"
 	"net/netip"
 	"os"
 	"time"
@@ -120,13 +119,13 @@ func runRemoteFleet(ctx context.Context, ff *FleetFile, cycle time.Duration, thr
 	if listen == "" {
 		listen = "127.0.0.1:6343"
 	}
-	udp, err := net.ListenPacket("udp", listen)
+	udp, err := sflow.ListenUDP(listen, sflow.DefaultReaders())
 	if err != nil {
 		log.Fatalf("sflow listen: %v", err)
 	}
 	demux := sflow.NewDemux()
 	go func() {
-		if err := demux.ServeUDP(ctx, udp); err != nil {
+		if err := demux.ServeUDPConns(ctx, udp, sflow.DefaultReaders()); err != nil {
 			log.Printf("sflow ingest: %v", err)
 		}
 	}()

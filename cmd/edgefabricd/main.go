@@ -160,8 +160,9 @@ func runRemote(ctx context.Context, invPath, sflowListen string, cycle time.Dura
 		logf = log.Printf
 	}
 
-	// sFlow ingest.
-	udp, err := net.ListenPacket("udp", sflowListen)
+	// sFlow ingest: SO_REUSEPORT-duplicated sockets where the platform
+	// allows, one shared socket elsewhere, served by a reader pool.
+	udp, err := sflow.ListenUDP(sflowListen, sflow.DefaultReaders())
 	if err != nil {
 		log.Fatalf("sflow listen: %v", err)
 	}
@@ -169,7 +170,7 @@ func runRemote(ctx context.Context, invPath, sflowListen string, cycle time.Dura
 	var ctrl *core.Controller
 	traffic := sflow.NewCollector(sflow.CollectorConfig{Mapper: lateStoreMapper{ctrl: &ctrl}})
 	go func() {
-		if err := traffic.ServeUDP(ctx, udp); err != nil {
+		if err := traffic.ServeUDPConns(ctx, udp); err != nil {
 			log.Printf("sflow ingest: %v", err)
 		}
 	}()

@@ -180,6 +180,21 @@ func main() {
 		fmt.Fprint(w, res.String(), "\n")
 	}
 
+	// E15 also skips the wire harness: it saturates the telemetry
+	// ingest path directly (in-process, over UDP, and against a BMP
+	// dump replay). Like E14 it only runs when asked for by name.
+	if *only != "" && want("E15") {
+		cfg := exp.IngestConfig{Seed: *seed}
+		if *scale == "paper" {
+			cfg.DumpPrefixes = 1_000_000
+		}
+		res, err := exp.E15IngestSaturation(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprint(w, res.String(), "\n")
+	}
+
 	fmt.Fprintf(w, "total wall time %s\n", time.Since(started).Round(time.Second))
 }
 

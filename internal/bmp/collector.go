@@ -1,6 +1,7 @@
 package bmp
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
@@ -24,6 +25,17 @@ type Handler interface {
 	OnStats(router string, m *StatsReport)
 	// OnTermination is called when the stream closes cleanly.
 	OnTermination(router string)
+}
+
+// BatchFlusher is optionally implemented by Handlers that buffer
+// OnRoute applications (e.g. to apply a table dump's routes under one
+// lock acquisition instead of one per route). HandleConn calls
+// FlushRoutes whenever the stream drains — its read buffer is empty
+// after a route message — and before any non-route event or exit, so
+// buffering never delays a route behind quiet wire time and never
+// reorders routes against peer-down/termination handling.
+type BatchFlusher interface {
+	FlushRoutes()
 }
 
 // NopHandler ignores all events; embed it to implement a subset.
@@ -65,9 +77,20 @@ func (c *Collector) HandleConn(ctx context.Context, router string, conn net.Conn
 	}
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
+	flusher, _ := c.Handler.(BatchFlusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.FlushRoutes()
+		}
+	}
+	defer flush()
+	// The buffered reader serves two roles: it batches the 6-byte header
+	// read with the body read, and its Buffered() count tells us whether
+	// the stream has drained — the flush point for a batching handler.
+	br := bufio.NewReaderSize(conn, 64<<10)
 	buf := make([]byte, MaxMessageLen)
 	for {
-		m, err := ReadMessage(conn, buf)
+		m, err := ReadMessage(br, buf)
 		if err != nil {
 			if ctx.Err() != nil {
 				return ctx.Err()
@@ -76,6 +99,11 @@ func (c *Collector) HandleConn(ctx context.Context, router string, conn net.Conn
 				return nil
 			}
 			return fmt.Errorf("bmp: stream %s: %w", router, err)
+		}
+		if _, ok := m.(*RouteMonitoring); !ok {
+			// Events like PeerDown must observe every route already on
+			// the wire before them.
+			flush()
 		}
 		switch m := m.(type) {
 		case *Initiation:
@@ -86,6 +114,11 @@ func (c *Collector) HandleConn(ctx context.Context, router string, conn net.Conn
 			c.Handler.OnPeerDown(router, m)
 		case *RouteMonitoring:
 			c.Handler.OnRoute(router, m)
+			if br.Buffered() == 0 {
+				// Stream drained mid-batch: apply now rather than sit on
+				// routes until the next packet arrives.
+				flush()
+			}
 		case *StatsReport:
 			c.Handler.OnStats(router, m)
 		case *Termination:

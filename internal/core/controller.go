@@ -142,6 +142,12 @@ type Controller struct {
 
 	panicArmed atomic.Bool // one-shot fault-injection hook (E11)
 
+	// demandBuf is the reused per-cycle demand map when the traffic
+	// source supports RatesInto (the sharded sFlow collector does);
+	// only the cycle goroutine touches it, and the projector never
+	// retains the map across calls.
+	demandBuf map[netip.Prefix]float64
+
 	// Cycle-phase instrumentation (latency + heap allocations per
 	// phase, surfaced at /metrics as edgefabric_phase_*).
 	phCollect, phProject, phAllocate, phExtra, phInject *metrics.Phase
@@ -262,6 +268,15 @@ func (h *healthHandler) OnStats(router string, m *bmp.StatsReport) {
 func (h *healthHandler) OnTermination(router string) {
 	h.health.TouchFeed(router)
 	h.inner.OnTermination(router)
+}
+
+// FlushRoutes implements bmp.BatchFlusher by delegating to the wrapped
+// handler, so the collector's drain-point flushes reach the store
+// through this wrapper.
+func (h *healthHandler) FlushRoutes() {
+	if f, ok := h.inner.(bmp.BatchFlusher); ok {
+		f.FlushRoutes()
+	}
 }
 
 // Store exposes the controller's route store (e.g. to use as the sFlow
@@ -625,7 +640,13 @@ func (c *Controller) RunCycle() (report *CycleReport, err error) {
 	}
 
 	span := c.phCollect.Start()
-	demand := c.cfg.Traffic.Rates()
+	var demand map[netip.Prefix]float64
+	if ri, ok := c.cfg.Traffic.(trafficRatesInto); ok {
+		c.demandBuf = ri.RatesInto(c.demandBuf)
+		demand = c.demandBuf
+	} else {
+		demand = c.cfg.Traffic.Rates()
+	}
 	span.End()
 
 	span = c.phProject.Start()
@@ -805,7 +826,12 @@ func (c *Controller) explainUnconsidered(p netip.Prefix, latest *CycleTrace) str
 		b.WriteString("  no organic routes for the prefix in the table\n")
 		return b.String()
 	}
-	rate := c.cfg.Traffic.Rates()[p]
+	var rate float64
+	if tr, ok := c.cfg.Traffic.(trafficRate); ok {
+		rate = tr.Rate(p)
+	} else {
+		rate = c.cfg.Traffic.Rates()[p]
+	}
 	fmt.Fprintf(&b, "  demand %.2f Gbps, preferred %s via %s (%s), %d organic route(s)\n",
 		rate/1e9, ifName(c.cfg.Inventory, preferred.EgressIF), preferred.PeerAddr,
 		preferred.PeerClass, organic)

@@ -17,6 +17,21 @@ type TrafficSource interface {
 	Rates() map[netip.Prefix]float64
 }
 
+// trafficRatesInto is an optional TrafficSource upgrade: merge the
+// rates into a caller-owned map (cleared first, allocated when nil),
+// letting the cycle reuse one demand map instead of allocating a fresh
+// one per cycle. sflow.Collector implements it.
+type trafficRatesInto interface {
+	RatesInto(dst map[netip.Prefix]float64) map[netip.Prefix]float64
+}
+
+// trafficRate is an optional TrafficSource upgrade: read one prefix's
+// rate without materializing the full map (the Explain endpoint's
+// single-prefix query). sflow.Collector implements it.
+type trafficRate interface {
+	Rate(p netip.Prefix) float64
+}
+
 // PrefixPlan is the projection's view of one prefix: its demand, the
 // route BGP would pick absent overrides, and the preference-ordered
 // alternates. Preferred and Alternates may share the route store's

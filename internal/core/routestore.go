@@ -2,6 +2,7 @@ package core
 
 import (
 	"net/netip"
+	"sync"
 	"sync/atomic"
 
 	"edgefabric/internal/bmp"
@@ -19,10 +20,23 @@ type RouteStore struct {
 	inv   *Inventory
 	table *rib.Table
 
+	// mu guards batch and serializes its ApplyBatch flushes. OnRoute
+	// enqueues ops here instead of mutating the table per route, so a
+	// full-table BMP dump replay costs one table write lock per
+	// routeBatchSize routes rather than one per route — a concurrent
+	// control cycle's snapshot reads interleave at batch boundaries
+	// instead of starving. bmp.Collector flushes whenever a stream
+	// drains (BatchFlusher), so quiesced state is always fully applied.
+	mu    sync.Mutex
+	batch []rib.BatchOp
+
 	routesSeen    atomic.Uint64
 	withdrawsSeen atomic.Uint64
 	unknownPeers  atomic.Uint64
 }
+
+// routeBatchSize bounds buffered ops before an in-line flush.
+const routeBatchSize = 256
 
 // NewRouteStore returns a store resolving peers against inv. The policy
 // mirrors the routers' import policy so the controller's preference
@@ -63,17 +77,52 @@ func (s *RouteStore) OnStats(string, *bmp.StatsReport) {}
 func (s *RouteStore) OnPeerUp(router string, m *bmp.PeerUp) {}
 
 // OnPeerDown implements bmp.Handler: the monitored router lost its
-// session with the peer, so every route learned from it is gone.
+// session with the peer, so every route learned from it is gone. Any
+// buffered routes are applied first so the removal observes everything
+// that preceded it on the wire.
 func (s *RouteStore) OnPeerDown(router string, m *bmp.PeerDown) {
+	s.mu.Lock()
+	s.flushLocked()
+	s.mu.Unlock()
 	s.table.RemovePeer(m.Peer.PeerAddr)
 }
 
+// FlushRoutes implements bmp.BatchFlusher: apply all buffered route
+// ops under one table lock acquisition.
+func (s *RouteStore) FlushRoutes() {
+	s.mu.Lock()
+	s.flushLocked()
+	s.mu.Unlock()
+}
+
+func (s *RouteStore) flushLocked() {
+	if len(s.batch) == 0 {
+		return
+	}
+	res := s.table.ApplyBatch(s.batch)
+	// Withdrawals count when they changed a best route, matching what
+	// per-op Remove reported before batching.
+	if res.WithdrawBestChanged > 0 {
+		s.withdrawsSeen.Add(uint64(res.WithdrawBestChanged))
+	}
+	for i := range s.batch {
+		s.batch[i] = rib.BatchOp{}
+	}
+	s.batch = s.batch[:0]
+}
+
 // OnRoute implements bmp.Handler: fold one monitored UPDATE into the
-// store.
+// store. The ops are buffered and applied in batches (see mu); import
+// policy is applied here at enqueue time, since rib.ApplyBatch does
+// not.
 func (s *RouteStore) OnRoute(router string, m *bmp.RouteMonitoring) {
 	peerAddr := m.Peer.PeerAddr
 	info, known := s.inv.PeerByAddr(peerAddr)
 	u := m.Update
+	policy := s.table.Policy()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
 
 	apply := func(prefix netip.Prefix, nextHop netip.Addr) {
 		if !known {
@@ -94,14 +143,14 @@ func (s *RouteStore) OnRoute(router string, m *bmp.RouteMonitoring) {
 			PeerClass:   info.Class,
 			EgressIF:    info.InterfaceID,
 		}
-		if acc, _ := s.table.Accept(r); acc {
-			s.routesSeen.Add(1)
+		if policy != nil && !policy.Import(r) {
+			return
 		}
+		s.routesSeen.Add(1)
+		s.batch = append(s.batch, rib.BatchOp{Route: r})
 	}
 	withdraw := func(prefix netip.Prefix) {
-		if s.table.Remove(prefix, peerAddr) {
-			s.withdrawsSeen.Add(1)
-		}
+		s.batch = append(s.batch, rib.BatchOp{Prefix: prefix, Peer: peerAddr})
 	}
 
 	for _, w := range u.Withdrawn {
@@ -120,7 +169,13 @@ func (s *RouteStore) OnRoute(router string, m *bmp.RouteMonitoring) {
 			apply(n, u.Attrs.MPReach.NextHop)
 		}
 	}
+	if len(s.batch) >= routeBatchSize {
+		s.flushLocked()
+	}
 }
 
-// compile-time interface check
-var _ bmp.Handler = (*RouteStore)(nil)
+// compile-time interface checks
+var (
+	_ bmp.Handler      = (*RouteStore)(nil)
+	_ bmp.BatchFlusher = (*RouteStore)(nil)
+)

@@ -1,0 +1,173 @@
+package rib
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+)
+
+// TestApplyBatchEquivalence applies the same mutation sequence through
+// ApplyBatch and through per-op Add/Remove and demands identical final
+// state: per-prefix route lists, counts, version, journal contents, and
+// best routes.
+func TestApplyBatchEquivalence(t *testing.T) {
+	mkOps := func() []BatchOp {
+		var ops []BatchOp
+		for i := 0; i < 40; i++ {
+			p := fmt.Sprintf("10.%d.0.0/24", i%8)
+			peer := fmt.Sprintf("192.0.2.%d", 1+i%5)
+			class := []PeerClass{ClassPrivate, ClassPublic, ClassTransit}[i%3]
+			ops = append(ops, BatchOp{Route: mkRoute(p, peer, class, uint32(65000+i%5))})
+		}
+		// Withdrawals: some hit, some miss.
+		ops = append(ops,
+			BatchOp{Prefix: netip.MustParsePrefix("10.0.0.0/24"), Peer: netip.MustParseAddr("192.0.2.1")},
+			BatchOp{Prefix: netip.MustParsePrefix("10.1.0.0/24"), Peer: netip.MustParseAddr("192.0.2.2")},
+			BatchOp{Prefix: netip.MustParsePrefix("10.99.0.0/24"), Peer: netip.MustParseAddr("192.0.2.1")}, // miss
+			BatchOp{Prefix: netip.MustParsePrefix("10.2.0.0/24"), Peer: netip.MustParseAddr("192.0.2.99")}, // miss
+		)
+		return ops
+	}
+
+	batched := NewTable(DefaultPolicy())
+	res := batched.ApplyBatch(mkOps())
+
+	serial := NewTable(DefaultPolicy())
+	wantAdded, wantRemoved, wantBest, wantWithdrawBest := 0, 0, 0, 0
+	for _, op := range mkOps() {
+		if op.Route != nil {
+			if serial.Add(op.Route) {
+				wantBest++
+			}
+			wantAdded++
+			continue
+		}
+		had := false
+		for _, r := range serial.Routes(op.Prefix) {
+			if r.PeerAddr == op.Peer {
+				had = true
+			}
+		}
+		if serial.Remove(op.Prefix, op.Peer) {
+			wantBest++
+			wantWithdrawBest++
+		}
+		if had {
+			wantRemoved++
+		}
+	}
+
+	if res.Added != wantAdded || res.Removed != wantRemoved || res.BestChanged != wantBest || res.WithdrawBestChanged != wantWithdrawBest {
+		t.Errorf("BatchResult = %+v, want added=%d removed=%d best=%d withdrawBest=%d",
+			res, wantAdded, wantRemoved, wantBest, wantWithdrawBest)
+	}
+	if batched.Version() != serial.Version() {
+		t.Errorf("version = %d, want %d", batched.Version(), serial.Version())
+	}
+	if batched.Len() != serial.Len() || batched.RouteCount() != serial.RouteCount() {
+		t.Errorf("len/routes = %d/%d, want %d/%d",
+			batched.Len(), batched.RouteCount(), serial.Len(), serial.RouteCount())
+	}
+	for _, p := range serial.Prefixes() {
+		want := serial.Routes(p)
+		got := batched.Routes(p)
+		if len(got) != len(want) {
+			t.Fatalf("%v: %d routes, want %d", p, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].PeerAddr != want[i].PeerAddr {
+				t.Errorf("%v[%d]: peer %v, want %v", p, i, got[i].PeerAddr, want[i].PeerAddr)
+			}
+		}
+		if !sameRoute(batched.Best(p), serial.Best(p)) {
+			t.Errorf("%v: best %v, want %v", p, batched.Best(p), serial.Best(p))
+		}
+	}
+
+	// Journal streams must be identical (same per-op version/prefix
+	// recording), so ChangedSince consumers can't tell batches happened.
+	bc, bv, bok := batched.ChangedSince(0, nil)
+	sc, sv, sok := serial.ChangedSince(0, nil)
+	if !bok || !sok || bv != sv {
+		t.Fatalf("ChangedSince: ok=%v/%v now=%d/%d", bok, sok, bv, sv)
+	}
+	if len(bc) != len(sc) {
+		t.Fatalf("journal lengths %d vs %d", len(bc), len(sc))
+	}
+	for i := range bc {
+		if bc[i] != sc[i] {
+			t.Errorf("journal[%d] = %v, want %v", i, bc[i], sc[i])
+		}
+	}
+}
+
+// TestApplyBatchNotifiesOnce checks waiter wakeup: a WaitRouteCount
+// blocker is released by a batch that crosses its threshold.
+func TestApplyBatchNotifiesOnce(t *testing.T) {
+	tab := NewTable(DefaultPolicy())
+	done := make(chan error, 1)
+	go func() {
+		done <- tab.WaitRouteCount(t.Context(), 10)
+	}()
+	var ops []BatchOp
+	for i := 0; i < 12; i++ {
+		ops = append(ops, BatchOp{Route: mkRoute(fmt.Sprintf("10.%d.0.0/24", i), "192.0.2.1", ClassTransit, 65001)})
+	}
+	tab.ApplyBatch(ops)
+	if err := <-done; err != nil {
+		t.Fatalf("WaitRouteCount: %v", err)
+	}
+}
+
+// TestApplyBatchCallbacks checks OnBestChange fires per op inside a
+// batch, same as per-op mutations.
+func TestApplyBatchCallbacks(t *testing.T) {
+	tab := NewTable(DefaultPolicy())
+	var fired []BestChange
+	tab.OnBestChange = func(bc BestChange) { fired = append(fired, bc) }
+	tab.ApplyBatch([]BatchOp{
+		{Route: mkRoute("10.1.0.0/24", "192.0.2.1", ClassTransit, 65001)},
+		{Route: mkRoute("10.1.0.0/24", "192.0.2.2", ClassPrivate, 65002)},                      // better: best flips
+		{Route: mkRoute("10.1.0.0/24", "192.0.2.3", ClassTransit, 65003, 65004)},               // worse: no flip
+		{Prefix: netip.MustParsePrefix("10.1.0.0/24"), Peer: netip.MustParseAddr("192.0.2.2")}, // best withdrawn
+	})
+	if len(fired) != 3 {
+		t.Fatalf("OnBestChange fired %d times, want 3: %+v", len(fired), fired)
+	}
+}
+
+func BenchmarkTableDumpReplay(b *testing.B) {
+	// A full-table dump applied per route vs in batches; the batch path
+	// is what the BMP collector drives during reconnect absorption.
+	const n = 10000
+	routes := make([]*Route, n)
+	for i := range routes {
+		routes[i] = mkRoute(fmt.Sprintf("10.%d.%d.0/24", i/256%256, i%256), "192.0.2.1", ClassTransit, 65001)
+	}
+	b.Run("per-op", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tab := NewTable(DefaultPolicy())
+			for _, r := range routes {
+				c := *r
+				tab.Add(&c)
+			}
+		}
+	})
+	b.Run("batched-256", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tab := NewTable(DefaultPolicy())
+			ops := make([]BatchOp, 0, 256)
+			for _, r := range routes {
+				c := *r
+				ops = append(ops, BatchOp{Route: &c})
+				if len(ops) == cap(ops) {
+					tab.ApplyBatch(ops)
+					ops = ops[:0]
+				}
+			}
+			tab.ApplyBatch(ops)
+		}
+	})
+}

@@ -217,9 +217,17 @@ func (t *Table) Add(r *Route) bool {
 	if r == nil || !r.Prefix.IsValid() {
 		return false
 	}
-	p := r.Prefix.Masked()
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	changed := t.addLocked(r)
+	t.notifyLocked()
+	return changed
+}
+
+// addLocked is Add's body under an already-held write lock, without the
+// waiter notification — ApplyBatch amortizes both across many routes.
+func (t *Table) addLocked(r *Route) bool {
+	p := r.Prefix.Masked()
 	r = t.arena.put(r)
 	r.Prefix = p
 	r.ASPath = t.attrs.intern(r.ASPath)
@@ -263,7 +271,6 @@ func (t *Table) Add(r *Route) bool {
 	e.gen = t.version
 	e.ninj = ninj
 	t.nroutes += len(routes) - oldLen
-	t.notifyLocked()
 	return t.finishBest(p, oldBest, e)
 }
 
@@ -279,12 +286,23 @@ func (t *Table) Accept(r *Route) (accepted, bestChanged bool) {
 // Remove withdraws the route for prefix learned from peer. It reports
 // whether the best route changed.
 func (t *Table) Remove(prefix netip.Prefix, peer netip.Addr) bool {
-	p := prefix.Masked()
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	removed, bestChanged := t.removeLocked(prefix, peer)
+	if removed {
+		t.notifyLocked()
+	}
+	return bestChanged
+}
+
+// removeLocked is Remove's body under an already-held write lock,
+// without the waiter notification. It reports (route removed, best
+// route changed).
+func (t *Table) removeLocked(prefix netip.Prefix, peer netip.Addr) (removed, bestChanged bool) {
+	p := prefix.Masked()
 	e, ok := t.entries[p]
 	if !ok {
-		return false
+		return false, false
 	}
 	idx := -1
 	for i, r := range e.routes {
@@ -294,7 +312,7 @@ func (t *Table) Remove(prefix netip.Prefix, peer netip.Addr) bool {
 		}
 	}
 	if idx < 0 {
-		return false
+		return false, false
 	}
 	t.version++
 	t.recordChange(p)
@@ -303,11 +321,10 @@ func (t *Table) Remove(prefix netip.Prefix, peer netip.Addr) bool {
 	if len(e.routes) == 1 {
 		delete(t.entries, p)
 		t.lenCount(p, -1)
-		t.notifyLocked()
 		if oldBest != nil && t.OnBestChange != nil {
 			t.OnBestChange(BestChange{Prefix: p, Old: oldBest})
 		}
-		return oldBest != nil
+		return true, oldBest != nil
 	}
 	// Copy-on-write removal preserves sorted order.
 	if e.routes[idx].PeerClass == ClassController {
@@ -318,8 +335,76 @@ func (t *Table) Remove(prefix netip.Prefix, peer netip.Addr) bool {
 	routes = append(routes, e.routes[idx+1:]...)
 	e.routes = routes
 	e.gen = t.version
-	t.notifyLocked()
-	return t.finishBest(p, oldBest, e)
+	return true, t.finishBest(p, oldBest, e)
+}
+
+// BatchOp is one mutation in an ApplyBatch call: an add/replace when
+// Route is non-nil, else a withdraw of (Prefix, Peer). Import policy is
+// NOT applied — callers pre-filter with Policy().Import, as the BMP
+// route store does.
+type BatchOp struct {
+	Route  *Route
+	Prefix netip.Prefix
+	Peer   netip.Addr
+}
+
+// BatchResult summarizes an ApplyBatch call.
+type BatchResult struct {
+	// Added counts routes inserted or replaced.
+	Added int
+	// Removed counts withdraw ops that matched a stored route.
+	Removed int
+	// BestChanged counts ops that changed a prefix's best route.
+	BestChanged int
+	// WithdrawBestChanged is the subset of BestChanged from withdraw
+	// ops (what Remove would have reported op by op).
+	WithdrawBestChanged int
+}
+
+// ApplyBatch applies a sequence of route mutations under one write-lock
+// acquisition, notifying waiters once at the end. This is the BMP dump
+// absorption path: replaying a full table one Add at a time makes every
+// route pay lock handoff and waiter wakeup, and a ~1M-route dump can
+// starve concurrent snapshot readers; batching bounds that to one
+// acquisition per batch. Each op still takes its own table version and
+// journal slot, so ChangedSince consumers see the same per-prefix dirty
+// stream (or the same overflow-to-full-scan signal) as with single
+// mutations.
+func (t *Table) ApplyBatch(ops []BatchOp) BatchResult {
+	var res BatchResult
+	if len(ops) == 0 {
+		return res
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	mutated := false
+	for i := range ops {
+		op := &ops[i]
+		if op.Route != nil {
+			if !op.Route.Prefix.IsValid() {
+				continue
+			}
+			if t.addLocked(op.Route) {
+				res.BestChanged++
+			}
+			res.Added++
+			mutated = true
+			continue
+		}
+		removed, bestChanged := t.removeLocked(op.Prefix, op.Peer)
+		if removed {
+			res.Removed++
+			mutated = true
+		}
+		if bestChanged {
+			res.BestChanged++
+			res.WithdrawBestChanged++
+		}
+	}
+	if mutated {
+		t.notifyLocked()
+	}
+	return res
 }
 
 // RemovePeer withdraws every route learned from the given neighbor, as

@@ -1,0 +1,149 @@
+//go:build linux && (amd64 || arm64)
+
+package sflow
+
+import (
+	"net"
+	"syscall"
+	"unsafe"
+)
+
+// Batched UDP I/O via recvmmsg/sendmmsg: one syscall moves a burst of
+// datagrams, so per-packet syscall overhead stops dominating the ingest
+// path at high sample rates. The wrappers integrate with the runtime
+// netpoller through SyscallConn — sockets stay nonblocking and readers
+// park in the poller between bursts instead of spinning.
+
+// batchIOSupported reports whether this platform has the mmsg syscalls.
+const batchIOSupported = true
+
+// readBatchSize is how many datagrams one recvmmsg call can return.
+// Bursts larger than this just take another syscall.
+const readBatchSize = 32
+
+// mmsghdr mirrors struct mmsghdr: a msghdr plus the kernel-filled
+// received length.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	n   uint32
+	_   [4]byte
+}
+
+// batchReader owns the reusable buffers and headers for recvmmsg on one
+// socket. Not safe for concurrent use; each reader goroutine gets its
+// own.
+type batchReader struct {
+	rc   syscall.RawConn
+	bufs [][]byte
+	iovs []syscall.Iovec
+	hdrs []mmsghdr
+}
+
+// newBatchReader prepares a recvmmsg reader over c, or returns an error
+// if the conn does not expose a raw descriptor.
+func newBatchReader(conn net.PacketConn) (*batchReader, error) {
+	uc, ok := conn.(*net.UDPConn)
+	if !ok {
+		return nil, errNoRawConn
+	}
+	rc, err := uc.SyscallConn()
+	if err != nil {
+		return nil, err
+	}
+	b := &batchReader{
+		rc:   rc,
+		bufs: make([][]byte, readBatchSize),
+		iovs: make([]syscall.Iovec, readBatchSize),
+		hdrs: make([]mmsghdr, readBatchSize),
+	}
+	for i := range b.bufs {
+		b.bufs[i] = make([]byte, MaxDatagramLen)
+		b.iovs[i].Base = &b.bufs[i][0]
+		b.iovs[i].SetLen(MaxDatagramLen)
+		b.hdrs[i].hdr.Iov = &b.iovs[i]
+		b.hdrs[i].hdr.Iovlen = 1
+	}
+	return b, nil
+}
+
+// read blocks until at least one datagram arrives, then calls handle
+// for each datagram in the burst. It returns the error that ended the
+// socket (net.ErrClosed surfaces through the RawConn), or a transient
+// nil-with-zero-work for ignorable errnos.
+func (b *batchReader) read(handle func(p []byte)) error {
+	var n int
+	var errno syscall.Errno
+	err := b.rc.Read(func(fd uintptr) bool {
+		r1, _, e := syscall.Syscall6(sysRecvmmsg, fd,
+			uintptr(unsafe.Pointer(&b.hdrs[0])), uintptr(len(b.hdrs)),
+			uintptr(syscall.MSG_DONTWAIT), 0, 0)
+		if e == syscall.EAGAIN {
+			return false // park in the netpoller until readable
+		}
+		n, errno = int(r1), e
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	switch errno {
+	case 0:
+	case syscall.EINTR, syscall.ECONNREFUSED:
+		// Transient (signal, or ICMP error queued on the socket): skip.
+		return nil
+	default:
+		return errno
+	}
+	for i := 0; i < n; i++ {
+		handle(b.bufs[i][:b.hdrs[i].n])
+	}
+	return nil
+}
+
+// WriteBatch sends every packet in pkts over the connected UDP socket
+// with as few sendmmsg calls as it takes, and returns how many packets
+// the kernel accepted. Callers that need per-packet pacing should keep
+// batches to their burst size.
+func WriteBatch(c *net.UDPConn, pkts [][]byte) (int, error) {
+	rc, err := c.SyscallConn()
+	if err != nil {
+		return 0, err
+	}
+	iovs := make([]syscall.Iovec, len(pkts))
+	hdrs := make([]mmsghdr, len(pkts))
+	for i, p := range pkts {
+		if len(p) == 0 {
+			return 0, errEmptyPacket
+		}
+		iovs[i].Base = &p[0]
+		iovs[i].SetLen(len(p))
+		hdrs[i].hdr.Iov = &iovs[i]
+		hdrs[i].hdr.Iovlen = 1
+	}
+	sent := 0
+	for sent < len(hdrs) {
+		var n int
+		var errno syscall.Errno
+		werr := rc.Write(func(fd uintptr) bool {
+			r1, _, e := syscall.Syscall6(sysSendmmsg, fd,
+				uintptr(unsafe.Pointer(&hdrs[sent])), uintptr(len(hdrs)-sent),
+				uintptr(syscall.MSG_DONTWAIT), 0, 0)
+			if e == syscall.EAGAIN {
+				return false
+			}
+			n, errno = int(r1), e
+			return true
+		})
+		if werr != nil {
+			return sent, werr
+		}
+		if errno != 0 {
+			if errno == syscall.EINTR {
+				continue
+			}
+			return sent, errno
+		}
+		sent += n
+	}
+	return sent, nil
+}

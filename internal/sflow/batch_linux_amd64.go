@@ -1,0 +1,9 @@
+package sflow
+
+// The frozen syscall package predates sendmmsg (and its recvmmsg
+// constant is amd64-only), so the mmsg syscall numbers are pinned here
+// per architecture. They are ABI, fixed since Linux 3.0.
+const (
+	sysRecvmmsg = 299
+	sysSendmmsg = 307
+)

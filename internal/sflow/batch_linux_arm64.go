@@ -1,0 +1,8 @@
+package sflow
+
+// See batch_linux_amd64.go: mmsg syscall numbers pinned per
+// architecture because the frozen syscall package lacks them.
+const (
+	sysRecvmmsg = 243
+	sysSendmmsg = 269
+)

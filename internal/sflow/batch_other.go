@@ -1,0 +1,29 @@
+//go:build !(linux && (amd64 || arm64))
+
+package sflow
+
+import "net"
+
+// Fallback for platforms without the mmsg syscalls: reads go through
+// the portable one-datagram-per-syscall loop, and WriteBatch degrades
+// to sequential writes.
+
+const batchIOSupported = false
+
+type batchReader struct{}
+
+func newBatchReader(conn net.PacketConn) (*batchReader, error) {
+	return nil, errNoRawConn
+}
+
+func (b *batchReader) read(handle func(p []byte)) error { return errNoRawConn }
+
+// WriteBatch sends every packet with one write syscall each.
+func WriteBatch(c *net.UDPConn, pkts [][]byte) (int, error) {
+	for i, p := range pkts {
+		if _, err := c.Write(p); err != nil {
+			return i, err
+		}
+	}
+	return len(pkts), nil
+}

@@ -2,10 +2,10 @@ package sflow
 
 import (
 	"context"
-	"errors"
 	"net"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 )
 
 // Demux fans one sFlow ingest stream out to many collectors keyed by
@@ -13,19 +13,27 @@ import (
 // PoPs' routers all export to one UDP socket, and each datagram lands
 // in the collector of the PoP its agent belongs to. Safe for
 // concurrent use.
+//
+// Routing reads only the fixed-offset datagram header (PeekAgent); the
+// payload is decoded exactly once, by the owning collector's streaming
+// ingest. The agent table is copy-on-write — registration is rare,
+// lookup is per packet — so the hot path takes no lock in the demux at
+// all.
 type Demux struct {
-	mu      sync.RWMutex
-	byAgent map[netip.Addr]*Collector
+	mu      sync.Mutex // serializes Register/Unregister copy-on-write
+	byAgent atomic.Pointer[map[netip.Addr]*Collector]
 
-	statMu    sync.Mutex
-	malformed uint64 // undecodable datagrams
-	unknown   uint64 // datagrams from an unregistered agent
+	malformed atomic.Uint64 // undecodable datagrams
+	unknown   atomic.Uint64 // datagrams from an unregistered agent
 }
 
 // NewDemux returns an empty Demux; datagrams are dropped (and counted
 // unknown) until agents are registered.
 func NewDemux() *Demux {
-	return &Demux{byAgent: make(map[netip.Addr]*Collector)}
+	d := &Demux{}
+	m := make(map[netip.Addr]*Collector)
+	d.byAgent.Store(&m)
+	return d
 }
 
 // Register routes datagrams whose agent address is agent to c. A PoP
@@ -34,66 +42,74 @@ func NewDemux() *Demux {
 // binding.
 func (d *Demux) Register(agent netip.Addr, c *Collector) {
 	d.mu.Lock()
-	d.byAgent[agent.Unmap()] = c
-	d.mu.Unlock()
+	defer d.mu.Unlock()
+	old := *d.byAgent.Load()
+	next := make(map[netip.Addr]*Collector, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[agent.Unmap()] = c
+	d.byAgent.Store(&next)
 }
 
 // Unregister removes an agent binding (e.g. when a PoP is torn down).
 func (d *Demux) Unregister(agent netip.Addr) {
 	d.mu.Lock()
-	delete(d.byAgent, agent.Unmap())
-	d.mu.Unlock()
+	defer d.mu.Unlock()
+	old := *d.byAgent.Load()
+	next := make(map[netip.Addr]*Collector, len(old))
+	for k, v := range old {
+		if k != agent.Unmap() {
+			next[k] = v
+		}
+	}
+	d.byAgent.Store(&next)
 }
 
-// SendDatagram implements Sink: decode the datagram header once and
-// hand the whole datagram to the owning PoP's collector. A datagram
-// from an unregistered agent is dropped and counted, never delivered
-// to another PoP — isolation is the point.
+// SendDatagram implements Sink: peek the agent address off the fixed
+// header and hand the datagram to the owning PoP's collector, which
+// streaming-decodes it exactly once. A datagram from an unregistered
+// agent is dropped and counted, never delivered to another PoP —
+// isolation is the point.
 func (d *Demux) SendDatagram(b []byte) error {
-	dg, err := Decode(b)
+	agent, err := PeekAgent(b)
 	if err != nil {
-		d.statMu.Lock()
-		d.malformed++
-		d.statMu.Unlock()
+		d.malformed.Add(1)
 		return err
 	}
-	d.mu.RLock()
-	c := d.byAgent[dg.Agent.Unmap()]
-	d.mu.RUnlock()
+	c := (*d.byAgent.Load())[agent.Unmap()]
 	if c == nil {
-		d.statMu.Lock()
-		d.unknown++
-		d.statMu.Unlock()
+		d.unknown.Add(1)
 		return nil
 	}
-	c.Ingest(dg)
+	if err := c.SendDatagram(b); err != nil {
+		d.malformed.Add(1)
+		return err
+	}
 	return nil
 }
 
 // ServeUDP ingests datagrams from conn until ctx ends or the socket
-// fails, demuxing each to its PoP's collector. The fleet host runs one
-// of these for the whole process.
+// fails, demuxing each to its PoP's collector over DefaultReaders
+// reader goroutines. The fleet host runs one of these for the whole
+// process.
 func (d *Demux) ServeUDP(ctx context.Context, conn net.PacketConn) error {
-	stop := context.AfterFunc(ctx, func() { conn.Close() })
-	defer stop()
-	buf := make([]byte, MaxDatagramLen)
-	for {
-		n, _, err := conn.ReadFrom(buf)
-		if err != nil {
-			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
-				return nil
-			}
-			return err
-		}
+	return d.ServeUDPConns(ctx, []net.PacketConn{conn}, DefaultReaders())
+}
+
+// ServeUDPConns ingests from a reader pool spread across conns (as
+// returned by ListenUDP) until ctx ends or a socket fails. At least one
+// reader serves each conn; readers beyond len(conns) share sockets
+// round-robin.
+func (d *Demux) ServeUDPConns(ctx context.Context, conns []net.PacketConn, readers int) error {
+	return servePacketConns(ctx, conns, readers, func(b []byte) {
 		// Malformed datagrams are counted by SendDatagram, not fatal.
-		_ = d.SendDatagram(buf[:n])
-	}
+		_ = d.SendDatagram(b)
+	})
 }
 
 // Stats reports malformed (undecodable) datagrams and datagrams from
 // unregistered agents.
 func (d *Demux) Stats() (malformed, unknownAgent uint64) {
-	d.statMu.Lock()
-	defer d.statMu.Unlock()
-	return d.malformed, d.unknown
+	return d.malformed.Load(), d.unknown.Load()
 }

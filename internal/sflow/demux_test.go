@@ -65,6 +65,16 @@ func TestDemuxRoutesByAgent(t *testing.T) {
 	if malformed, _ := d.Stats(); malformed != 1 {
 		t.Errorf("malformed = %d, want 1", malformed)
 	}
+
+	// A routable header with a corrupt payload: the owning collector's
+	// streaming decode fails, and the demux counts it malformed too.
+	good := demuxDatagram(t, "10.255.1.1", "198.51.100.9")
+	if err := d.SendDatagram(good[:len(good)-3]); err == nil {
+		t.Error("corrupt payload ingested cleanly")
+	}
+	if malformed, _ := d.Stats(); malformed != 2 {
+		t.Errorf("malformed = %d, want 2", malformed)
+	}
 }
 
 func TestDemuxUnregister(t *testing.T) {

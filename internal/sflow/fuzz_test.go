@@ -5,8 +5,11 @@ import (
 	"testing"
 )
 
-// FuzzDecode drives the sFlow decoder with arbitrary bytes: no panics,
-// and decoded datagrams round-trip exactly.
+// FuzzDecode drives the sFlow decoders with arbitrary bytes: no panics,
+// decoded datagrams round-trip exactly, and the structured and
+// streaming decoders agree — same error/no-error outcome, same header,
+// and the same sample/record sequences (differential fuzzing, since the
+// hot path uses DecodeStream while tests and tooling use Decode).
 func FuzzDecode(f *testing.F) {
 	b, err := MarshalBytes(testDatagram())
 	if err != nil {
@@ -16,9 +19,52 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		d, err := Decode(data)
+
+		// Differential check against the streaming walk. On error the
+		// stream may have visited a well-formed prefix of the datagram,
+		// so sequences only have to match on success.
+		var (
+			samples []FlowSample
+			rates   []uint32
+		)
+		hdr, serr := DecodeStream(data,
+			func(sh SampleHeader) {
+				samples = append(samples, FlowSample{Seq: sh.Seq, SamplingRate: sh.SamplingRate, SamplePool: sh.SamplePool})
+			},
+			func(rec FlowRecord, rate uint32) {
+				s := &samples[len(samples)-1]
+				s.Records = append(s.Records, rec)
+				rates = append(rates, rate)
+			},
+		)
+		if (err == nil) != (serr == nil) {
+			t.Fatalf("decoders disagree: Decode err=%v, DecodeStream err=%v", err, serr)
+		}
 		if err != nil {
 			return
 		}
+		if hdr.Agent != d.Agent || hdr.SubAgent != d.SubAgent || hdr.Seq != d.Seq || hdr.UptimeMS != d.UptimeMS {
+			t.Fatalf("headers disagree: stream %+v, decode %+v", hdr, d)
+		}
+		if len(samples) != len(d.Samples) {
+			t.Fatalf("sample counts disagree: stream %d, decode %d", len(samples), len(d.Samples))
+		}
+		ri := 0
+		for i := range samples {
+			if !reflect.DeepEqual(samples[i], d.Samples[i]) {
+				t.Fatalf("sample %d disagrees:\nstream %+v\ndecode %+v", i, samples[i], d.Samples[i])
+			}
+			for range samples[i].Records {
+				if rates[ri] != samples[i].SamplingRate {
+					t.Fatalf("record %d got sampling rate %d, want %d", ri, rates[ri], samples[i].SamplingRate)
+				}
+				ri++
+			}
+		}
+		if a, perr := PeekAgent(data); perr != nil || a != d.Agent {
+			t.Fatalf("PeekAgent = %v, %v; want %v", a, perr, d.Agent)
+		}
+
 		re, err := MarshalBytes(d)
 		if err != nil {
 			t.Fatalf("decoded datagram fails to re-encode: %v", err)

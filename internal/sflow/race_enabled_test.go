@@ -1,0 +1,9 @@
+//go:build race
+
+package sflow
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race. The race detector perturbs allocation counts (sync.Pool
+// deliberately drops puts under race), so exact zero-alloc assertions
+// only hold in regular builds.
+const raceDetectorEnabled = true

@@ -1,0 +1,6 @@
+//go:build darwin || freebsd || netbsd || openbsd || dragonfly
+
+package sflow
+
+// soReusePort is SO_REUSEPORT on the BSD socket families.
+const soReusePort = 0x200

@@ -1,0 +1,6 @@
+//go:build linux
+
+package sflow
+
+// soReusePort is SO_REUSEPORT; the frozen syscall package predates it.
+const soReusePort = 0xf

@@ -1,0 +1,13 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd || dragonfly)
+
+package sflow
+
+import "syscall"
+
+// reusePortSupported is false here: ListenUDP falls back to one shared
+// socket served by multiple readers.
+const reusePortSupported = false
+
+func reusePortControl(network, address string, c syscall.RawConn) error {
+	return nil
+}

@@ -1,0 +1,21 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package sflow
+
+import "syscall"
+
+// reusePortSupported reports whether ListenUDP can bind multiple
+// sockets to one port and let the kernel spread datagrams across them.
+const reusePortSupported = true
+
+// reusePortControl sets SO_REUSEPORT on the socket before bind, for use
+// as a net.ListenConfig.Control hook.
+func reusePortControl(network, address string, c syscall.RawConn) error {
+	var serr error
+	if err := c.Control(func(fd uintptr) {
+		serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+	}); err != nil {
+		return err
+	}
+	return serr
+}

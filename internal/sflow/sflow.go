@@ -138,99 +138,31 @@ func encodeAddr(w *wire.Writer, a netip.Addr) error {
 	return nil
 }
 
-func decodeAddr(r *wire.Reader) (netip.Addr, error) {
-	switch t := r.Uint32(); t {
-	case addrTypeIPv4:
-		var a [4]byte
-		copy(a[:], r.Bytes(4))
-		if r.Err() != nil {
-			return netip.Addr{}, r.Err()
-		}
-		return netip.AddrFrom4(a), nil
-	case addrTypeIPv6:
-		var a [16]byte
-		copy(a[:], r.Bytes(16))
-		if r.Err() != nil {
-			return netip.Addr{}, r.Err()
-		}
-		return netip.AddrFrom16(a), nil
-	default:
-		return netip.Addr{}, fmt.Errorf("%w: address type %d", ErrBadFormat, t)
-	}
-}
-
-// Decode decodes one datagram.
+// Decode decodes one datagram into its structured form. It is a thin
+// wrapper over DecodeStream — the allocation-free path the ingest hot
+// loop uses directly — kept for callers that want the whole datagram as
+// a value (tests, tooling, the simulator's assertions).
 func Decode(b []byte) (*Datagram, error) {
-	if len(b) > MaxDatagramLen {
-		return nil, fmt.Errorf("%w: %d bytes", ErrBadFormat, len(b))
-	}
-	r := wire.NewReader(b)
-	if v := r.Uint32(); v != Version {
-		if r.Err() != nil {
-			return nil, fmt.Errorf("%w: truncated header", ErrBadFormat)
-		}
-		return nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
-	}
 	d := &Datagram{}
-	agent, err := decodeAddr(r)
+	hdr, err := DecodeStream(b,
+		func(sh SampleHeader) {
+			d.Samples = append(d.Samples, FlowSample{
+				Seq:          sh.Seq,
+				SamplingRate: sh.SamplingRate,
+				SamplePool:   sh.SamplePool,
+			})
+		},
+		func(rec FlowRecord, _ uint32) {
+			s := &d.Samples[len(d.Samples)-1]
+			s.Records = append(s.Records, rec)
+		},
+	)
 	if err != nil {
 		return nil, err
 	}
-	d.Agent = agent
-	d.SubAgent = r.Uint32()
-	d.Seq = r.Uint32()
-	d.UptimeMS = r.Uint32()
-	n := int(r.Uint32())
-	if r.Err() != nil {
-		return nil, fmt.Errorf("%w: header: %v", ErrBadFormat, r.Err())
-	}
-	if n > MaxDatagramLen/24 {
-		return nil, fmt.Errorf("%w: implausible sample count %d", ErrBadFormat, n)
-	}
-	for i := 0; i < n; i++ {
-		styp := r.Uint32()
-		slen := int(r.Uint32())
-		sr := r.Sub(slen)
-		if r.Err() != nil {
-			return nil, fmt.Errorf("%w: sample %d: %v", ErrBadFormat, i, r.Err())
-		}
-		if styp != sampleTypeFlow {
-			continue // skip unknown sample types, per sFlow practice
-		}
-		var s FlowSample
-		s.Seq = sr.Uint32()
-		s.SamplingRate = sr.Uint32()
-		s.SamplePool = sr.Uint32()
-		nrec := int(sr.Uint32())
-		if sr.Err() != nil {
-			return nil, fmt.Errorf("%w: sample %d header", ErrBadFormat, i)
-		}
-		if nrec > MaxDatagramLen/16 {
-			return nil, fmt.Errorf("%w: implausible record count %d", ErrBadFormat, nrec)
-		}
-		for j := 0; j < nrec; j++ {
-			rtyp := sr.Uint32()
-			rlen := int(sr.Uint32())
-			rr := sr.Sub(rlen)
-			if sr.Err() != nil {
-				return nil, fmt.Errorf("%w: record %d/%d", ErrBadFormat, i, j)
-			}
-			if rtyp != recordTypeFlow {
-				continue
-			}
-			dst, err := decodeAddr(rr)
-			if err != nil {
-				return nil, fmt.Errorf("%w: record %d/%d addr: %v", ErrBadFormat, i, j, err)
-			}
-			rec := FlowRecord{Dst: dst}
-			rec.FrameLen = rr.Uint32()
-			rec.EgressIF = rr.Uint32()
-			if rr.Err() != nil {
-				return nil, fmt.Errorf("%w: record %d/%d body", ErrBadFormat, i, j)
-			}
-			s.Records = append(s.Records, rec)
-		}
-		d.Samples = append(d.Samples, s)
-	}
+	d.Agent = hdr.Agent
+	d.SubAgent = hdr.SubAgent
+	d.Seq = hdr.Seq
+	d.UptimeMS = hdr.UptimeMS
 	return d, nil
 }

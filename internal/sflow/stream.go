@@ -1,0 +1,203 @@
+package sflow
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// This file is the zero-allocation decode path: DecodeStream walks a
+// datagram in place over the wire buffer — no *Datagram, no sample or
+// record slices, no sub-readers — invoking caller callbacks per sample
+// and per record. Decode (sflow.go) is a thin wrapper that rebuilds the
+// structured form for callers that want it; the ingest hot path
+// (Collector.SendDatagram, Demux) never does.
+
+// DatagramHeader is the fixed per-datagram header DecodeStream returns.
+type DatagramHeader struct {
+	// Agent identifies the exporting router.
+	Agent netip.Addr
+	// SubAgent distinguishes exporters within one router.
+	SubAgent uint32
+	// Seq is the datagram sequence number.
+	Seq uint32
+	// UptimeMS is the agent uptime in milliseconds.
+	UptimeMS uint32
+}
+
+// SampleHeader is the fixed per-flow-sample header passed to the
+// onSample callback.
+type SampleHeader struct {
+	// Seq is the per-source sample sequence number.
+	Seq uint32
+	// SamplingRate is the 1-in-N rate the sample's records were taken at.
+	SamplingRate uint32
+	// SamplePool is the total number of frames the sampler saw.
+	SamplePool uint32
+}
+
+// streamCursor walks a byte slice with latched bounds failure, like
+// wire.Reader but embeddable on the stack: sub-extents are plain
+// re-slices, so a whole datagram decodes with zero heap allocation.
+type streamCursor struct {
+	b    []byte
+	off  int
+	fail bool
+}
+
+func (c *streamCursor) u32() uint32 {
+	if c.fail || c.off+4 > len(c.b) {
+		c.fail = true
+		return 0
+	}
+	v := binary.BigEndian.Uint32(c.b[c.off:])
+	c.off += 4
+	return v
+}
+
+// sub consumes the next n bytes and returns them as a sub-extent slice
+// (nil and latched failure when out of bounds or n is implausible).
+func (c *streamCursor) sub(n int) []byte {
+	if c.fail || n < 0 || c.off+n > len(c.b) {
+		c.fail = true
+		return nil
+	}
+	v := c.b[c.off : c.off+n]
+	c.off += n
+	return v
+}
+
+// addr decodes an sFlow address (type word + 4 or 16 bytes).
+func (c *streamCursor) addr() netip.Addr {
+	switch t := c.u32(); t {
+	case addrTypeIPv4:
+		if c.fail || c.off+4 > len(c.b) {
+			c.fail = true
+			return netip.Addr{}
+		}
+		a := netip.AddrFrom4([4]byte(c.b[c.off : c.off+4]))
+		c.off += 4
+		return a
+	case addrTypeIPv6:
+		if c.fail || c.off+16 > len(c.b) {
+			c.fail = true
+			return netip.Addr{}
+		}
+		a := netip.AddrFrom16([16]byte(c.b[c.off : c.off+16]))
+		c.off += 16
+		return a
+	default:
+		c.fail = true
+		return netip.Addr{}
+	}
+}
+
+// DecodeStream decodes one datagram in place, calling onSample once per
+// flow sample and onRecord once per flow record with the enclosing
+// sample's sampling rate. Either callback may be nil. Unknown sample and
+// record types are skipped without being parsed, per sFlow practice.
+// The callbacks run as the buffer is walked; on a malformed datagram
+// they may have fired for a well-formed prefix of it before the error
+// is returned, so callers needing all-or-nothing semantics must stage
+// side effects until DecodeStream returns (Collector.SendDatagram does).
+//
+// DecodeStream performs no heap allocation: the hot ingest path runs it
+// per packet at line rate.
+func DecodeStream(b []byte, onSample func(SampleHeader), onRecord func(FlowRecord, uint32)) (DatagramHeader, error) {
+	var hdr DatagramHeader
+	if len(b) > MaxDatagramLen {
+		return hdr, fmt.Errorf("%w: %d bytes", ErrBadFormat, len(b))
+	}
+	r := streamCursor{b: b}
+	if v := r.u32(); v != Version {
+		if r.fail {
+			return hdr, fmt.Errorf("%w: truncated header", ErrBadFormat)
+		}
+		return hdr, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	hdr.Agent = r.addr()
+	if r.fail {
+		return hdr, fmt.Errorf("%w: agent address", ErrBadFormat)
+	}
+	hdr.SubAgent = r.u32()
+	hdr.Seq = r.u32()
+	hdr.UptimeMS = r.u32()
+	n := int(r.u32())
+	if r.fail {
+		return hdr, fmt.Errorf("%w: truncated header", ErrBadFormat)
+	}
+	if n > MaxDatagramLen/24 {
+		return hdr, fmt.Errorf("%w: implausible sample count %d", ErrBadFormat, n)
+	}
+	for i := 0; i < n; i++ {
+		styp := r.u32()
+		slen := int(r.u32())
+		sb := r.sub(slen)
+		if r.fail {
+			return hdr, fmt.Errorf("%w: sample %d truncated", ErrBadFormat, i)
+		}
+		if styp != sampleTypeFlow {
+			continue // skip unknown sample types, per sFlow practice
+		}
+		sr := streamCursor{b: sb}
+		var sh SampleHeader
+		sh.Seq = sr.u32()
+		sh.SamplingRate = sr.u32()
+		sh.SamplePool = sr.u32()
+		nrec := int(sr.u32())
+		if sr.fail {
+			return hdr, fmt.Errorf("%w: sample %d header", ErrBadFormat, i)
+		}
+		if nrec > MaxDatagramLen/16 {
+			return hdr, fmt.Errorf("%w: implausible record count %d", ErrBadFormat, nrec)
+		}
+		if onSample != nil {
+			onSample(sh)
+		}
+		for j := 0; j < nrec; j++ {
+			rtyp := sr.u32()
+			rlen := int(sr.u32())
+			rb := sr.sub(rlen)
+			if sr.fail {
+				return hdr, fmt.Errorf("%w: record %d/%d truncated", ErrBadFormat, i, j)
+			}
+			if rtyp != recordTypeFlow {
+				continue
+			}
+			rr := streamCursor{b: rb}
+			var rec FlowRecord
+			rec.Dst = rr.addr()
+			rec.FrameLen = rr.u32()
+			rec.EgressIF = rr.u32()
+			if rr.fail {
+				return hdr, fmt.Errorf("%w: record %d/%d body", ErrBadFormat, i, j)
+			}
+			if onRecord != nil {
+				onRecord(rec, sh.SamplingRate)
+			}
+		}
+	}
+	return hdr, nil
+}
+
+// PeekAgent reads only the fixed-offset datagram header — version word
+// plus agent address — without touching the samples. The fleet demux
+// uses it to route a datagram to its PoP's collector before (and
+// instead of) any payload decode.
+func PeekAgent(b []byte) (netip.Addr, error) {
+	if len(b) > MaxDatagramLen {
+		return netip.Addr{}, fmt.Errorf("%w: %d bytes", ErrBadFormat, len(b))
+	}
+	r := streamCursor{b: b}
+	if v := r.u32(); v != Version {
+		if r.fail {
+			return netip.Addr{}, fmt.Errorf("%w: truncated header", ErrBadFormat)
+		}
+		return netip.Addr{}, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	a := r.addr()
+	if r.fail {
+		return netip.Addr{}, fmt.Errorf("%w: agent address", ErrBadFormat)
+	}
+	return a, nil
+}

@@ -1,0 +1,171 @@
+package sflow
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func TestPeekAgent(t *testing.T) {
+	d := testDatagram()
+	b, err := MarshalBytes(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := PeekAgent(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != d.Agent {
+		t.Errorf("agent = %v, want %v", a, d.Agent)
+	}
+
+	// A v6 agent takes the 16-byte branch.
+	d.Agent = netip.MustParseAddr("2001:db8::1")
+	b, err = MarshalBytes(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, err = PeekAgent(b); err != nil || a != d.Agent {
+		t.Errorf("v6 agent = %v, %v", a, err)
+	}
+
+	// PeekAgent must reject what Decode rejects at the header.
+	if _, err := PeekAgent([]byte{0, 1, 2}); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := PeekAgent(nil); err == nil {
+		t.Error("empty accepted")
+	}
+	bad, _ := MarshalBytes(testDatagram())
+	bad[3] = 99
+	if _, err := PeekAgent(bad); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+// TestPeekAgentIgnoresPayload pins the point of PeekAgent: routing must
+// not depend on the payload decoding, only on the fixed header.
+func TestPeekAgentIgnoresPayload(t *testing.T) {
+	b, err := MarshalBytes(testDatagram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the tail: full decode fails, header peek still routes.
+	b[len(b)-1] ^= 0xff
+	b = b[:len(b)-3]
+	if _, err := Decode(b); err == nil {
+		t.Fatal("corrupted payload decoded cleanly; test needs a better corruption")
+	}
+	a, err := PeekAgent(b)
+	if err != nil {
+		t.Fatalf("PeekAgent on corrupted payload: %v", err)
+	}
+	if want := netip.MustParseAddr("10.0.0.1"); a != want {
+		t.Errorf("agent = %v, want %v", a, want)
+	}
+}
+
+func TestDecodeStreamSkipsUnknownTypes(t *testing.T) {
+	// Hand-build a datagram with an unknown sample type and, inside a
+	// known sample, an unknown record type: both must be skipped without
+	// being parsed and without error.
+	var b []byte
+	u32 := func(v uint32) { b = append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v)) }
+	u32(Version)
+	u32(addrTypeIPv4)
+	b = append(b, 10, 0, 0, 1)
+	u32(7)  // subagent
+	u32(8)  // seq
+	u32(9)  // uptime
+	u32(2)  // two samples
+	u32(99) // unknown sample type
+	u32(4)  // its length
+	u32(0xdeadbeef)
+	u32(sampleTypeFlow)
+	u32(4 * 4) // header only, zero records... then one unknown record
+	u32(1)     // seq
+	u32(100)   // rate
+	u32(5)     // pool
+	u32(1)     // one record
+	// Fix up: the sample body needs the record too; rebuild length.
+	// sample body = 4*4 header + record (type+len+4 payload) = 16+12.
+	b = b[:len(b)-5*4]
+	u32(16 + 12)
+	u32(1)   // seq
+	u32(100) // rate
+	u32(5)   // pool
+	u32(1)   // one record
+	u32(42)  // unknown record type
+	u32(4)   // record length
+	u32(0xcafe)
+
+	var nsamples, nrecords int
+	hdr, err := DecodeStream(b,
+		func(SampleHeader) { nsamples++ },
+		func(FlowRecord, uint32) { nrecords++ },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.SubAgent != 7 || hdr.Seq != 8 {
+		t.Errorf("header = %+v", hdr)
+	}
+	if nsamples != 1 {
+		t.Errorf("samples visited = %d, want 1 (unknown type must be skipped)", nsamples)
+	}
+	if nrecords != 0 {
+		t.Errorf("records visited = %d, want 0 (unknown type must be skipped)", nrecords)
+	}
+}
+
+// TestDecodeStreamZeroAlloc pins the whole point of the streaming
+// decoder: no heap allocation per datagram.
+func TestDecodeStreamZeroAlloc(t *testing.T) {
+	b, err := MarshalBytes(testDatagram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	allocs := testing.AllocsPerRun(200, func() {
+		_, err := DecodeStream(b, nil, func(rec FlowRecord, rate uint32) {
+			total += uint64(rec.FrameLen) * uint64(rate)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("DecodeStream allocates %.1f objects per datagram, want 0", allocs)
+	}
+	if total == 0 {
+		t.Error("no records visited")
+	}
+}
+
+// TestCollectorSendDatagramZeroAlloc pins the full ingest hot path —
+// streaming decode, prefix mapping, shard staging, commit — at zero
+// steady-state allocations.
+func TestCollectorSendDatagramZeroAlloc(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("race detector perturbs allocation counts (sync.Pool drops puts)")
+	}
+	c := NewCollector(CollectorConfig{Mapper: fixedMapper{}, Shards: 4})
+	b, err := MarshalBytes(testDatagram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up: bucket maps, scratch pool, staging slices.
+	for i := 0; i < 16; i++ {
+		if err := c.SendDatagram(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := c.SendDatagram(b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("SendDatagram allocates %.1f objects per datagram, want 0", allocs)
+	}
+}

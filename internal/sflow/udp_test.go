@@ -71,3 +71,77 @@ func TestNewUDPSinkBadAddr(t *testing.T) {
 		t.Error("expected resolve error")
 	}
 }
+
+// TestBatchRoundTrip drives a burst through WriteBatch into a
+// multi-reader pool (the recvmmsg path on Linux, the portable loop
+// elsewhere) and checks every datagram arrives intact.
+func TestBatchRoundTrip(t *testing.T) {
+	conns, err := ListenUDP("127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector(CollectorConfig{Mapper: fixedMapper{}, Readers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- col.ServeUDPConns(ctx, conns) }()
+
+	raddr, err := net.Dial("udp", conns[0].LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raddr.Close()
+	b, err := MarshalBytes(testDatagram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 100
+	pkts := make([][]byte, total)
+	for i := range pkts {
+		pkts[i] = b
+	}
+	// Larger than one recvmmsg burst, so the reader needs several calls.
+	n, err := WriteBatch(raddr.(*net.UDPConn), pkts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != total {
+		t.Fatalf("WriteBatch sent %d, want %d", n, total)
+	}
+
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if d, _, _ := col.Stats(); d >= total {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if d, m, _ := col.Stats(); d != total || m != 0 {
+		t.Fatalf("decoded %d (malformed %d), want %d clean", d, m, total)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("ServeUDPConns after cancel = %v", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("ServeUDPConns did not return on cancel")
+	}
+}
+
+// TestWriteBatchEmptyPacket pins the zero-length send rejection.
+func TestWriteBatchEmptyPacket(t *testing.T) {
+	if !batchIOSupported {
+		t.Skip("portable WriteBatch sends empty datagrams via conn.Write")
+	}
+	conn, err := net.Dial("udp", "127.0.0.1:9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := WriteBatch(conn.(*net.UDPConn), [][]byte{{1}, {}}); err == nil {
+		t.Error("expected error for empty packet")
+	}
+}

@@ -30,7 +30,7 @@ go test -race ./...
 echo "==> hot-path benchmarks -> BENCH_hotpath.json"
 benchout=$(mktemp)
 go test -run '^$' \
-  -bench='^(BenchmarkProject50k|BenchmarkTableRoutesSorted|BenchmarkRunCycleSteadyState|BenchmarkRunCycleSteadyStateNoTrace)$' \
+  -bench='^(BenchmarkProject50k|BenchmarkTableRoutesSorted|BenchmarkRunCycleSteadyState|BenchmarkRunCycleSteadyStateNoTrace|BenchmarkIngestDatagram|BenchmarkDecodeStream)$' \
   -benchtime=3x -count=2 -benchmem . | tee "$benchout"
 awk -v gover="$(go env GOVERSION)" '
 /^Benchmark/ {

@@ -1,5 +1,6 @@
 // Command efbench regenerates every experiment in EXPERIMENTS.md
-// (E1–E10, FLEET, E13, plus E14 when named explicitly via -only):
+// (E1–E10, FLEET, E13, E16, plus E14/E15 when named explicitly via
+// -only):
 // it builds the synthetic PoP scenario at the requested scale,
 // runs the plain-BGP baseline and the Edge-Fabric-controlled arms over
 // simulated days, and prints each experiment's rows. The output of
@@ -178,6 +179,33 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Fprint(w, res.String(), "\n")
+	}
+
+	if want("E16") {
+		// Chaos soak: ≥500 cycles of seeded composed chaos with every
+		// invariant checked per cycle, then the intentionally-broken
+		// control arm (fail-static disabled under a blackout) proving the
+		// checker actually detects the regressions the soak guards.
+		sb := withController(base, true)
+		sb.Start = time.Date(2017, 3, 1, 18, 0, 0, 0, time.UTC) // span the evening peak
+		res, err := exp.E16ChaosSoak(ctx, exp.SoakConfig{
+			Base: sb, Seed: *seed, Cycles: 500,
+			Logf: func(format string, args ...any) { log.Printf(format, args...) },
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprint(w, res.String(), "\n")
+		ctrl, err := exp.E16ControlArm(ctx, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "E16 control arm (fail-static disabled; violations EXPECTED): %d violations\n",
+			len(ctrl.Violations))
+		if len(ctrl.Violations) == 0 {
+			log.Fatal("E16 control arm reported no violations: the checker is blind")
+		}
+		fmt.Fprint(w, ctrl.String(), "\n")
 	}
 
 	// E15 also skips the wire harness: it saturates the telemetry

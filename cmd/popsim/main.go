@@ -127,6 +127,19 @@ func main() {
 		defer udp.Close()
 		sink = udp
 	}
+	// A scenario with a scheduled timeline gets a lossy sFlow wrapper so
+	// sflow-loss events have a scriptable drop point; without --sflow the
+	// wrapper feeds a discard sink (the loss events become no-ops but the
+	// timeline still validates and runs).
+	var loss *netsim.LossySink
+	if len(sc.Events) > 0 {
+		inner := sink
+		if inner == nil {
+			inner = discardSink{}
+		}
+		loss = netsim.NewLossySink(inner, *seed)
+		sink = loss
+	}
 
 	var logf func(string, ...any)
 	if *verbose {
@@ -155,6 +168,26 @@ func main() {
 	}
 	log.Printf("PoP %s converged: %d routes for %d prefixes from %d neighbors",
 		sc.Topo.Name, pop.Table.RouteCount(), len(sc.Prefixes), len(sc.Topo.Peers))
+
+	// Scheduled event timeline (from the scenario file's "events" list):
+	// the engine applies and reverts demand, topology, and fault events
+	// against the live PoP as virtual time crosses each offset.
+	var events *netsim.EventEngine
+	if len(sc.Events) > 0 {
+		events, err = netsim.NewEventEngine(netsim.EventEngineConfig{
+			Start:  clock.Now(),
+			Events: sc.Events,
+			PoP:    pop,
+			Demand: demand,
+			Loss:   loss,
+			Logf:   log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("events: %v", err)
+		}
+		log.Printf("event timeline armed (%d events):\n%s",
+			len(sc.Events), netsim.FormatTimeline(events.Timeline()))
+	}
 
 	// Controller attachment points.
 	invFile := &core.InventoryFile{PoP: sc.Topo.Name, LocalAS: sc.Topo.LocalAS}
@@ -239,6 +272,9 @@ func main() {
 			return
 		case <-ticker.C:
 		}
+		if events != nil {
+			events.Advance(clock.Now())
+		}
 		stats := pop.Plane.Tick(clock.Now(), virtTick)
 		clock.Advance(virtTick)
 		if time.Since(lastReport) >= *report {
@@ -247,6 +283,12 @@ func main() {
 		}
 	}
 }
+
+// discardSink drops every sFlow datagram; it backs the loss wrapper
+// when no --sflow destination is configured.
+type discardSink struct{}
+
+func (discardSink) SendDatagram([]byte) error { return nil }
 
 // parseFlash parses "afterMinutes:durationMinutes:multiplier" into a
 // flash event on the scenario's biggest private-peered AS.

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
+	"sync"
 
 	"edgefabric/internal/rib"
 )
@@ -65,7 +66,13 @@ type InterfaceInfo struct {
 // and a peering database; the simulator derives it from its topology.
 type Inventory struct {
 	peers map[netip.Addr]PeerInfo
-	ifs   map[int]InterfaceInfo
+
+	// mu guards ifs: interface capacity is mutable at runtime (drain and
+	// brownout events re-rate ports, mirroring what production learns
+	// from SNMP). The peers map stays immutable after construction — BMP
+	// feed goroutines read it unlocked.
+	mu  sync.RWMutex
+	ifs map[int]InterfaceInfo
 }
 
 // NewInventory builds an Inventory, validating referential integrity.
@@ -134,16 +141,38 @@ func (inv *Inventory) PeerAddrsOnRouter(router string) []netip.Addr {
 
 // InterfaceByID returns the inventory record for an interface.
 func (inv *Inventory) InterfaceByID(id int) (InterfaceInfo, bool) {
+	inv.mu.RLock()
 	i, ok := inv.ifs[id]
+	inv.mu.RUnlock()
 	return i, ok
+}
+
+// SetInterfaceCapacity updates an interface's capacity at runtime — the
+// inventory-side mirror of a netsim drain/brownout event (production
+// would learn the same from SNMP re-polling a degraded LAG).
+func (inv *Inventory) SetInterfaceCapacity(id int, bps float64) error {
+	if bps <= 0 {
+		return fmt.Errorf("core: interface %d: capacity must be positive", id)
+	}
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	i, ok := inv.ifs[id]
+	if !ok {
+		return fmt.Errorf("core: unknown interface %d", id)
+	}
+	i.CapacityBps = bps
+	inv.ifs[id] = i
+	return nil
 }
 
 // Interfaces returns all interfaces sorted by ID.
 func (inv *Inventory) Interfaces() []InterfaceInfo {
+	inv.mu.RLock()
 	out := make([]InterfaceInfo, 0, len(inv.ifs))
 	for _, i := range inv.ifs {
 		out = append(out, i)
 	}
+	inv.mu.RUnlock()
 	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
 	return out
 }

@@ -91,9 +91,13 @@ type Harness struct {
 	Loss      *netsim.LossySink
 	Measurer  *altpath.Measurer // nil unless PerfAware or built by an experiment
 	Inventory *core.Inventory
+	// Events, when attached, is advanced by Step before every tick; see
+	// AttachEvents.
+	Events *netsim.EventEngine
 
-	cancel context.CancelFunc
-	ticks  int
+	cancel          context.CancelFunc
+	ticks           int
+	eventBoundaries int
 }
 
 // lateMapper lets the sFlow collector be constructed before the route
@@ -311,11 +315,41 @@ func NewHarness(ctx context.Context, cfg HarnessConfig) (*Harness, error) {
 	return h, nil
 }
 
-// Step advances the simulation by one tick: the dataplane moves demand
-// (feeding sFlow), virtual time advances, and — on cycle boundaries —
-// the controller runs. It returns the tick's dataplane stats and the
-// cycle report if a cycle ran (nil otherwise).
+// AttachEvents builds an EventEngine over the harness's PoP for the
+// given timeline and has Step drive it: events start applying at the
+// current virtual time. Capacity events are mirrored into the
+// controller's inventory (the SNMP view) in addition to the dataplane.
+func (h *Harness) AttachEvents(events []netsim.Event) error {
+	eng, err := netsim.NewEventEngine(netsim.EventEngineConfig{
+		Start:  h.Clock.Now(),
+		Events: events,
+		PoP:    h.PoP,
+		Demand: h.Demand,
+		Loss:   h.Loss,
+		OnCapacity: func(ifID int, bps float64) {
+			_ = h.Inventory.SetInterfaceCapacity(ifID, bps)
+		},
+		Logf: h.Cfg.Logf,
+	})
+	if err != nil {
+		return err
+	}
+	h.Events = eng
+	return nil
+}
+
+// EventBoundaries reports how many event transitions (applies plus
+// reverts) have fired during Steps so far.
+func (h *Harness) EventBoundaries() int { return h.eventBoundaries }
+
+// Step advances the simulation by one tick: scheduled events fire, the
+// dataplane moves demand (feeding sFlow), virtual time advances, and —
+// on cycle boundaries — the controller runs. It returns the tick's
+// dataplane stats and the cycle report if a cycle ran (nil otherwise).
 func (h *Harness) Step() (*netsim.TickStats, *core.CycleReport) {
+	if h.Events != nil {
+		h.eventBoundaries += h.Events.Advance(h.Clock.Now())
+	}
 	stats := h.PoP.Plane.Tick(h.Clock.Now(), h.Cfg.TickLen)
 	h.Clock.Advance(h.Cfg.TickLen)
 	h.ticks++

@@ -1,0 +1,533 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+	"time"
+
+	"edgefabric/internal/core"
+	"edgefabric/internal/netsim"
+	"edgefabric/internal/rib"
+)
+
+// ---------------------------------------------------------------------
+// E16: chaos soak
+// ---------------------------------------------------------------------
+//
+// E16 is the regression net over everything the controller claims: it
+// runs a controller-enabled PoP through hundreds of cycles of seeded,
+// composed chaos — flash crowds and surges stacking on depeerings,
+// drains, brownouts, BMP kills, iBGP flaps, and sFlow loss — and checks
+// the paper's operational invariants *on every cycle*, not at arm end:
+//
+//	overload-headroom   no interface stays above threshold for more
+//	                    than a grace window while the controller is
+//	                    healthy and its own store holds an alternate
+//	                    route with headroom
+//	fail-static-frozen  while frozen, the installed override set never
+//	                    moves (acting on a decayed demand window would
+//	                    withdraw detours exactly while blind)
+//	fail-back-withdraw  past the second staleness threshold every
+//	                    override is withdrawn
+//	churn-budget        announced+withdrawn per cycle stays within
+//	                    budget outside event/health transition windows
+//	recovery            after the last event ends the controller
+//	                    returns to healthy within a bounded number of
+//	                    cycles
+//
+// Any violation is reported with the run seed and the full event
+// timeline, so the exact failing run replays deterministically.
+
+// SoakConfig parameterizes an E16 run.
+type SoakConfig struct {
+	// Base is the harness configuration; ControllerEnabled is forced on.
+	Base HarnessConfig
+	// Seed drives the scenario AND the chaos scheduler; it is the one
+	// number a red run needs to replay.
+	Seed int64
+	// Cycles is how many controller cycles to soak. Default 500.
+	Cycles int
+	// Events, when non-nil, is a scripted timeline; nil composes one
+	// with ChaosSchedule(seed).
+	Events []netsim.Event
+	// ChaosEvents is how many events ChaosSchedule composes when Events
+	// is nil. Default 12.
+	ChaosEvents int
+	// Threshold is the utilization bound the overload invariant checks.
+	// Default Base.Allocator.Threshold + 0.03: the controller steers on
+	// sampled demand, so the ground-truth check allows a small
+	// measurement margin before calling overload addressable.
+	Threshold float64
+	// OverloadGraceCycles is how many consecutive addressable-overload
+	// cycles are tolerated before a violation (reaction lag: sFlow
+	// windows plus one cycle of control lag). Default 6.
+	OverloadGraceCycles int
+	// ChurnBudget is the per-cycle announced+withdrawn bound. Default
+	// max(25, prefixes/20).
+	ChurnBudget int
+	// BoundaryGraceCycles exempts cycles this close after an event
+	// transition or a health-state change from the churn check (events
+	// legitimately re-shuffle the override set). Default 3.
+	BoundaryGraceCycles int
+	// RecoverySettleWall bounds the wall-clock wait for feeds and
+	// sessions to re-establish after the last event (BMP/iBGP redial
+	// backoff is wall-clock, not virtual). Default 15s.
+	RecoverySettleWall time.Duration
+	// RecoveryCycles bounds how many cycles after settling the
+	// controller has to produce a healthy cycle. Default 10.
+	RecoveryCycles int
+	// Logf, when set, receives progress lines (the seed is always
+	// logged at start).
+	Logf func(format string, args ...any)
+}
+
+func (c *SoakConfig) setDefaults() {
+	if c.Cycles == 0 {
+		c.Cycles = 500
+	}
+	if c.Threshold == 0 {
+		t := c.Base.Allocator.Threshold
+		if t == 0 {
+			t = 0.95
+		}
+		c.Threshold = t + 0.03
+	}
+	if c.OverloadGraceCycles == 0 {
+		c.OverloadGraceCycles = 6
+	}
+	if c.BoundaryGraceCycles == 0 {
+		c.BoundaryGraceCycles = 3
+	}
+	if c.RecoverySettleWall == 0 {
+		c.RecoverySettleWall = 15 * time.Second
+	}
+	if c.RecoveryCycles == 0 {
+		c.RecoveryCycles = 10
+	}
+}
+
+// SoakViolation is one invariant breach, timestamped in cycles and
+// virtual time.
+type SoakViolation struct {
+	Cycle     int
+	Time      time.Time
+	Invariant string
+	Detail    string
+}
+
+func (v SoakViolation) String() string {
+	return fmt.Sprintf("cycle %d (%s) %s: %s",
+		v.Cycle, v.Time.Format("15:04:05"), v.Invariant, v.Detail)
+}
+
+// SoakResult records one E16 run.
+type SoakResult struct {
+	// Seed replays the run.
+	Seed int64
+	// Cycles actually soaked.
+	Cycles int
+	// Events is the (scheduled) timeline the run composed.
+	Events []netsim.Event
+	// Violations lists every invariant breach; empty is a green run.
+	Violations []SoakViolation
+
+	// MaxUtil is the worst ground-truth interface utilization observed.
+	MaxUtil float64
+	// HealthCycles counts cycles per health state.
+	HealthCycles map[core.HealthState]int
+	// TotalChurn sums announced+withdrawn over the run.
+	TotalChurn int
+	// PeakOverrides is the largest installed override set seen.
+	PeakOverrides int
+	// Recovered reports the post-event recovery check passed (true when
+	// the timeline ended in time to check it).
+	Recovered bool
+	// RecoverCycles is how many cycles recovery took.
+	RecoverCycles int
+}
+
+// String renders the result; a red run carries the seed and the full
+// timeline for deterministic replay.
+func (r *SoakResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E16 chaos soak: seed=%d cycles=%d events=%d\n", r.Seed, r.Cycles, len(r.Events))
+	fmt.Fprintf(&b, "  health cycles: healthy=%d degraded=%d fail-static=%d fail-back=%d\n",
+		r.HealthCycles[core.HealthHealthy], r.HealthCycles[core.HealthDegraded],
+		r.HealthCycles[core.HealthFailStatic], r.HealthCycles[core.HealthFailBack])
+	fmt.Fprintf(&b, "  max ground-truth util %.2f, total churn %d, peak overrides %d\n",
+		r.MaxUtil, r.TotalChurn, r.PeakOverrides)
+	if r.Recovered {
+		fmt.Fprintf(&b, "  recovered to healthy %d cycles after last event\n", r.RecoverCycles)
+	}
+	if len(r.Violations) == 0 {
+		fmt.Fprintf(&b, "  invariants: 0 violations\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  invariants: %d VIOLATIONS (replay with seed=%d):\n", len(r.Violations), r.Seed)
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "    %s\n", v)
+	}
+	fmt.Fprintf(&b, "  event timeline:\n%s", netsim.FormatTimeline(r.Events))
+	return b.String()
+}
+
+// invariantChecker holds the per-cycle checking state.
+type invariantChecker struct {
+	h             *Harness
+	threshold     float64
+	overloadGrace int
+	churnBudget   int
+	boundaryGrace int
+
+	overStreak map[int]int // interface -> consecutive addressable-overload cycles
+	overFired  map[int]bool
+	frozen     map[netip.Prefix]core.Override
+	inFreeze   bool
+	lastHealth core.HealthState
+	haveHealth bool
+	graceLeft  int
+
+	cycle      int
+	violations []SoakViolation
+}
+
+func newInvariantChecker(h *Harness, cfg *SoakConfig) *invariantChecker {
+	budget := cfg.ChurnBudget
+	if budget == 0 {
+		budget = max(25, len(h.Scenario.Prefixes)/20)
+	}
+	return &invariantChecker{
+		h:             h,
+		threshold:     cfg.Threshold,
+		overloadGrace: cfg.OverloadGraceCycles,
+		churnBudget:   budget,
+		boundaryGrace: cfg.BoundaryGraceCycles,
+		overStreak:    make(map[int]int),
+		overFired:     make(map[int]bool),
+	}
+}
+
+func (c *invariantChecker) violate(t time.Time, invariant, format string, args ...any) {
+	c.violations = append(c.violations, SoakViolation{
+		Cycle:     c.cycle,
+		Time:      t,
+		Invariant: invariant,
+		Detail:    fmt.Sprintf(format, args...),
+	})
+}
+
+// groundCap reads the live (event-degraded) capacity from the PoP
+// topology; stats carry loads, the topology carries truth.
+func (c *invariantChecker) groundCap(id int) float64 {
+	if ifc := c.h.PoP.Topo.InterfaceByID(id); ifc != nil {
+		return ifc.CapacityBps
+	}
+	return 0
+}
+
+// observe runs every invariant against one cycle. boundaries is how
+// many event transitions fired since the previous cycle.
+func (c *invariantChecker) observe(stats *netsim.TickStats, r *core.CycleReport, boundaries int) {
+	if r == nil {
+		return
+	}
+	c.cycle++
+
+	healthChanged := c.haveHealth && r.Health != c.lastHealth
+	c.lastHealth, c.haveHealth = r.Health, true
+	if boundaries > 0 || healthChanged {
+		c.graceLeft = c.boundaryGrace
+	}
+
+	// --- churn budget, outside transition windows.
+	churn := r.Announced + r.Withdrawn
+	if c.graceLeft == 0 && churn > c.churnBudget {
+		c.violate(r.Time, "churn-budget",
+			"announced=%d withdrawn=%d exceeds budget %d with no event or health transition in the last %d cycles",
+			r.Announced, r.Withdrawn, c.churnBudget, c.boundaryGrace)
+	}
+
+	// --- fail-static / fail-back correctness.
+	switch r.Health {
+	case core.HealthFailStatic:
+		installed := c.h.Controller.Installed()
+		if !c.inFreeze {
+			c.inFreeze = true
+			c.frozen = installed
+		} else if !overrideSetsEqual(installed, c.frozen) {
+			c.violate(r.Time, "fail-static-frozen",
+				"installed override set changed while frozen: %d -> %d entries",
+				len(c.frozen), len(installed))
+			c.frozen = installed
+		}
+	case core.HealthFailBack:
+		c.inFreeze = false
+		if n := len(c.h.Controller.Installed()); n != 0 {
+			c.violate(r.Time, "fail-back-withdraw",
+				"%d overrides still installed past the fail-back threshold", n)
+		}
+	default:
+		c.inFreeze = false
+	}
+
+	// --- overload with headroom: only while the controller is healthy
+	// (a frozen or failed-back controller is deliberately not acting,
+	// and a degraded one may have flushed the routes it would need).
+	if r.Health != core.HealthHealthy || c.graceLeft > 0 {
+		for id := range c.overStreak {
+			c.overStreak[id] = 0
+		}
+	} else {
+		for id, load := range stats.IfLoadBps {
+			capBps := c.groundCap(id)
+			if capBps <= 0 || load/capBps <= c.threshold {
+				c.overStreak[id] = 0
+				c.overFired[id] = false
+				continue
+			}
+			prefix, alt, ok := c.findAlternate(stats, id)
+			if !ok {
+				// Hot but unaddressable: residual overload the paper
+				// accepts (e.g. every alternate is also full).
+				c.overStreak[id] = 0
+				continue
+			}
+			c.overStreak[id]++
+			if c.overStreak[id] > c.overloadGrace && !c.overFired[id] {
+				c.overFired[id] = true // once per episode, not per cycle
+				ifName := ""
+				if ifc := c.h.PoP.Topo.InterfaceByID(id); ifc != nil {
+					ifName = ifc.Name
+				}
+				c.violate(r.Time, "overload-headroom",
+					"interface %d (%s) at %.0f%% for %d cycles while healthy; e.g. %s could move to if%d with headroom",
+					id, ifName, 100*load/capBps, c.overStreak[id], prefix, alt)
+			}
+		}
+	}
+	if c.graceLeft > 0 {
+		c.graceLeft--
+	}
+}
+
+// findAlternate looks for evidence the overload on hot was addressable:
+// a prefix currently egressing hot whose demand fits under the
+// threshold on another interface the controller's own store has a route
+// for. Checks the heaviest prefixes first; bounded to keep the checker
+// cheap.
+func (c *invariantChecker) findAlternate(stats *netsim.TickStats, hot int) (netip.Prefix, int, bool) {
+	type cand struct {
+		p   netip.Prefix
+		bps float64
+	}
+	var cands []cand
+	for p, pt := range stats.Prefix {
+		if pt.EgressIF == hot {
+			cands = append(cands, cand{p, pt.DemandBps})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].bps > cands[b].bps })
+	if len(cands) > 20 {
+		cands = cands[:20]
+	}
+	table := c.h.Controller.Store().Table()
+	for _, cd := range cands {
+		for _, rt := range table.Routes(cd.p) {
+			if rt.PeerClass == rib.ClassController || rt.EgressIF == hot {
+				continue
+			}
+			altCap := c.groundCap(rt.EgressIF)
+			if altCap <= 0 {
+				continue
+			}
+			if stats.IfLoadBps[rt.EgressIF]+cd.bps <= c.threshold*altCap {
+				return cd.p, rt.EgressIF, true
+			}
+		}
+	}
+	return netip.Prefix{}, 0, false
+}
+
+// overrideSetsEqual compares two installed override sets by prefix.
+func overrideSetsEqual(a, b map[netip.Prefix]core.Override) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for p := range a {
+		if _, ok := b[p]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// E16ChaosSoak builds a controller-enabled harness, attaches a chaos (or
+// scripted) event timeline, soaks for cfg.Cycles cycles with the
+// invariant checker on every one, then checks bounded recovery. The
+// returned result is green iff Violations is empty.
+func E16ChaosSoak(ctx context.Context, cfg SoakConfig) (*SoakResult, error) {
+	cfg.setDefaults()
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	base := cfg.Base
+	base.ControllerEnabled = true
+	if base.Synth.Seed == 0 {
+		base.Synth.Seed = cfg.Seed
+	}
+	if (base.Health == core.HealthConfig{}) {
+		// The E11 reference ladder: staleness observable within cycles,
+		// fail-back within a blackout's reach.
+		base.Health = core.HealthConfig{
+			TrafficStaleAfter: 45 * time.Second,
+			TrafficFailAfter:  150 * time.Second,
+			BMPFlushAfter:     90 * time.Second,
+		}
+	}
+	h, err := NewHarness(ctx, base)
+	if err != nil {
+		return nil, err
+	}
+	defer h.Close()
+
+	events := cfg.Events
+	if events == nil {
+		horizon := time.Duration(cfg.Cycles) * h.Cfg.TickLen * time.Duration(h.Cfg.CycleEveryTicks)
+		// Leave the tail of the run event-free so recovery is checkable.
+		if horizon > time.Hour {
+			horizon -= 30 * time.Minute
+		}
+		events, err = netsim.ChaosSchedule(h.Scenario, netsim.ChaosConfig{
+			Seed:    cfg.Seed,
+			Horizon: horizon,
+			Events:  cfg.ChaosEvents,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := h.AttachEvents(events); err != nil {
+		return nil, err
+	}
+
+	res := &SoakResult{
+		Seed:         cfg.Seed,
+		Events:       events,
+		HealthCycles: make(map[core.HealthState]int),
+	}
+	logf("E16 soak start: seed=%d cycles=%d events=%d (replay: -seed %d)",
+		cfg.Seed, cfg.Cycles, len(events), cfg.Seed)
+
+	chk := newInvariantChecker(h, &cfg)
+	lastBoundaries := 0
+	for chk.cycle < cfg.Cycles {
+		stats, r := h.Step()
+		fired := h.EventBoundaries() - lastBoundaries
+		lastBoundaries = h.EventBoundaries()
+		if stats != nil {
+			for id, load := range stats.IfLoadBps {
+				if capBps := chk.groundCap(id); capBps > 0 && load/capBps > res.MaxUtil {
+					res.MaxUtil = load / capBps
+				}
+			}
+		}
+		chk.observe(stats, r, fired)
+		if r != nil {
+			res.HealthCycles[r.Health]++
+			res.TotalChurn += r.Announced + r.Withdrawn
+			if n := len(r.Overrides); n > res.PeakOverrides {
+				res.PeakOverrides = n
+			}
+		}
+	}
+	res.Cycles = chk.cycle
+
+	// --- bounded recovery after the last event.
+	if h.Events.Done() {
+		health := h.Controller.Health()
+		settled := waitWall(cfg.RecoverySettleWall, func() bool {
+			ih := health.Evaluate()
+			return ih.FeedsUp == ih.FeedsTotal && ih.SessionsUp == ih.SessionsTotal
+		})
+		if !settled {
+			chk.cycle++
+			chk.violate(h.Clock.Now(), "recovery",
+				"feeds/sessions not re-established within %s wall after last event", cfg.RecoverySettleWall)
+		} else {
+			n, ok := stepUntil(h, cfg.RecoveryCycles, func(r *core.CycleReport) bool {
+				return r.Health == core.HealthHealthy
+			})
+			chk.cycle += n
+			if !ok {
+				chk.violate(h.Clock.Now(), "recovery",
+					"no healthy cycle within %d cycles after last event", cfg.RecoveryCycles)
+			} else {
+				res.Recovered, res.RecoverCycles = true, n
+			}
+		}
+	}
+
+	res.Violations = chk.violations
+	if len(res.Violations) > 0 {
+		logf("E16 soak FAILED: seed=%d violations=%d\n%s",
+			cfg.Seed, len(res.Violations), netsim.FormatTimeline(events))
+	} else {
+		logf("E16 soak green: seed=%d cycles=%d", cfg.Seed, res.Cycles)
+	}
+	return res, nil
+}
+
+// E16ControlArm is the intentionally-broken arm: the same checker
+// pointed at a controller with fail-static effectively disabled
+// (staleness thresholds pushed out to a day). A scripted total sFlow
+// blackout then leaves the controller nominally healthy while blind —
+// it withdraws its overrides as the demand window decays, ground-truth
+// overload returns with transit headroom available, and the
+// overload-headroom invariant must fire. A green control arm means the
+// checker can't detect the regression the soak exists to catch.
+func E16ControlArm(ctx context.Context, seed int64) (*SoakResult, error) {
+	base := HarnessConfig{
+		Synth: netsim.SynthConfig{
+			Seed:               seed,
+			Prefixes:           250,
+			EdgeASes:           40,
+			PrivatePeers:       4,
+			PublicPeers:        8,
+			RouteServerMembers: 10,
+			Transits:           2,
+			Routers:            2,
+			PeakBps:            100e9,
+			// Every PNI under peak demand: sustained overload the
+			// controller must keep detouring around.
+			PNIHeadroomMin: 0.6,
+			PNIHeadroomMax: 0.9,
+		},
+		Demand:    netsim.DemandConfig{NoiseSigma: 0.05},
+		Allocator: core.AllocatorConfig{Threshold: 0.95},
+		// Peak hour: the PNIs are hot from the first cycle.
+		Start: time.Date(2017, 3, 1, 20, 0, 0, 0, time.UTC),
+		// Fail-static disabled: staleness thresholds a day out, so the
+		// blackout never freezes or fails back the controller.
+		Health: core.HealthConfig{
+			TrafficStaleAfter: 24 * time.Hour,
+			TrafficFailAfter:  48 * time.Hour,
+			BMPFlushAfter:     48 * time.Hour,
+		},
+	}
+	cfg := SoakConfig{
+		Base:   base,
+		Seed:   seed,
+		Cycles: 30,
+		Events: []netsim.Event{
+			// Total blackout from 3 minutes in through the end of the
+			// run: the demand window decays under a "healthy"
+			// controller.
+			{Kind: netsim.EventSFlowLoss, At: 3 * time.Minute, Duration: 2 * time.Hour, Magnitude: 1},
+		},
+	}
+	return E16ChaosSoak(ctx, cfg)
+}

@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 	"math"
 	"net/netip"
+	"sync"
 	"time"
 )
 
@@ -71,15 +72,60 @@ type PrefixInfo struct {
 	RepAddr netip.Addr
 }
 
+// DemandMod is a runtime demand modifier installed by the event engine:
+// every prefix in scope gets its demand multiplied during [Start, End).
+// Scope is the most specific non-zero target — Prefix, else AS, else the
+// whole PoP. The modifier is self-checking against its window, so the
+// engine's apply/revert ordering only controls when it is *visible*, not
+// what it computes.
+type DemandMod struct {
+	Start time.Time
+	End   time.Time
+	// Prefix scopes the modifier to one prefix when valid.
+	Prefix netip.Prefix
+	// AS scopes the modifier to one origin AS when non-zero (and Prefix
+	// is not set).
+	AS uint32
+	// Multiplier is the peak demand factor.
+	Multiplier float64
+	// Ramp selects a triangular shape — the factor rises linearly from 1
+	// to Multiplier at the window midpoint and back — instead of a
+	// square pulse. Live events bend the curve; DDoS steps on it.
+	Ramp bool
+}
+
+// factor returns the modifier's multiplier for prefix p at time t
+// (1 when out of window or scope).
+func (m *DemandMod) factor(p *PrefixInfo, t time.Time) float64 {
+	if t.Before(m.Start) || !t.Before(m.End) {
+		return 1
+	}
+	if m.Prefix.IsValid() {
+		if p.Prefix != m.Prefix {
+			return 1
+		}
+	} else if m.AS != 0 && p.OriginAS != m.AS {
+		return 1
+	}
+	if !m.Ramp {
+		return m.Multiplier
+	}
+	x := float64(t.Sub(m.Start)) / float64(m.End.Sub(m.Start))
+	return 1 + (m.Multiplier-1)*(1-math.Abs(2*x-1))
+}
+
 // DemandModel produces per-prefix egress demand over time:
 // Zipf-weighted prefix volumes × diurnal curve × lognormal noise ×
 // flash-crowd multipliers. All randomness is a pure function of
-// (Seed, prefix, time), so replays are deterministic and the model needs
-// no mutable state.
+// (Seed, prefix, time), so replays are deterministic; the only mutable
+// state is the event engine's modifier overlay, guarded by modMu.
 type DemandModel struct {
 	cfg       DemandConfig
 	prefixes  []*PrefixInfo
 	flashByAS map[uint32][]FlashEvent
+
+	modMu sync.RWMutex
+	mods  []*DemandMod
 }
 
 // NewDemandModel builds a model over the given prefixes. Weights must be
@@ -160,9 +206,47 @@ func (m *DemandModel) flash(as uint32, t time.Time) float64 {
 	return f
 }
 
+// AddMod installs a runtime demand modifier and returns the handle to
+// pass to RemoveMod. The event engine owns the lifecycle.
+func (m *DemandModel) AddMod(mod DemandMod) *DemandMod {
+	h := &mod
+	m.modMu.Lock()
+	m.mods = append(m.mods, h)
+	m.modMu.Unlock()
+	return h
+}
+
+// RemoveMod uninstalls a modifier previously returned by AddMod.
+func (m *DemandModel) RemoveMod(h *DemandMod) {
+	m.modMu.Lock()
+	for i, mod := range m.mods {
+		if mod == h {
+			m.mods = append(m.mods[:i], m.mods[i+1:]...)
+			break
+		}
+	}
+	m.modMu.Unlock()
+}
+
+// modFactor returns the product of all active modifier factors for p at
+// t. The empty-overlay fast path keeps steady-state Rate calls cheap.
+func (m *DemandModel) modFactor(p *PrefixInfo, t time.Time) float64 {
+	m.modMu.RLock()
+	defer m.modMu.RUnlock()
+	if len(m.mods) == 0 {
+		return 1
+	}
+	f := 1.0
+	for _, mod := range m.mods {
+		f *= mod.factor(p, t)
+	}
+	return f
+}
+
 // Rate returns prefix p's demand in bits per second at time t.
 func (m *DemandModel) Rate(p *PrefixInfo, t time.Time) float64 {
-	return m.cfg.PeakBps * p.Weight * m.Diurnal(t) * m.noise(p.Prefix, t) * m.flash(p.OriginAS, t)
+	return m.cfg.PeakBps * p.Weight * m.Diurnal(t) * m.noise(p.Prefix, t) *
+		m.flash(p.OriginAS, t) * m.modFactor(p, t)
 }
 
 // Total returns the PoP's total demand at t (sum over prefixes).

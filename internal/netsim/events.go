@@ -1,0 +1,494 @@
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+	"time"
+)
+
+// This file is the composable scenario layer: a schedulable timeline of
+// typed events — demand distortions, topology changes, and the E11
+// fault families — applied and reverted by one engine off the shared
+// simulation clock. Experiments and popsim attach an EventEngine and
+// call Advance before every dataplane tick; everything the engine does
+// goes through the same hooks a hand-written experiment would use
+// (DemandModel modifiers, Topology capacity, PoP session/fault calls,
+// LossySink scripting), so scripted and composed scenarios exercise
+// identical code paths.
+
+// EventKind names one event family.
+type EventKind string
+
+const (
+	// --- demand events (drive DemandModel) ---
+
+	// EventFlashCrowd multiplies demand of every prefix originated by
+	// the target AS by Magnitude for the duration (the paper's flash
+	// crowd: load shifts faster than BGP reacts).
+	EventFlashCrowd EventKind = "flash-crowd"
+	// EventLiveEvent is a PoP-wide diurnal distortion: total demand
+	// ramps up to ×Magnitude at the window midpoint and back down (a
+	// live broadcast bending the usual curve).
+	EventLiveEvent EventKind = "live-event"
+	// EventSurge is a DDoS-like spike: one prefix's demand multiplied
+	// by Magnitude, typically large and short.
+	EventSurge EventKind = "ddos-surge"
+
+	// --- topology events (drive Topology / PoP sessions) ---
+
+	// EventDepeer kills the target peer's BGP session (the router
+	// withdraws everything learned from it); the session re-establishes
+	// and re-announces when the event ends. Duration 0 depeers
+	// permanently.
+	EventDepeer EventKind = "depeer"
+	// EventDrain is a maintenance drain: the target interface's
+	// capacity drops to Magnitude× its base (default 0.05) so the
+	// controller must steer traffic off it, then restores.
+	EventDrain EventKind = "drain"
+	// EventBrownout degrades the target interface's capacity to
+	// Magnitude× its base (default 0.5) — a partial failure, e.g. one
+	// member of a LAG dying.
+	EventBrownout EventKind = "brownout"
+
+	// --- fault events (the E11 families, schedulable) ---
+
+	// EventBMPKill severs the target router's BMP stream and refuses
+	// redials until the event ends.
+	EventBMPKill EventKind = "bmp-kill"
+	// EventIBGPReset flaps the controller's iBGP session toward the
+	// target router once (instantaneous; Duration ignored).
+	EventIBGPReset EventKind = "ibgp-reset"
+	// EventSFlowLoss drops sFlow datagrams with probability Magnitude
+	// for the duration; Magnitude >= 1 is a total blackout.
+	EventSFlowLoss EventKind = "sflow-loss"
+)
+
+// Event is one scheduled scenario event. At is the offset from the
+// timeline start; exactly which target field matters depends on Kind.
+type Event struct {
+	// Kind selects the event family.
+	Kind EventKind
+	// At is when the event begins, as an offset from the timeline
+	// start.
+	At time.Duration
+	// Duration is how long the event holds before the engine reverts
+	// it. Zero means instantaneous for ibgp-reset and permanent for
+	// depeer; every other kind requires a positive duration.
+	Duration time.Duration
+	// Magnitude is the kind-specific intensity: demand multiplier
+	// (flash-crowd, live-event, ddos-surge), capacity scale in (0,1]
+	// (drain, brownout), or loss probability (sflow-loss).
+	Magnitude float64
+	// Prefix targets ddos-surge.
+	Prefix netip.Prefix
+	// AS targets flash-crowd.
+	AS uint32
+	// Peer names the depeer target.
+	Peer string
+	// Interface targets drain / brownout.
+	Interface int
+	// Router targets bmp-kill / ibgp-reset.
+	Router string
+}
+
+// End returns the event's end offset (equal to At for instantaneous or
+// permanent events).
+func (e Event) End() time.Duration {
+	if e.Duration <= 0 {
+		return e.At
+	}
+	return e.At + e.Duration
+}
+
+// String renders the event compactly for timelines and violation
+// reports.
+func (e Event) String() string {
+	var target string
+	switch e.Kind {
+	case EventFlashCrowd:
+		target = fmt.Sprintf("AS%d", e.AS)
+	case EventSurge:
+		target = e.Prefix.String()
+	case EventLiveEvent:
+		target = "pop-wide"
+	case EventDepeer:
+		target = e.Peer
+	case EventDrain, EventBrownout:
+		target = fmt.Sprintf("if%d", e.Interface)
+	case EventBMPKill, EventIBGPReset:
+		target = e.Router
+	case EventSFlowLoss:
+		target = "collector"
+	}
+	s := fmt.Sprintf("%s@%s %s", e.Kind, e.At, target)
+	if e.Duration > 0 {
+		s += fmt.Sprintf(" for %s", e.Duration)
+	}
+	if e.Magnitude != 0 {
+		s += fmt.Sprintf(" x%.2f", e.Magnitude)
+	}
+	return s
+}
+
+// FormatTimeline renders a schedule one event per line, sorted by start
+// time — the replay artifact attached to soak violations.
+func FormatTimeline(events []Event) string {
+	sorted := append([]Event(nil), events...)
+	sort.SliceStable(sorted, func(a, b int) bool { return sorted[a].At < sorted[b].At })
+	var b strings.Builder
+	for i, e := range sorted {
+		fmt.Fprintf(&b, "  [%02d] %s\n", i, e.String())
+	}
+	return b.String()
+}
+
+// EventEngineConfig wires an engine to the simulation it drives.
+type EventEngineConfig struct {
+	// Start is the timeline zero (usually the simulation start time).
+	Start time.Time
+	// Events is the schedule; order does not matter.
+	Events []Event
+	// PoP is the live PoP the topology and fault events act on.
+	// Required.
+	PoP *PoP
+	// Demand receives demand modifiers. Required when the schedule has
+	// demand events.
+	Demand *DemandModel
+	// Loss receives sflow-loss scripting. Required when the schedule
+	// has sflow-loss events.
+	Loss *LossySink
+	// OnCapacity, when set, mirrors every effective capacity change
+	// (drain/brownout apply and revert) — the experiment harness uses
+	// it to reconcile the controller's inventory, the way production
+	// Edge Fabric learns capacity changes from SNMP.
+	OnCapacity func(ifID int, bps float64)
+	// Logf, when set, receives one line per apply/revert transition.
+	Logf func(format string, args ...any)
+}
+
+// transition is one apply or revert step on the unified timeline.
+type transition struct {
+	at     time.Duration
+	revert bool
+	idx    int // index into engine.events
+}
+
+// EventEngine schedules a validated event timeline against a running
+// simulation. It is not safe for concurrent use: Advance must be called
+// from the goroutine that ticks the dataplane (events and ticks share
+// the virtual clock).
+type EventEngine struct {
+	cfg    EventEngineConfig
+	events []Event
+	trans  []transition
+	next   int
+
+	peerAddr map[string]netip.Addr // depeer target name -> session addr
+	baseCap  map[int]float64       // interface -> capacity before any event
+	capScale map[int][]float64     // interface -> active capacity scales
+	bmpKills map[string]int        // router -> active kill count
+	lossRate []float64             // active loss rates
+	mods     map[int]*DemandMod    // event idx -> installed demand modifier
+	active   int
+}
+
+// NewEventEngine validates the schedule against the PoP's topology and
+// returns an engine ready to Advance. Validation failures name the
+// offending event and target so hand-written timelines fail loudly.
+func NewEventEngine(cfg EventEngineConfig) (*EventEngine, error) {
+	if cfg.PoP == nil {
+		return nil, fmt.Errorf("netsim: event engine needs a PoP")
+	}
+	if cfg.Start.IsZero() {
+		cfg.Start = cfg.PoP.cfg.Clock.Now()
+	}
+	e := &EventEngine{
+		cfg:      cfg,
+		events:   append([]Event(nil), cfg.Events...),
+		peerAddr: make(map[string]netip.Addr),
+		baseCap:  make(map[int]float64),
+		capScale: make(map[int][]float64),
+		bmpKills: make(map[string]int),
+		mods:     make(map[int]*DemandMod),
+	}
+	topo := cfg.PoP.Topo
+	for i := range e.events {
+		ev := &e.events[i]
+		if ev.At < 0 {
+			return nil, fmt.Errorf("netsim: event %d (%s): negative start offset %s", i, ev.Kind, ev.At)
+		}
+		switch ev.Kind {
+		case EventFlashCrowd:
+			if cfg.Demand == nil {
+				return nil, fmt.Errorf("netsim: event %d (%s): engine has no demand model", i, ev.Kind)
+			}
+			if ev.Magnitude <= 0 {
+				return nil, fmt.Errorf("netsim: event %d (%s): magnitude must be positive", i, ev.Kind)
+			}
+			if ev.Duration <= 0 {
+				return nil, fmt.Errorf("netsim: event %d (%s): duration required", i, ev.Kind)
+			}
+			if ev.AS == 0 {
+				return nil, fmt.Errorf("netsim: event %d (%s): target AS required", i, ev.Kind)
+			}
+		case EventLiveEvent:
+			if cfg.Demand == nil {
+				return nil, fmt.Errorf("netsim: event %d (%s): engine has no demand model", i, ev.Kind)
+			}
+			if ev.Magnitude <= 0 {
+				return nil, fmt.Errorf("netsim: event %d (%s): magnitude must be positive", i, ev.Kind)
+			}
+			if ev.Duration <= 0 {
+				return nil, fmt.Errorf("netsim: event %d (%s): duration required", i, ev.Kind)
+			}
+		case EventSurge:
+			if cfg.Demand == nil {
+				return nil, fmt.Errorf("netsim: event %d (%s): engine has no demand model", i, ev.Kind)
+			}
+			if ev.Magnitude <= 0 {
+				return nil, fmt.Errorf("netsim: event %d (%s): magnitude must be positive", i, ev.Kind)
+			}
+			if ev.Duration <= 0 {
+				return nil, fmt.Errorf("netsim: event %d (%s): duration required", i, ev.Kind)
+			}
+			if !ev.Prefix.IsValid() {
+				return nil, fmt.Errorf("netsim: event %d (%s): target prefix required", i, ev.Kind)
+			}
+		case EventDepeer:
+			var spec *Peer
+			for j := range topo.Peers {
+				if topo.Peers[j].Name == ev.Peer {
+					spec = &topo.Peers[j]
+					break
+				}
+			}
+			if spec == nil {
+				return nil, fmt.Errorf("netsim: event %d (%s): unknown peer %q", i, ev.Kind, ev.Peer)
+			}
+			e.peerAddr[ev.Peer] = spec.Addr
+		case EventDrain, EventBrownout:
+			ifc := topo.InterfaceByID(ev.Interface)
+			if ifc == nil {
+				return nil, fmt.Errorf("netsim: event %d (%s): unknown interface %d", i, ev.Kind, ev.Interface)
+			}
+			if ev.Magnitude == 0 {
+				if ev.Kind == EventDrain {
+					ev.Magnitude = 0.05
+				} else {
+					ev.Magnitude = 0.5
+				}
+			}
+			if ev.Magnitude <= 0 || ev.Magnitude > 1 {
+				return nil, fmt.Errorf("netsim: event %d (%s): capacity scale %.2f outside (0,1]", i, ev.Kind, ev.Magnitude)
+			}
+			if ev.Duration <= 0 {
+				return nil, fmt.Errorf("netsim: event %d (%s): duration required", i, ev.Kind)
+			}
+			if _, ok := e.baseCap[ev.Interface]; !ok {
+				e.baseCap[ev.Interface] = ifc.CapacityBps
+			}
+		case EventBMPKill:
+			if topo.RouterByName(ev.Router) == nil {
+				return nil, fmt.Errorf("netsim: event %d (%s): unknown router %q", i, ev.Kind, ev.Router)
+			}
+			if ev.Duration <= 0 {
+				return nil, fmt.Errorf("netsim: event %d (%s): duration required", i, ev.Kind)
+			}
+		case EventIBGPReset:
+			if topo.RouterByName(ev.Router) == nil {
+				return nil, fmt.Errorf("netsim: event %d (%s): unknown router %q", i, ev.Kind, ev.Router)
+			}
+			ev.Duration = 0 // instantaneous: the flap has no window to revert
+		case EventSFlowLoss:
+			if cfg.Loss == nil {
+				return nil, fmt.Errorf("netsim: event %d (%s): engine has no lossy sink", i, ev.Kind)
+			}
+			if ev.Magnitude <= 0 {
+				return nil, fmt.Errorf("netsim: event %d (%s): loss rate must be positive", i, ev.Kind)
+			}
+			if ev.Duration <= 0 {
+				return nil, fmt.Errorf("netsim: event %d (%s): duration required", i, ev.Kind)
+			}
+		default:
+			return nil, fmt.Errorf("netsim: event %d: unknown kind %q", i, ev.Kind)
+		}
+	}
+	// Unified transition list: applies and reverts interleaved in time
+	// order, so an event ending at T is reverted before one starting at
+	// T is applied.
+	for i := range e.events {
+		ev := &e.events[i]
+		e.trans = append(e.trans, transition{at: ev.At, revert: false, idx: i})
+		if ev.Duration > 0 {
+			e.trans = append(e.trans, transition{at: ev.End(), revert: true, idx: i})
+		}
+	}
+	sort.SliceStable(e.trans, func(a, b int) bool {
+		if e.trans[a].at != e.trans[b].at {
+			return e.trans[a].at < e.trans[b].at
+		}
+		// Reverts first at equal timestamps.
+		return e.trans[a].revert && !e.trans[b].revert
+	})
+	return e, nil
+}
+
+// Advance applies every transition due at or before now and returns how
+// many fired (the soak harness uses the count to open churn grace
+// windows around event boundaries).
+func (e *EventEngine) Advance(now time.Time) int {
+	offset := now.Sub(e.cfg.Start)
+	fired := 0
+	for e.next < len(e.trans) && e.trans[e.next].at <= offset {
+		tr := e.trans[e.next]
+		e.next++
+		fired++
+		if tr.revert {
+			e.revert(tr.idx)
+		} else {
+			e.apply(tr.idx)
+		}
+	}
+	return fired
+}
+
+// Done reports that every transition has fired.
+func (e *EventEngine) Done() bool { return e.next >= len(e.trans) }
+
+// Active returns how many events are currently in effect (applied, not
+// yet reverted; instantaneous and permanent events never count).
+func (e *EventEngine) Active() int { return e.active }
+
+// Timeline returns the engine's schedule sorted by start offset.
+func (e *EventEngine) Timeline() []Event {
+	out := append([]Event(nil), e.events...)
+	sort.SliceStable(out, func(a, b int) bool { return out[a].At < out[b].At })
+	return out
+}
+
+func (e *EventEngine) logf(format string, args ...any) {
+	if e.cfg.Logf != nil {
+		e.cfg.Logf(format, args...)
+	}
+}
+
+func (e *EventEngine) apply(idx int) {
+	ev := &e.events[idx]
+	e.logf("event: apply %s", ev)
+	switch ev.Kind {
+	case EventFlashCrowd, EventLiveEvent, EventSurge:
+		mod := DemandMod{
+			Start:      e.cfg.Start.Add(ev.At),
+			End:        e.cfg.Start.Add(ev.End()),
+			Multiplier: ev.Magnitude,
+		}
+		switch ev.Kind {
+		case EventFlashCrowd:
+			mod.AS = ev.AS
+		case EventSurge:
+			mod.Prefix = ev.Prefix
+		case EventLiveEvent:
+			mod.Ramp = true
+		}
+		e.mods[idx] = e.cfg.Demand.AddMod(mod)
+		e.active++
+	case EventDepeer:
+		if err := e.cfg.PoP.PeerSessionDown(e.peerAddr[ev.Peer]); err != nil {
+			e.logf("event: depeer %s: %v", ev.Peer, err)
+		}
+		if ev.Duration > 0 {
+			e.active++
+		}
+	case EventDrain, EventBrownout:
+		e.capScale[ev.Interface] = append(e.capScale[ev.Interface], ev.Magnitude)
+		e.applyCapacity(ev.Interface)
+		e.active++
+	case EventBMPKill:
+		if e.bmpKills[ev.Router] == 0 {
+			e.cfg.PoP.KillBMP(ev.Router)
+		}
+		e.bmpKills[ev.Router]++
+		e.active++
+	case EventIBGPReset:
+		e.cfg.PoP.ResetInjection(ev.Router)
+	case EventSFlowLoss:
+		e.lossRate = append(e.lossRate, ev.Magnitude)
+		e.applyLoss()
+		e.active++
+	}
+}
+
+func (e *EventEngine) revert(idx int) {
+	ev := &e.events[idx]
+	e.logf("event: revert %s", ev)
+	switch ev.Kind {
+	case EventFlashCrowd, EventLiveEvent, EventSurge:
+		if mod := e.mods[idx]; mod != nil {
+			e.cfg.Demand.RemoveMod(mod)
+			delete(e.mods, idx)
+		}
+	case EventDepeer:
+		if err := e.cfg.PoP.PeerSessionUp(e.peerAddr[ev.Peer]); err != nil {
+			e.logf("event: re-peer %s: %v", ev.Peer, err)
+		}
+	case EventDrain, EventBrownout:
+		scales := e.capScale[ev.Interface]
+		for i, s := range scales {
+			if s == ev.Magnitude {
+				e.capScale[ev.Interface] = append(scales[:i], scales[i+1:]...)
+				break
+			}
+		}
+		e.applyCapacity(ev.Interface)
+	case EventBMPKill:
+		e.bmpKills[ev.Router]--
+		if e.bmpKills[ev.Router] == 0 {
+			e.cfg.PoP.RestoreBMP(ev.Router)
+		}
+	case EventSFlowLoss:
+		for i, r := range e.lossRate {
+			if r == ev.Magnitude {
+				e.lossRate = append(e.lossRate[:i], e.lossRate[i+1:]...)
+				break
+			}
+		}
+		e.applyLoss()
+	}
+	e.active--
+}
+
+// applyCapacity recomputes an interface's effective capacity as its base
+// times the product of every active scale event, so overlapping drains
+// and brownouts compose and unwind cleanly in any order.
+func (e *EventEngine) applyCapacity(ifID int) {
+	capBps := e.baseCap[ifID]
+	for _, s := range e.capScale[ifID] {
+		capBps *= s
+	}
+	if err := e.cfg.PoP.Topo.SetInterfaceCapacity(ifID, capBps); err != nil {
+		e.logf("event: capacity if%d: %v", ifID, err)
+		return
+	}
+	if e.cfg.OnCapacity != nil {
+		e.cfg.OnCapacity(ifID, capBps)
+	}
+}
+
+// applyLoss sets the sink to the worst active loss event (a total
+// blackout shadows partial loss).
+func (e *EventEngine) applyLoss() {
+	worst := 0.0
+	for _, r := range e.lossRate {
+		if r > worst {
+			worst = r
+		}
+	}
+	if worst >= 1 {
+		e.cfg.Loss.Kill()
+		return
+	}
+	e.cfg.Loss.Restore()
+	e.cfg.Loss.SetLossRate(worst)
+}

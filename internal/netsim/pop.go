@@ -374,6 +374,37 @@ func (p *PoP) PeerSessionDown(addr netip.Addr) error {
 	return peer.Notify(bgp.NotifCease, bgp.CeaseAdminShutdown)
 }
 
+// PeerSessionUp re-establishes a session previously taken down by
+// PeerSessionDown: a fresh transport is handed to both sides, the
+// session re-opens, and the remote re-announces its full set (the
+// remoteAnnouncer fires on establish), ending a scheduled depeering.
+func (p *PoP) PeerSessionUp(addr netip.Addr) error {
+	spec := p.Topo.PeerByAddr(addr)
+	if spec == nil {
+		return fmt.Errorf("netsim: unknown peer %s", addr)
+	}
+	idx := -1
+	for i := range p.Topo.Peers {
+		if &p.Topo.Peers[i] == spec {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 || idx >= len(p.remotes) {
+		return fmt.Errorf("netsim: no remote speaker for %s", addr)
+	}
+	prPeer := p.routers[spec.Router].Peer(spec.Addr)
+	remotePeer := p.remotes[idx].Peer(p.routerIP[spec.Router])
+	if prPeer == nil || remotePeer == nil {
+		return fmt.Errorf("netsim: no session objects for %s", addr)
+	}
+	a, b := BufferedPipe()
+	if err := prPeer.Accept(a); err != nil {
+		return err
+	}
+	return remotePeer.Accept(b)
+}
+
 // Close shuts down all speakers and closes the BMP streams.
 func (p *PoP) Close() {
 	for _, sp := range p.remotes {

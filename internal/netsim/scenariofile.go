@@ -2,12 +2,26 @@ package netsim
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/netip"
 	"os"
+	"time"
 
 	"edgefabric/internal/rib"
+)
+
+// Named cross-reference errors: a hand-written file that points a peer
+// or interface at something that does not exist fails with the entity's
+// name, not a generic topology error. Callers can match with errors.Is.
+var (
+	// ErrUnknownRouter marks a peer or interface referencing a router
+	// name the file does not define.
+	ErrUnknownRouter = errors.New("references unknown router")
+	// ErrUnknownInterface marks a peer referencing an interface ID the
+	// file does not define.
+	ErrUnknownInterface = errors.New("references unknown interface")
 )
 
 // ScenarioFile is the JSON form of a hand-written testbed: explicit
@@ -30,6 +44,8 @@ type ScenarioFile struct {
 	Interfaces []InterfaceFile `json:"interfaces"`
 	// Peers lists BGP neighbors with their announcements.
 	Peers []PeerFile `json:"peers"`
+	// Events is the optional scheduled event timeline; see EventFile.
+	Events []EventFile `json:"events,omitempty"`
 }
 
 // RouterFile is one peering router.
@@ -69,6 +85,66 @@ type AnnounceFile struct {
 	Weight float64 `json:"weight,omitempty"`
 }
 
+// EventFile is one scheduled event on the scenario's timeline. `at` and
+// `duration` are Go duration strings ("90s", "10m", "1h30m") offset
+// from the run start; which target field applies depends on `kind`:
+//
+//	flash-crowd  as         demand ×magnitude on every prefix of the AS
+//	live-event   (none)     PoP-wide ramp to ×magnitude at the midpoint
+//	ddos-surge   prefix     demand ×magnitude on one prefix
+//	depeer       peer       session down; restored at end (duration
+//	                        omitted = permanent)
+//	drain        interface  capacity ×magnitude (default 0.05)
+//	brownout     interface  capacity ×magnitude (default 0.5)
+//	bmp-kill     router     BMP stream severed, redials refused
+//	ibgp-reset   router     controller iBGP session flapped once
+//	sflow-loss   (none)     collector datagram loss at rate magnitude
+//	                        (≥ 1 = total blackout)
+type EventFile struct {
+	Kind      string  `json:"kind"`
+	At        string  `json:"at"`
+	Duration  string  `json:"duration,omitempty"`
+	Magnitude float64 `json:"magnitude,omitempty"`
+	Prefix    string  `json:"prefix,omitempty"`
+	AS        uint32  `json:"as,omitempty"`
+	Peer      string  `json:"peer,omitempty"`
+	Interface int     `json:"interface,omitempty"`
+	Router    string  `json:"router,omitempty"`
+}
+
+// build parses the file form into an Event (target validation happens
+// later, in NewEventEngine, against the live topology).
+func (e *EventFile) build(idx int) (Event, error) {
+	ev := Event{
+		Kind:      EventKind(e.Kind),
+		Magnitude: e.Magnitude,
+		AS:        e.AS,
+		Peer:      e.Peer,
+		Interface: e.Interface,
+		Router:    e.Router,
+	}
+	at, err := time.ParseDuration(e.At)
+	if err != nil {
+		return ev, fmt.Errorf("netsim: event %d (%s): bad at: %w", idx, e.Kind, err)
+	}
+	ev.At = at
+	if e.Duration != "" {
+		d, err := time.ParseDuration(e.Duration)
+		if err != nil {
+			return ev, fmt.Errorf("netsim: event %d (%s): bad duration: %w", idx, e.Kind, err)
+		}
+		ev.Duration = d
+	}
+	if e.Prefix != "" {
+		p, err := netip.ParsePrefix(e.Prefix)
+		if err != nil {
+			return ev, fmt.Errorf("netsim: event %d (%s): bad prefix: %w", idx, e.Kind, err)
+		}
+		ev.Prefix = p.Masked()
+	}
+	return ev, nil
+}
+
 // ReadScenarioFile parses a scenario from r.
 func ReadScenarioFile(r io.Reader) (*ScenarioFile, error) {
 	var f ScenarioFile
@@ -97,20 +173,31 @@ func LoadScenarioFile(path string) (*Scenario, error) {
 // Build materializes and validates the scenario.
 func (f *ScenarioFile) Build() (*Scenario, error) {
 	topo := &Topology{Name: f.Name, LocalAS: f.LocalAS}
+	routerNames := make(map[string]bool, len(f.Routers))
 	for _, r := range f.Routers {
 		id, err := netip.ParseAddr(r.RouterID)
 		if err != nil {
 			return nil, fmt.Errorf("netsim: router %q: %w", r.Name, err)
 		}
 		topo.Routers = append(topo.Routers, Router{Name: r.Name, RouterID: id})
+		routerNames[r.Name] = true
 	}
+	ifIDs := make(map[int]bool, len(f.Interfaces))
 	for _, i := range f.Interfaces {
+		// Name the bad reference here, before topo.Validate's generic
+		// integrity pass: a hand-written file should say which entity is
+		// wrong, not just that something is.
+		if !routerNames[i.Router] {
+			return nil, fmt.Errorf("netsim: interface %q (id %d): %w %q",
+				i.Name, i.ID, ErrUnknownRouter, i.Router)
+		}
 		topo.Interfaces = append(topo.Interfaces, Interface{
 			ID:          i.ID,
 			Router:      i.Router,
 			Name:        i.Name,
 			CapacityBps: i.CapacityGbps * 1e9,
 		})
+		ifIDs[i.ID] = true
 	}
 	prefixSeen := make(map[netip.Prefix]*PrefixInfo)
 	var prefixes []*PrefixInfo
@@ -119,6 +206,12 @@ func (f *ScenarioFile) Build() (*Scenario, error) {
 		addr, err := netip.ParseAddr(p.Addr)
 		if err != nil {
 			return nil, fmt.Errorf("netsim: peer %q: %w", p.Name, err)
+		}
+		if !routerNames[p.Router] {
+			return nil, fmt.Errorf("netsim: peer %q: %w %q", p.Name, ErrUnknownRouter, p.Router)
+		}
+		if !ifIDs[p.Interface] {
+			return nil, fmt.Errorf("netsim: peer %q: %w %d", p.Name, ErrUnknownInterface, p.Interface)
 		}
 		peer := Peer{
 			Name:        p.Name,
@@ -190,11 +283,20 @@ func (f *ScenarioFile) Build() (*Scenario, error) {
 	if err := topo.Validate(); err != nil {
 		return nil, err
 	}
+	var events []Event
+	for i := range f.Events {
+		ev, err := f.Events[i].build(i)
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, ev)
+	}
 	return &Scenario{
 		Topo:     topo,
 		Prefixes: prefixes,
 		ASes:     ases,
 		Config:   SynthConfig{Name: f.Name, LocalAS: f.LocalAS, Seed: 1},
+		Events:   events,
 	}, nil
 }
 

@@ -2,7 +2,9 @@ package netsim
 
 import (
 	"context"
+	"errors"
 	"math"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -128,6 +130,145 @@ func TestScenarioFileErrors(t *testing.T) {
 		}
 		if _, err := f.Build(); err == nil {
 			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+// eventsJSON appends a composed event timeline to the base scenario.
+var eventsJSON = strings.Replace(scenarioJSON, `  ]
+}`, `  ],
+  "events": [
+    {"kind": "flash-crowd", "at": "10m", "duration": "20m", "magnitude": 3, "as": 65010},
+    {"kind": "ddos-surge", "at": "90s", "duration": "5m", "magnitude": 8, "prefix": "203.0.113.1/24"},
+    {"kind": "depeer", "at": "30m", "duration": "10m", "peer": "as65010-pni"},
+    {"kind": "drain", "at": "45m", "duration": "15m", "interface": 0},
+    {"kind": "ibgp-reset", "at": "1h", "router": "pr1"}
+  ]
+}`, 1)
+
+func TestScenarioFileEvents(t *testing.T) {
+	f, err := ReadScenarioFile(strings.NewReader(eventsJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := f.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Events) != 5 {
+		t.Fatalf("events = %d, want 5", len(sc.Events))
+	}
+	surge := sc.Events[1]
+	if surge.Kind != EventSurge || surge.At != 90*time.Second || surge.Duration != 5*time.Minute {
+		t.Errorf("surge parsed as %+v", surge)
+	}
+	// Host bits in the file's prefix are masked away.
+	if want := "203.0.113.0/24"; surge.Prefix.String() != want {
+		t.Errorf("surge prefix = %s, want %s (masked)", surge.Prefix, want)
+	}
+	if sc.Events[0].AS != 65010 || sc.Events[2].Peer != "as65010-pni" || sc.Events[4].Router != "pr1" {
+		t.Errorf("targets lost in parse: %+v", sc.Events)
+	}
+
+	// Malformed durations and prefixes fail with the event index and kind.
+	bad := []struct{ name, field, val, want string }{
+		{"bad at", `"at": "10m"`, `"at": "soon"`, `event 0 (flash-crowd): bad at`},
+		{"bad duration", `"duration": "20m"`, `"duration": "wat"`, `event 0 (flash-crowd): bad duration`},
+		{"bad prefix", `"prefix": "203.0.113.1/24"`, `"prefix": "nope"`, `event 1 (ddos-surge): bad prefix`},
+	}
+	for _, tc := range bad {
+		f, err := ReadScenarioFile(strings.NewReader(strings.Replace(eventsJSON, tc.field, tc.val, 1)))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", tc.name, err)
+		}
+		if _, err := f.Build(); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestScenarioFileNamedCrossRefErrors(t *testing.T) {
+	cases := []struct {
+		name     string
+		old, to  string
+		sentinel error
+		contains string
+	}{
+		{"peer unknown router", `"interface": 0, "router": "pr1", "base_rtt_ms": 9`,
+			`"interface": 0, "router": "pr9", "base_rtt_ms": 9`,
+			ErrUnknownRouter, `peer "as65010-pni"`},
+		{"peer unknown interface", `"interface": 0, "router": "pr1", "base_rtt_ms": 9`,
+			`"interface": 7, "router": "pr1", "base_rtt_ms": 9`,
+			ErrUnknownInterface, `peer "as65010-pni"`},
+		{"interface unknown router", `{"id": 0, "router": "pr1", "name": "pr1:pni", "capacity_gbps": 10}`,
+			`{"id": 0, "router": "pr9", "name": "pr1:pni", "capacity_gbps": 10}`,
+			ErrUnknownRouter, `interface "pr1:pni" (id 0)`},
+	}
+	for _, tc := range cases {
+		f, err := ReadScenarioFile(strings.NewReader(strings.Replace(scenarioJSON, tc.old, tc.to, 1)))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", tc.name, err)
+		}
+		_, err = f.Build()
+		if err == nil {
+			t.Errorf("%s: expected error", tc.name)
+			continue
+		}
+		if !errors.Is(err, tc.sentinel) {
+			t.Errorf("%s: errors.Is(%v, %v) = false", tc.name, err, tc.sentinel)
+		}
+		if !strings.Contains(err.Error(), tc.contains) {
+			t.Errorf("%s: err %q does not name the entity %q", tc.name, err, tc.contains)
+		}
+	}
+}
+
+// discardSink is an sFlow sink that accepts and drops everything.
+type discardSink struct{}
+
+func (discardSink) SendDatagram([]byte) error { return nil }
+
+// TestExampleScenariosBuild keeps every shipped example topology
+// loadable: each must build, and any embedded event timeline must pass
+// the engine's target validation against its own topology.
+func TestExampleScenariosBuild(t *testing.T) {
+	files, err := filepath.Glob("../../examples/topologies/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no example topologies found")
+	}
+	for _, path := range files {
+		sc, err := LoadScenarioFile(path)
+		if err != nil {
+			t.Errorf("%s: %v", filepath.Base(path), err)
+			continue
+		}
+		if len(sc.Events) == 0 {
+			continue
+		}
+		demand, err := sc.NewDemand(DemandConfig{PeakBps: 10e9})
+		if err != nil {
+			t.Errorf("%s: %v", filepath.Base(path), err)
+			continue
+		}
+		clock := NewClock(timeAtHour(20))
+		pop, err := NewPoP(PoPConfig{Scenario: sc, Demand: demand, Clock: clock})
+		if err != nil {
+			t.Errorf("%s: %v", filepath.Base(path), err)
+			continue
+		}
+		_, err = NewEventEngine(EventEngineConfig{
+			Start:  clock.Now(),
+			Events: sc.Events,
+			PoP:    pop,
+			Demand: demand,
+			Loss:   NewLossySink(discardSink{}, 1),
+		})
+		pop.Close()
+		if err != nil {
+			t.Errorf("%s: event timeline invalid: %v", filepath.Base(path), err)
 		}
 	}
 }

@@ -141,6 +141,10 @@ type Scenario struct {
 	ASes map[uint32]*EdgeAS
 	// Config echoes the (defaulted) generator config.
 	Config SynthConfig
+	// Events is the scenario's scheduled event timeline (offsets from
+	// the run start). Harnesses attach it via an EventEngine; a nil
+	// slice means a quiet scenario.
+	Events []Event
 }
 
 // PrefixByAddr returns the PrefixInfo covering a representative address,

@@ -163,6 +163,21 @@ func (t *Topology) Validate() error {
 	return nil
 }
 
+// SetInterfaceCapacity mutates an interface's capacity at runtime —
+// the event engine's drain/brownout hook. Callers must serialize with
+// dataplane ticks (the engine runs on the tick goroutine).
+func (t *Topology) SetInterfaceCapacity(id int, bps float64) error {
+	ifc := t.ifByID[id]
+	if ifc == nil {
+		return fmt.Errorf("netsim: unknown interface %d", id)
+	}
+	if bps <= 0 {
+		return fmt.Errorf("netsim: interface %d: capacity must be positive", id)
+	}
+	ifc.CapacityBps = bps
+	return nil
+}
+
 // PeerByAddr returns the peer with the given address, or nil.
 func (t *Topology) PeerByAddr(a netip.Addr) *Peer { return t.peerByAddr[a] }
 

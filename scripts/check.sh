@@ -21,6 +21,14 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+# Chaos soak smoke, explicitly time-budgeted: the reduced-scale E16
+# rung (120 cycles of seeded composed chaos + the fail-static-disabled
+# control arm) must go green inside 4 minutes even under the race
+# detector. The full 500-cycle soak backs EXPERIMENTS.md E16 via
+# `efbench -only E16`; this is the per-merge rung.
+echo "==> chaos soak smoke (TestE16SoakSmoke, race, 4m budget)"
+go test -race -count=1 -timeout 4m -run '^TestE16SoakSmoke$' ./internal/exp
+
 # Hot-path benchmarks -> BENCH_hotpath.json, gated against the
 # committed previous run. The 1M-prefix benchmarks are deliberately
 # excluded (minutes of table construction; they back EXPERIMENTS.md
@@ -94,5 +102,13 @@ EOF
   > "$fleettmp/fleet.out" 2>&1
 grep -q "fleet summary (2 PoPs; shared sFlow demux: 0 malformed, 0 unknown-agent)" \
   "$fleettmp/fleet.out"
+
+# Scenario timeline smoke: popsim must load the composed example
+# timeline (all nine event kinds) and arm the event engine.
+echo "==> popsim chaos-timeline load smoke"
+go build -o "$fleettmp/popsim" ./cmd/popsim
+"$fleettmp/popsim" --topology examples/topologies/chaos-timeline.json \
+  --duration 3s --report-every 1s > "$fleettmp/popsim.out" 2>&1
+grep -q "event timeline armed (9 events)" "$fleettmp/popsim.out"
 
 echo "OK"

@@ -47,6 +47,7 @@ func main() {
 		threshold   = flag.Float64("threshold", 0.95, "interface utilization threshold")
 		duration    = flag.Duration("duration", 0, "run time (0 = until interrupt; embedded mode default 24h virtual)")
 		perfAware   = flag.Bool("perf-aware", false, "enable performance-aware overrides (embedded mode)")
+		multipath   = flag.Bool("multipath", false, "upgrade the perf pass to weighted multipath splits (embedded mode, implies -perf-aware)")
 		prefixes    = flag.Int("prefixes", 2000, "embedded mode: number of prefixes")
 		peakGbps    = flag.Float64("peak-gbps", 400, "embedded mode: peak demand (Gbps)")
 		seed        = flag.Int64("seed", 1, "embedded mode: scenario seed")
@@ -70,7 +71,7 @@ func main() {
 		runRemote(ctx, *invPath, *sflowListen, *cycle, *threshold, *duration, *status, audit, *verbose)
 		return
 	}
-	runEmbedded(ctx, *prefixes, *peakGbps, *seed, *threshold, *duration, *status, audit, *perfAware, *verbose)
+	runEmbedded(ctx, *prefixes, *peakGbps, *seed, *threshold, *duration, *status, audit, *perfAware || *multipath, *multipath, *verbose)
 }
 
 // openAudit returns an audit logger appending to path, or nil.
@@ -279,7 +280,7 @@ func servePprof(ctx context.Context, addr string) {
 }
 
 // runEmbedded fast-forwards a self-contained simulation.
-func runEmbedded(ctx context.Context, prefixes int, peakGbps float64, seed int64, threshold float64, duration time.Duration, statusAddr string, audit *core.AuditLogger, perfAware, verbose bool) {
+func runEmbedded(ctx context.Context, prefixes int, peakGbps float64, seed int64, threshold float64, duration time.Duration, statusAddr string, audit *core.AuditLogger, perfAware, multipath, verbose bool) {
 	if duration == 0 {
 		duration = 24 * time.Hour
 	}
@@ -296,6 +297,7 @@ func runEmbedded(ctx context.Context, prefixes int, peakGbps float64, seed int64
 		Allocator:         core.AllocatorConfig{Threshold: threshold},
 		ControllerEnabled: true,
 		PerfAware:         perfAware,
+		Multipath:         multipath,
 		Audit:             audit,
 		Logf:              logf,
 	}

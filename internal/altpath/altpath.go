@@ -27,12 +27,25 @@ type RTTSource interface {
 	RTTForRoute(p netip.Prefix, r *rib.Route) float64
 }
 
+// LossSource optionally extends an RTTSource with per-path loss: the
+// fraction of a sampled flow's segments that needed retransmission. The
+// production analogue is the server-side TCP retransmit counters the
+// paper's measurement pipeline already collects alongside RTT. A Source
+// that does not implement LossSource yields zero retransmit stats.
+type LossSource interface {
+	// LossForRoute returns the retransmit fraction in [0,1] a flow to
+	// prefix p experiences when routed via r.
+	LossForRoute(p netip.Prefix, r *rib.Route) float64
+}
+
 // Config parameterizes a Measurer.
 type Config struct {
 	// Routes supplies all known routes per prefix (the controller's
 	// route store table).
 	Routes *rib.Table
-	// Source measures individual sampled flows; required.
+	// Source measures individual sampled flows; required. If it also
+	// implements LossSource, per-path retransmit fractions are
+	// collected.
 	Source RTTSource
 	// MaxAltPaths is how many alternate routes are measured per prefix,
 	// matching the number of spare DSCP marks. Default 3.
@@ -73,6 +86,9 @@ type PathStat struct {
 	Primary bool
 	// P50 and P90 are RTT percentiles over the sample window, in ms.
 	P50, P90 float64
+	// RetransFrac is the mean retransmit (loss) fraction over the
+	// window, in [0,1]. Zero when the source measures only RTT.
+	RetransFrac float64
 	// N is the number of samples in the window.
 	N int
 }
@@ -91,36 +107,41 @@ type PrefixReport struct {
 }
 
 // Measurer samples flows onto alternate paths and aggregates
-// per-(prefix, path) RTT windows. Safe for concurrent use.
+// per-(prefix, path) RTT/retransmit windows. Safe for concurrent use.
 type Measurer struct {
-	cfg Config
+	cfg  Config
+	loss LossSource // nil when the source measures only RTT
 
-	mu      sync.Mutex
-	rng     *rand.Rand
-	windows map[pathKey]*window
+	mu       sync.Mutex
+	rng      *rand.Rand
+	byPrefix map[netip.Prefix]*prefixWindows
 }
 
-type pathKey struct {
-	prefix netip.Prefix
-	peer   netip.Addr
+// prefixWindows holds one prefix's measurement state: a window per
+// currently-measured peer, plus the route-table generation the set was
+// last reconciled against.
+type prefixWindows struct {
+	paths map[netip.Addr]*window
+	gen   uint64
 }
 
 type window struct {
 	samples []float64
+	retrans []float64
 	next    int
-	full    bool
 	primary bool
 	route   *rib.Route
 }
 
-func (w *window) add(v float64, max int) {
+func (w *window) add(rtt, loss float64, max int) {
 	if len(w.samples) < max {
-		w.samples = append(w.samples, v)
+		w.samples = append(w.samples, rtt)
+		w.retrans = append(w.retrans, loss)
 		return
 	}
-	w.samples[w.next] = v
+	w.samples[w.next] = rtt
+	w.retrans[w.next] = loss
 	w.next = (w.next + 1) % len(w.samples)
-	w.full = true
 }
 
 func (w *window) percentile(q float64) float64 {
@@ -133,40 +154,87 @@ func (w *window) percentile(q float64) float64 {
 	return sorted[idx]
 }
 
+func (w *window) meanRetrans() float64 {
+	if len(w.retrans) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range w.retrans {
+		sum += v
+	}
+	return sum / float64(len(w.retrans))
+}
+
+// reset discards the sample buffers, keeping the backing arrays: the
+// path this window measured changed identity, so its history describes
+// a route that no longer exists.
+func (w *window) reset() {
+	w.samples = w.samples[:0]
+	w.retrans = w.retrans[:0]
+	w.next = 0
+}
+
 // NewMeasurer returns a Measurer for cfg.
 func NewMeasurer(cfg Config) (*Measurer, error) {
 	cfg.setDefaults()
 	if cfg.Routes == nil || cfg.Source == nil {
 		return nil, fmt.Errorf("altpath: Routes and Source required")
 	}
-	return &Measurer{
-		cfg:     cfg,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		windows: make(map[pathKey]*window),
-	}, nil
+	m := &Measurer{
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		byPrefix: make(map[netip.Prefix]*prefixWindows),
+	}
+	if ls, ok := cfg.Source.(LossSource); ok {
+		m.loss = ls
+	}
+	return m, nil
 }
 
 // MeasureRound samples the primary and up to MaxAltPaths alternates of
 // each given prefix, as the production system continuously does for
 // random user flows. Prefixes without at least one alternate are
-// skipped. It returns the number of (prefix, path) pairs sampled.
+// skipped (and their stale windows pruned). It returns the number of
+// (prefix, path) pairs sampled.
+//
+// Each round reconciles a prefix's window set against the current route
+// table, gated on the table's per-prefix generation so unchanged
+// prefixes skip the work: windows for withdrawn routes are pruned (a
+// stale window would otherwise surface a BestAlt the controller can no
+// longer steer onto), stale primary flags are cleared when the
+// preferred route changes, and a window whose peer now reaches the
+// prefix over a different path (new next hop or egress interface) is
+// reset rather than blended with the old path's history.
 func (m *Measurer) MeasureRound(prefixes []netip.Prefix) int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	measured := 0
 	for _, p := range prefixes {
+		gen := m.cfg.Routes.Generation(p)
 		routes := organic(m.cfg.Routes.Routes(p))
+		pw := m.byPrefix[p]
 		if len(routes) < 2 {
+			// No measurable alternate (or no routes at all): drop any
+			// windows left from when the prefix had more paths.
+			if pw != nil {
+				delete(m.byPrefix, p)
+			}
 			continue
+		}
+		if pw == nil {
+			pw = &prefixWindows{paths: make(map[netip.Addr]*window), gen: gen}
+			m.byPrefix[p] = pw
+		} else if pw.gen != gen {
+			m.reconcileLocked(pw, routes)
+			pw.gen = gen
 		}
 		limit := min(len(routes), 1+m.cfg.MaxAltPaths)
 		for i := 0; i < limit; i++ {
 			r := routes[i]
-			k := pathKey{prefix: p, peer: r.PeerAddr}
-			w, ok := m.windows[k]
+			w, ok := pw.paths[r.PeerAddr]
 			if !ok {
 				w = &window{}
-				m.windows[k] = w
+				pw.paths[r.PeerAddr] = w
 			}
 			w.primary = i == 0
 			w.route = r
@@ -175,12 +243,41 @@ func (m *Measurer) MeasureRound(prefixes []netip.Prefix) int {
 				if rtt < 0.1 {
 					rtt = 0.1
 				}
-				w.add(rtt, m.cfg.WindowSamples)
+				var loss float64
+				if m.loss != nil {
+					loss = m.loss.LossForRoute(p, r)
+				}
+				w.add(rtt, loss, m.cfg.WindowSamples)
 			}
 			measured++
 		}
 	}
 	return measured
+}
+
+// reconcileLocked aligns one prefix's window set with its current
+// organic routes after a table change: windows for withdrawn peers are
+// pruned, every surviving primary flag is cleared (MeasureRound re-marks
+// the current preferred route, including windows beyond the measured
+// limit that would otherwise keep a stale flag), and windows whose
+// peer's route changed path identity are reset.
+func (m *Measurer) reconcileLocked(pw *prefixWindows, routes []*rib.Route) {
+	current := make(map[netip.Addr]*rib.Route, len(routes))
+	for _, r := range routes {
+		current[r.PeerAddr] = r
+	}
+	for peer, w := range pw.paths {
+		r, ok := current[peer]
+		if !ok {
+			delete(pw.paths, peer)
+			continue
+		}
+		w.primary = false
+		if w.route != nil && (w.route.NextHop != r.NextHop || w.route.EgressIF != r.EgressIF) {
+			w.reset()
+		}
+		w.route = r
+	}
 }
 
 // organic filters out controller-injected routes: measurements compare
@@ -204,17 +301,22 @@ func (m *Measurer) Report(p netip.Prefix) *PrefixReport {
 }
 
 func (m *Measurer) reportLocked(p netip.Prefix) *PrefixReport {
+	pw := m.byPrefix[p]
+	if pw == nil {
+		return nil
+	}
 	var paths []PathStat
-	for k, w := range m.windows {
-		if k.prefix != p || len(w.samples) == 0 {
+	for _, w := range pw.paths {
+		if len(w.samples) == 0 {
 			continue
 		}
 		paths = append(paths, PathStat{
-			Route:   w.route,
-			Primary: w.primary,
-			P50:     w.percentile(0.50),
-			P90:     w.percentile(0.90),
-			N:       len(w.samples),
+			Route:       w.route,
+			Primary:     w.primary,
+			P50:         w.percentile(0.50),
+			P90:         w.percentile(0.90),
+			RetransFrac: w.meanRetrans(),
+			N:           len(w.samples),
 		})
 	}
 	if len(paths) == 0 {
@@ -246,28 +348,33 @@ func (m *Measurer) reportLocked(p netip.Prefix) *PrefixReport {
 func (m *Measurer) Reports() []*PrefixReport {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	seen := make(map[netip.Prefix]bool)
-	var out []*PrefixReport
-	for k := range m.windows {
-		if seen[k.prefix] {
-			continue
-		}
-		seen[k.prefix] = true
-		if rep := m.reportLocked(k.prefix); rep != nil {
+	out := make([]*PrefixReport, 0, len(m.byPrefix))
+	for p := range m.byPrefix {
+		if rep := m.reportLocked(p); rep != nil {
 			out = append(out, rep)
 		}
 	}
 	return out
 }
 
-// GapCDF summarizes all measured prefixes: the fraction whose best
+// GapCDF summarizes measured prefixes: the fraction whose best
 // alternate beats the primary's median RTT by at least each of the
 // given thresholds (in ms). This regenerates the paper's §6 headline
 // ("for ~5% of prefixes an alternate is ≥20 ms faster").
+//
+// The denominator is the number of prefixes *with a measured
+// alternate* (the paper's population); reports whose alternates have
+// produced no samples yet do not count against the fractions.
 func (m *Measurer) GapCDF(thresholdsMS ...float64) map[float64]float64 {
 	reports := m.Reports()
 	out := make(map[float64]float64, len(thresholdsMS))
-	if len(reports) == 0 {
+	withAlt := 0
+	for _, rep := range reports {
+		if rep.BestAlt != nil {
+			withAlt++
+		}
+	}
+	if withAlt == 0 {
 		return out
 	}
 	for _, th := range thresholdsMS {
@@ -277,7 +384,7 @@ func (m *Measurer) GapCDF(thresholdsMS ...float64) map[float64]float64 {
 				n++
 			}
 		}
-		out[th] = float64(n) / float64(len(reports))
+		out[th] = float64(n) / float64(withAlt)
 	}
 	return out
 }

@@ -183,3 +183,223 @@ func TestMeasurerConfigValidation(t *testing.T) {
 		t.Error("missing Routes/Source should fail")
 	}
 }
+
+// lossModelSource extends modelSource with per-(prefix, peer) loss.
+type lossModelSource struct {
+	modelSource
+	loss map[string]float64
+}
+
+func (s lossModelSource) LossForRoute(p netip.Prefix, r *rib.Route) float64 {
+	return s.loss[p.String()+"|"+r.PeerAddr.String()]
+}
+
+// Regression: a withdrawn route's window must be pruned, or Report can
+// surface a BestAlt the controller can no longer steer onto.
+func TestMeasurerPrunesWithdrawnRoutes(t *testing.T) {
+	tab, src := mkTable(t, 1, map[int]float64{0: 30}) // transit 30ms faster
+	p := netip.MustParsePrefix("10.0.0.0/24")
+	m, _ := NewMeasurer(Config{Routes: tab, Source: src, Seed: 6, NoiseMS: 0.5})
+	for i := 0; i < 6; i++ {
+		m.MeasureRound([]netip.Prefix{p})
+	}
+	rep := m.Report(p)
+	if rep == nil || rep.BestAlt == nil || rep.BestAlt.Route.PeerClass != rib.ClassTransit {
+		t.Fatalf("setup: want transit BestAlt, got %+v", rep)
+	}
+
+	// Withdraw the transit route. Add a second private route so the
+	// prefix keeps >= 2 organic paths and stays measurable.
+	tab.Remove(p, netip.MustParseAddr("172.20.0.9"))
+	private2 := &rib.Route{
+		Prefix: p, NextHop: netip.MustParseAddr("172.20.0.5"),
+		PeerAddr: netip.MustParseAddr("172.20.0.5"), PeerClass: rib.ClassPrivate,
+		ASPath: []uint32{65011, 65010}, EgressIF: 1,
+	}
+	rib.DefaultPolicy().Import(private2)
+	tab.Add(private2)
+	src[p.String()+"|172.20.0.5"] = 60
+
+	m.MeasureRound([]netip.Prefix{p})
+	rep = m.Report(p)
+	if rep == nil {
+		t.Fatal("no report after withdraw")
+	}
+	for _, ps := range rep.Paths {
+		if ps.Route.PeerAddr == netip.MustParseAddr("172.20.0.9") {
+			t.Error("withdrawn transit route still present in report")
+		}
+	}
+	if rep.BestAlt != nil && rep.BestAlt.Route.PeerAddr == netip.MustParseAddr("172.20.0.9") {
+		t.Error("BestAlt points at a withdrawn route")
+	}
+
+	// Prefix dropping below two organic routes drops all its windows.
+	tab.Remove(p, netip.MustParseAddr("172.20.0.5"))
+	m.MeasureRound([]netip.Prefix{p})
+	if m.Report(p) != nil {
+		t.Error("report survives with a single remaining route")
+	}
+}
+
+// Regression: when the preferred route flips, the old primary's window
+// must lose its primary flag even when the new route ordering leaves it
+// past the measured limit — otherwise reportLocked sorts a stale
+// "primary" first and the report compares against the wrong baseline.
+func TestMeasurerClearsStalePrimaryOnFlip(t *testing.T) {
+	tab := rib.NewTable(rib.DefaultPolicy())
+	p := netip.MustParsePrefix("10.0.0.0/24")
+	src := modelSource{}
+	// Three routes with MaxAltPaths=1 so only two are measured per
+	// round; the third keeps a window only from before the flip.
+	mk := func(addr string, class rib.PeerClass, pref uint32, ifidx int) *rib.Route {
+		r := &rib.Route{
+			Prefix: p, NextHop: netip.MustParseAddr(addr),
+			PeerAddr: netip.MustParseAddr(addr), PeerClass: class,
+			ASPath: []uint32{65010}, EgressIF: ifidx, LocalPref: pref,
+		}
+		tab.Add(r)
+		return r
+	}
+	mk("172.20.0.1", rib.ClassPrivate, 400, 0)
+	mk("172.20.0.2", rib.ClassPublic, 300, 1)
+	mk("172.20.0.9", rib.ClassTransit, 200, 3)
+	src[p.String()+"|172.20.0.1"] = 20
+	src[p.String()+"|172.20.0.2"] = 30
+	src[p.String()+"|172.20.0.9"] = 40
+
+	m, _ := NewMeasurer(Config{Routes: tab, Source: src, Seed: 7, NoiseMS: 0.5, MaxAltPaths: 1})
+	for i := 0; i < 4; i++ {
+		m.MeasureRound([]netip.Prefix{p})
+	}
+	rep := m.Report(p)
+	if rep == nil || rep.Paths[0].Route.PeerAddr != netip.MustParseAddr("172.20.0.1") {
+		t.Fatalf("setup: want 172.20.0.1 primary, got %+v", rep)
+	}
+
+	// Flip preference: old primary drops below both others, so after the
+	// flip it sits past the measured limit with (pre-fix) a stale
+	// primary flag.
+	tab.Add(&rib.Route{
+		Prefix: p, NextHop: netip.MustParseAddr("172.20.0.1"),
+		PeerAddr: netip.MustParseAddr("172.20.0.1"), PeerClass: rib.ClassPrivate,
+		ASPath: []uint32{65010}, EgressIF: 0, LocalPref: 100,
+	})
+	m.MeasureRound([]netip.Prefix{p})
+	rep = m.Report(p)
+	if rep == nil {
+		t.Fatal("no report after flip")
+	}
+	if got := rep.Paths[0].Route.PeerAddr; got != netip.MustParseAddr("172.20.0.2") {
+		t.Errorf("primary after flip = %v, want 172.20.0.2", got)
+	}
+	nPrimary := 0
+	for _, ps := range rep.Paths {
+		if ps.Primary {
+			nPrimary++
+		}
+	}
+	if nPrimary != 1 {
+		t.Errorf("%d windows flagged primary, want exactly 1", nPrimary)
+	}
+}
+
+// Regression: GapCDF must divide by prefixes with a measured alternate,
+// not all reports — a primary-only report (alternate routes exist but
+// have produced no samples yet) must not dilute the fractions.
+func TestMeasurerGapCDFDenominator(t *testing.T) {
+	tab, src := mkTable(t, 4, map[int]float64{0: 25, 1: 25}) // 2 of 4 with 25ms-faster alt
+	m, _ := NewMeasurer(Config{Routes: tab, Source: src, Seed: 8, NoiseMS: 0.5})
+	for i := 0; i < 6; i++ {
+		m.MeasureRound(prefixes(4))
+	}
+	// Fabricate a primary-only report for a fifth prefix: a window set
+	// where only the primary has samples (its alternates were measured
+	// zero times, e.g. the prefix just became multipath-visible).
+	p5 := netip.MustParsePrefix("10.0.9.0/24")
+	m.mu.Lock()
+	m.byPrefix[p5] = &prefixWindows{paths: map[netip.Addr]*window{
+		netip.MustParseAddr("172.20.0.1"): {samples: []float64{20, 20}, retrans: []float64{0, 0}, primary: true},
+	}}
+	m.mu.Unlock()
+	if rep := m.Report(p5); rep == nil || rep.BestAlt != nil {
+		t.Fatalf("setup: want primary-only report, got %+v", rep)
+	}
+	cdf := m.GapCDF(20)
+	// Denominator must be 4 (prefixes with a measured alternate), not 5.
+	if got := cdf[20]; math.Abs(got-0.50) > 0.01 {
+		t.Errorf("fraction >=20ms = %.3f, want 0.50 (denominator excludes BestAlt==nil)", got)
+	}
+}
+
+func TestMeasurerRetransStats(t *testing.T) {
+	tab, base := mkTable(t, 1, nil)
+	p := netip.MustParsePrefix("10.0.0.0/24")
+	src := lossModelSource{modelSource: base, loss: map[string]float64{
+		p.String() + "|172.20.0.9": 0.08,
+	}}
+	m, _ := NewMeasurer(Config{Routes: tab, Source: src, Seed: 9, NoiseMS: 0.5})
+	for i := 0; i < 4; i++ {
+		m.MeasureRound([]netip.Prefix{p})
+	}
+	rep := m.Report(p)
+	if rep == nil {
+		t.Fatal("no report")
+	}
+	for _, ps := range rep.Paths {
+		switch ps.Route.PeerAddr {
+		case netip.MustParseAddr("172.20.0.1"):
+			if ps.RetransFrac != 0 {
+				t.Errorf("clean path RetransFrac = %.3f, want 0", ps.RetransFrac)
+			}
+		case netip.MustParseAddr("172.20.0.9"):
+			if math.Abs(ps.RetransFrac-0.08) > 1e-9 {
+				t.Errorf("lossy path RetransFrac = %.3f, want 0.08", ps.RetransFrac)
+			}
+		}
+	}
+
+	// A plain RTTSource still works, with zero retrans stats.
+	m2, _ := NewMeasurer(Config{Routes: tab, Source: base, Seed: 10})
+	m2.MeasureRound([]netip.Prefix{p})
+	for _, ps := range m2.Report(p).Paths {
+		if ps.RetransFrac != 0 {
+			t.Errorf("RTT-only source produced RetransFrac %.3f", ps.RetransFrac)
+		}
+	}
+}
+
+// A route identity change (same peer, new next hop / egress interface)
+// must reset the window rather than blend histories across paths.
+func TestMeasurerResetsWindowOnRouteIdentityChange(t *testing.T) {
+	tab, src := mkTable(t, 1, nil)
+	p := netip.MustParsePrefix("10.0.0.0/24")
+	m, _ := NewMeasurer(Config{Routes: tab, Source: src, Seed: 11, NoiseMS: 0.5})
+	for i := 0; i < 8; i++ {
+		m.MeasureRound([]netip.Prefix{p})
+	}
+	// Re-announce the transit route with a different egress interface
+	// and a much slower RTT.
+	replacement := &rib.Route{
+		Prefix: p, NextHop: netip.MustParseAddr("172.20.0.9"),
+		PeerAddr: netip.MustParseAddr("172.20.0.9"), PeerClass: rib.ClassTransit,
+		ASPath: []uint32{64601, 65010}, EgressIF: 4,
+	}
+	rib.DefaultPolicy().Import(replacement)
+	tab.Add(replacement)
+	src[p.String()+"|172.20.0.9"] = 200
+	m.MeasureRound([]netip.Prefix{p})
+	rep := m.Report(p)
+	for _, ps := range rep.Paths {
+		if ps.Route.PeerAddr == netip.MustParseAddr("172.20.0.9") {
+			// Fresh window: one round of samples at the new RTT, no
+			// 40ms history dragging the percentile down.
+			if ps.P50 < 150 {
+				t.Errorf("transit P50 = %.1f after identity change, want ~200 (window not reset)", ps.P50)
+			}
+			if ps.N > 4 {
+				t.Errorf("transit window N = %d after identity change, want fresh window", ps.N)
+			}
+		}
+	}
+}

@@ -151,7 +151,19 @@ type OverrideDoc struct {
 	FromIF    int     `json:"from_if"`
 	ToIF      int     `json:"to_if"`
 	RateBps   float64 `json:"rate_bps"`
-	Reason    string  `json:"reason"`
+	// Weights lists the members of a weighted multipath override,
+	// heaviest first; absent for single-path detours.
+	Weights []PathWeightDoc `json:"weights,omitempty"`
+	Reason  string          `json:"reason"`
+}
+
+// PathWeightDoc is one member of a weighted multipath override.
+type PathWeightDoc struct {
+	NextHop   string  `json:"next_hop"`
+	PeerClass string  `json:"peer_class"`
+	ToIF      int     `json:"to_if"`
+	WeightPct int     `json:"weight_pct"`
+	RateBps   float64 `json:"rate_bps"`
 }
 
 func overrideDocs(c *core.Controller) []OverrideDoc {
@@ -177,6 +189,18 @@ func overrideDocs(c *core.Controller) []OverrideDoc {
 		if o.Via != nil {
 			doc.NextHop = o.Via.NextHop.String()
 			doc.PeerClass = o.Via.PeerClass.String()
+		}
+		for _, pw := range o.Multipath {
+			mw := PathWeightDoc{
+				ToIF:      pw.ToIF,
+				WeightPct: pw.WeightPct,
+				RateBps:   pw.RateBps,
+			}
+			if pw.Via != nil {
+				mw.NextHop = pw.Via.NextHop.String()
+				mw.PeerClass = pw.Via.PeerClass.String()
+			}
+			doc.Weights = append(doc.Weights, mw)
 		}
 		out = append(out, doc)
 	}

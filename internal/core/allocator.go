@@ -121,13 +121,47 @@ type Override struct {
 	// half of (AllowSplit).
 	SplitOf netip.Prefix
 	// Via is the organic alternate route the traffic is steered onto.
+	// For a multipath override this is the heaviest member's route.
 	Via *rib.Route
-	// FromIF / ToIF are the egress interfaces before and after.
+	// FromIF / ToIF are the egress interfaces before and after. For a
+	// multipath override ToIF is the heaviest member's interface.
 	FromIF, ToIF int
-	// RateBps is the demand moved.
+	// RateBps is the demand moved (the prefix's whole projected rate
+	// for a multipath override).
 	RateBps float64
+	// Multipath, when non-empty, spreads the prefix's demand across a
+	// weighted set of egresses instead of a single detour. Members are
+	// ordered heaviest-first; weights sum to 100.
+	Multipath []PathWeight
 	// Reason is a one-line explanation for the audit log.
 	Reason string
+}
+
+// PathWeight is one member of a weighted multipath override.
+type PathWeight struct {
+	// Via is the organic route this member steers onto.
+	Via *rib.Route
+	// ToIF is the member's egress interface.
+	ToIF int
+	// WeightPct is the member's share of the prefix's demand, in
+	// integer percent (1..100); a set's weights sum to 100.
+	WeightPct int
+	// RateBps is the member's share of the projected demand.
+	RateBps float64
+}
+
+// SameMultipath reports whether two weighted member sets are
+// identical: same routes in the same order with the same weights.
+func SameMultipath(a, b []PathWeight) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Via != b[i].Via || a[i].ToIF != b[i].ToIF || a[i].WeightPct != b[i].WeightPct {
+			return false
+		}
+	}
+	return true
 }
 
 // AllocResult is the allocator's outcome for one cycle.
@@ -247,6 +281,12 @@ func AllocateStickyTraced(proj *Projection, inv *Inventory, cfg AllocatorConfig,
 		rib.SortPrefixes(keys)
 		for _, prefix := range keys {
 			old := prior[prefix]
+			// Multipath overrides belong to the perf pass, which applies
+			// its own hysteresis; retaining one here as a single-path
+			// detour would collapse the weighted set.
+			if len(old.Multipath) > 0 {
+				continue
+			}
 			// A split override is keyed by the more-specific half; its
 			// demand lives under the aggregate's plan at half rate.
 			planKey := prefix

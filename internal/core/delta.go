@@ -539,7 +539,8 @@ func samePrior(a, b map[netip.Prefix]Override) bool {
 	for p, oa := range a {
 		ob, ok := b[p]
 		if !ok || oa.Via != ob.Via || oa.SplitOf != ob.SplitOf ||
-			oa.FromIF != ob.FromIF || oa.ToIF != ob.ToIF || oa.RateBps != ob.RateBps {
+			oa.FromIF != ob.FromIF || oa.ToIF != ob.ToIF || oa.RateBps != ob.RateBps ||
+			!SameMultipath(oa.Multipath, ob.Multipath) {
 			return false
 		}
 	}

@@ -64,9 +64,12 @@ type injRouter struct {
 	addr netip.Addr
 	peer *bgp.Peer
 	// delivered maps each prefix the router acknowledged taking to the
-	// next hop it was announced with. Cleared when the session drops —
-	// BGP semantics already withdrew everything the session carried.
-	delivered map[netip.Prefix]netip.Addr
+	// signature of the announcement it holds (next hop for a single
+	// detour, the weighted member set for multipath; see overrideSig).
+	// A multipath prefix is recorded only once every member UPDATE was
+	// taken. Cleared when the session drops — BGP semantics already
+	// withdrew everything the session carried.
+	delivered map[netip.Prefix]string
 }
 
 // NewInjector returns an Injector; wire routers with AddRouter or
@@ -126,7 +129,7 @@ func (inj *Injector) clearDelivered(addr netip.Addr) {
 	inj.mu.Lock()
 	defer inj.mu.Unlock()
 	if r, ok := inj.routers[addr]; ok {
-		r.delivered = make(map[netip.Prefix]netip.Addr)
+		r.delivered = make(map[netip.Prefix]string)
 	}
 }
 
@@ -143,7 +146,7 @@ func (inj *Injector) addRouterPeer(addr netip.Addr, dial func(ctx context.Contex
 		return nil, err
 	}
 	inj.mu.Lock()
-	inj.routers[addr] = &injRouter{addr: addr, peer: peer, delivered: make(map[netip.Prefix]netip.Addr)}
+	inj.routers[addr] = &injRouter{addr: addr, peer: peer, delivered: make(map[netip.Prefix]string)}
 	inj.mu.Unlock()
 	return peer, nil
 }
@@ -239,10 +242,14 @@ const (
 	CommunityPerf uint16 = 2
 	// CommunitySplit marks more-specific split halves.
 	CommunitySplit uint16 = 3
+	// CommunityMultipath marks members of a weighted multipath set;
+	// each member also carries a slot and weight community (see
+	// rib.MultipathSlotCommunity / rib.MultipathWeightCommunity).
+	CommunityMultipath uint16 = 4
 )
 
-// overrideCommunities returns the communities an override is announced
-// with.
+// overrideCommunities returns the communities a single-path override is
+// announced with (multipath members build theirs in announceUnits).
 func overrideCommunities(o Override) []uint32 {
 	cs := []uint32{rib.Community(CommunityTagAS, CommunityOverride)}
 	if strings.Contains(o.Reason, "alt path") {
@@ -252,6 +259,57 @@ func overrideCommunities(o Override) []uint32 {
 		cs = append(cs, rib.Community(CommunityTagAS, CommunitySplit))
 	}
 	return cs
+}
+
+// overrideSig is the identity of an override on the wire: a router
+// holding a delivery with the same signature needs no updates. Single
+// detours key on the next hop (matching the pre-multipath behavior);
+// weighted sets key on the ordered members and their weights.
+func overrideSig(o Override) string {
+	if len(o.Multipath) == 0 {
+		return o.Via.NextHop.String()
+	}
+	var b strings.Builder
+	for i, pw := range o.Multipath {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		fmt.Fprintf(&b, "%s@%d", pw.Via.NextHop, pw.WeightPct)
+	}
+	return b.String()
+}
+
+// annUnit is one UPDATE-able announcement: a single-path override is
+// one unit, a multipath override is one unit per weighted member.
+type annUnit struct {
+	prefix      netip.Prefix
+	nh          netip.Addr
+	asPath      []uint32
+	communities []uint32
+}
+
+// announceUnits expands an override into its wire units. Multipath
+// members are announced add-path-style: each member its own UPDATE
+// carrying a slot community (so the router can hold all members at
+// once) and a weight community (the member's demand share).
+func announceUnits(o Override) []annUnit {
+	if len(o.Multipath) == 0 {
+		return []annUnit{{prefix: o.Prefix, nh: o.Via.NextHop, asPath: o.Via.ASPath,
+			communities: overrideCommunities(o)}}
+	}
+	units := make([]annUnit, len(o.Multipath))
+	for i, pw := range o.Multipath {
+		units[i] = annUnit{
+			prefix: o.Prefix, nh: pw.Via.NextHop, asPath: pw.Via.ASPath,
+			communities: []uint32{
+				rib.Community(CommunityTagAS, CommunityOverride),
+				rib.Community(CommunityTagAS, CommunityMultipath),
+				rib.MultipathSlotCommunity(i),
+				rib.MultipathWeightCommunity(pw.WeightPct),
+			},
+		}
+	}
+	return units
 }
 
 // SyncResult reports what one Sync did, in prefixes (not messages, not
@@ -301,8 +359,8 @@ func (inj *Injector) Sync(desired []Override) (SyncResult, error) {
 	// should no longer carry (no longer wanted, or next hop changed).
 	for _, r := range up {
 		var wd []netip.Prefix
-		for prefix, nh := range r.delivered {
-			if cur, ok := want[prefix]; ok && cur.Via.NextHop == nh {
+		for prefix, sig := range r.delivered {
+			if cur, ok := want[prefix]; ok && overrideSig(cur) == sig {
 				continue
 			}
 			wd = append(wd, prefix)
@@ -324,30 +382,24 @@ func (inj *Injector) Sync(desired []Override) (SyncResult, error) {
 	for _, r := range up {
 		var adds []Override
 		for prefix, o := range want {
-			if nh, ok := r.delivered[prefix]; ok && nh == o.Via.NextHop {
+			if sig, ok := r.delivered[prefix]; ok && sig == overrideSig(o) {
 				continue
 			}
 			adds = append(adds, o)
 			tries[prefix]++
 		}
-		for _, u := range announceUpdates(adds) {
-			prefixes, nh := announcedPrefixes(u)
-			if err := r.peer.SendUpdate(u); err != nil {
-				continue
-			}
-			for _, p := range prefixes {
-				r.delivered[p] = nh
-				okCount[p]++
-			}
+		for p, sig := range announceToRouter(r, adds) {
+			r.delivered[p] = sig
+			okCount[p]++
 		}
 	}
 
 	// Global bookkeeping: the installed set is what the PoP actually
 	// carries somewhere. A prefix leaves when no longer desired (or its
-	// next hop changed); it enters once at least one router took it.
+	// announcement changed); it enters once at least one router took it.
 	var errNoRouter error
 	for prefix, old := range inj.installed {
-		if cur, ok := want[prefix]; ok && cur.Via.NextHop == old.Via.NextHop {
+		if cur, ok := want[prefix]; ok && overrideSig(cur) == overrideSig(old) {
 			continue
 		}
 		delete(inj.installed, prefix)
@@ -391,8 +443,8 @@ func (inj *Injector) reannounce(addr netip.Addr) {
 		return
 	}
 	var stray []netip.Prefix
-	for prefix, nh := range r.delivered {
-		if cur, ok := inj.installed[prefix]; !ok || cur.Via.NextHop != nh {
+	for prefix, sig := range r.delivered {
+		if cur, ok := inj.installed[prefix]; !ok || overrideSig(cur) != sig {
 			stray = append(stray, prefix)
 		}
 	}
@@ -407,7 +459,7 @@ func (inj *Injector) reannounce(addr netip.Addr) {
 	}
 	var adds []Override
 	for prefix, o := range inj.installed {
-		if nh, ok := r.delivered[prefix]; ok && nh == o.Via.NextHop {
+		if sig, ok := r.delivered[prefix]; ok && sig == overrideSig(o) {
 			continue
 		}
 		adds = append(adds, o)
@@ -416,15 +468,9 @@ func (inj *Injector) reannounce(addr netip.Addr) {
 		return
 	}
 	sent := 0
-	for _, u := range announceUpdates(adds) {
-		prefixes, nh := announcedPrefixes(u)
-		if err := r.peer.SendUpdate(u); err != nil {
-			break
-		}
-		for _, p := range prefixes {
-			r.delivered[p] = nh
-			sent++
-		}
+	for p, sig := range announceToRouter(r, adds) {
+		r.delivered[p] = sig
+		sent++
 	}
 	if sent > 0 {
 		inj.metrics.Counter("edgefabric_injection_reannounce_total").Add(uint64(sent))
@@ -451,52 +497,92 @@ func announcedPrefixes(u *bgp.Update) ([]netip.Prefix, netip.Addr) {
 	return u.NLRI, u.Attrs.NextHop
 }
 
-// announceUpdates renders overrides as iBGP UPDATEs — the alternate
-// route's next hop with LOCAL_PREF above every organic tier — batching
-// prefixes that share a next hop and AS path.
-func announceUpdates(overrides []Override) []*bgp.Update {
-	type groupKey string
-	keyOf := func(o Override) groupKey {
-		return groupKey(fmt.Sprint(o.Via.NextHop, "|", o.Via.ASPath, "|",
-			o.Prefix.Addr().Is4(), "|", overrideCommunities(o)))
+// announceToRouter sends the overrides' units to one router and
+// returns the signature of each fully-delivered prefix. A multipath
+// prefix whose members were only partially taken (session raced down
+// mid-set) is not reported: it retries next cycle, and the session
+// drop that caused the partial already withdrew the router's state.
+func announceToRouter(r *injRouter, adds []Override) map[netip.Prefix]string {
+	if len(adds) == 0 {
+		return nil
 	}
-	groups := make(map[groupKey][]Override)
+	var units []annUnit
+	expected := make(map[netip.Prefix]int, len(adds))
+	sigs := make(map[netip.Prefix]string, len(adds))
+	for _, o := range adds {
+		us := announceUnits(o)
+		units = append(units, us...)
+		expected[o.Prefix] = len(us)
+		sigs[o.Prefix] = overrideSig(o)
+	}
+	got := make(map[netip.Prefix]int)
+	for _, u := range announceUpdates(units) {
+		prefixes, _ := announcedPrefixes(u)
+		if err := r.peer.SendUpdate(u); err != nil {
+			continue
+		}
+		// Units of one prefix never share an UPDATE (each multipath
+		// slot carries distinct communities), so counting per-UPDATE
+		// prefix occurrences counts delivered units.
+		for _, p := range prefixes {
+			got[p]++
+		}
+	}
+	done := make(map[netip.Prefix]string, len(got))
+	for p, n := range got {
+		if n == expected[p] {
+			done[p] = sigs[p]
+		}
+	}
+	return done
+}
+
+// announceUpdates renders announcement units as iBGP UPDATEs — the
+// member route's next hop with LOCAL_PREF above every organic tier —
+// batching prefixes that share a next hop, AS path, and community set.
+func announceUpdates(units []annUnit) []*bgp.Update {
+	type groupKey string
+	keyOf := func(u annUnit) groupKey {
+		return groupKey(fmt.Sprint(u.nh, "|", u.asPath, "|",
+			u.prefix.Addr().Is4(), "|", u.communities))
+	}
+	groups := make(map[groupKey][]annUnit)
 	var order []groupKey
-	for _, o := range overrides {
-		k := keyOf(o)
+	for _, u := range units {
+		k := keyOf(u)
 		if _, ok := groups[k]; !ok {
 			order = append(order, k)
 		}
-		groups[k] = append(groups[k], o)
+		groups[k] = append(groups[k], u)
 	}
 	sort.Slice(order, func(a, b int) bool { return order[a] < order[b] })
 	var updates []*bgp.Update
 	for _, k := range order {
 		g := groups[k]
-		sort.Slice(g, func(a, b int) bool { return rib.ComparePrefixes(g[a].Prefix, g[b].Prefix) < 0 })
+		sort.Slice(g, func(a, b int) bool { return rib.ComparePrefixes(g[a].prefix, g[b].prefix) < 0 })
 		for i := 0; i < len(g); i += batchSize {
 			end := min(i+batchSize, len(g))
 			chunk := g[i:end]
 			attrs := bgp.PathAttrs{
 				HasOrigin:    true,
-				ASPath:       bgp.Sequence(chunk[0].Via.ASPath...),
+				ASPath:       bgp.Sequence(chunk[0].asPath...),
 				LocalPref:    rib.PrefController,
 				HasLocalPref: true,
-				Communities:  overrideCommunities(chunk[0]),
+				Communities:  chunk[0].communities,
 			}
 			u := &bgp.Update{Attrs: attrs}
 			prefixes := make([]netip.Prefix, len(chunk))
-			for j, o := range chunk {
-				prefixes[j] = o.Prefix
+			for j, au := range chunk {
+				prefixes[j] = au.prefix
 			}
-			if chunk[0].Prefix.Addr().Is4() {
-				u.Attrs.NextHop = chunk[0].Via.NextHop
+			if chunk[0].prefix.Addr().Is4() {
+				u.Attrs.NextHop = chunk[0].nh
 				u.NLRI = prefixes
 			} else {
 				u.Attrs.MPReach = &bgp.MPReach{
 					AFI:     bgp.AFIIPv6,
 					SAFI:    bgp.SAFIUnicast,
-					NextHop: chunk[0].Via.NextHop,
+					NextHop: chunk[0].nh,
 					NLRI:    prefixes,
 				}
 			}

@@ -23,9 +23,18 @@ func batchOverrides(n int, nextHop string) []Override {
 	return out
 }
 
+// unitsOf expands overrides into announcement units for the batcher.
+func unitsOf(overrides []Override) []annUnit {
+	var units []annUnit
+	for _, o := range overrides {
+		units = append(units, announceUnits(o)...)
+	}
+	return units
+}
+
 func TestAnnounceUpdatesBatching(t *testing.T) {
 	// 450 same-next-hop overrides → 3 updates of ≤200 NLRI.
-	updates := announceUpdates(batchOverrides(450, "172.20.0.9"))
+	updates := announceUpdates(unitsOf(batchOverrides(450, "172.20.0.9")))
 	if len(updates) != 3 {
 		t.Fatalf("updates = %d, want 3", len(updates))
 	}
@@ -50,7 +59,7 @@ func TestAnnounceUpdatesGroupsByNextHop(t *testing.T) {
 	for i := range b {
 		b[i].Prefix = netip.MustParsePrefix(fmt.Sprintf("192.168.%d.0/24", i))
 	}
-	updates := announceUpdates(append(a, b...))
+	updates := announceUpdates(unitsOf(append(a, b...)))
 	if len(updates) != 2 {
 		t.Fatalf("updates = %d, want 2 groups", len(updates))
 	}
@@ -70,7 +79,7 @@ func TestAnnounceUpdatesMixedFamilies(t *testing.T) {
 	}
 	v6 := Override{Prefix: netip.MustParsePrefix("2001:db8:1::/48"), Via: via}
 	v4 := batchOverrides(1, "172.20.0.9")[0]
-	updates := announceUpdates([]Override{v6, v4})
+	updates := announceUpdates(unitsOf([]Override{v6, v4}))
 	if len(updates) != 2 {
 		t.Fatalf("updates = %d, want 2 (per family)", len(updates))
 	}
@@ -120,7 +129,7 @@ func TestAnnounceUpdatesCommunities(t *testing.T) {
 	split.Prefix = netip.MustParsePrefix("10.9.0.0/25")
 	split.SplitOf = netip.MustParsePrefix("10.9.0.0/24")
 
-	updates := announceUpdates([]Override{plain, perf, split})
+	updates := announceUpdates(unitsOf([]Override{plain, perf, split}))
 	// Three distinct community sets → three groups.
 	if len(updates) != 3 {
 		t.Fatalf("updates = %d, want 3 community groups", len(updates))
@@ -160,5 +169,54 @@ func TestWithdrawUpdatesEmpty(t *testing.T) {
 	}
 	if got := announceUpdates(nil); len(got) != 0 {
 		t.Errorf("updates = %v", got)
+	}
+}
+
+// A multipath override expands to one UPDATE per member, each with its
+// slot and weight communities, never sharing an UPDATE with another
+// slot of the same prefix.
+func TestAnnounceUpdatesMultipathSlots(t *testing.T) {
+	primary := &rib.Route{NextHop: netip.MustParseAddr("172.20.0.1"), ASPath: []uint32{65010}}
+	alt := &rib.Route{NextHop: netip.MustParseAddr("172.20.0.9"), ASPath: []uint32{64601, 65010}}
+	o := Override{
+		Prefix: netip.MustParsePrefix("10.0.0.0/24"),
+		Via:    alt, ToIF: 3, FromIF: 0, RateBps: 2e9,
+		Multipath: []PathWeight{
+			{Via: alt, ToIF: 3, WeightPct: 70, RateBps: 1.4e9},
+			{Via: primary, ToIF: 0, WeightPct: 30, RateBps: 0.6e9},
+		},
+	}
+	updates := announceUpdates(announceUnits(o))
+	if len(updates) != 2 {
+		t.Fatalf("updates = %d, want one per member", len(updates))
+	}
+	seen := map[int]int{} // slot -> pct
+	for _, u := range updates {
+		slot, pct, ok := rib.ParseMultipathCommunities(u.Attrs.Communities)
+		if !ok {
+			t.Fatalf("member update missing slot community: %v", u.Attrs.Communities)
+		}
+		seen[slot] = pct
+		marker := false
+		for _, c := range u.Attrs.Communities {
+			if c == rib.Community(CommunityTagAS, CommunityMultipath) {
+				marker = true
+			}
+		}
+		if !marker {
+			t.Errorf("member update missing multipath community: %v", u.Attrs.Communities)
+		}
+	}
+	if seen[0] != 70 || seen[1] != 30 {
+		t.Errorf("slot weights = %v, want 0:70 1:30", seen)
+	}
+	// Signature distinguishes weight changes.
+	o2 := o
+	o2.Multipath = []PathWeight{
+		{Via: alt, ToIF: 3, WeightPct: 60, RateBps: 1.2e9},
+		{Via: primary, ToIF: 0, WeightPct: 40, RateBps: 0.8e9},
+	}
+	if overrideSig(o) == overrideSig(o2) {
+		t.Error("signatures equal across weight change")
 	}
 }

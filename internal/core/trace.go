@@ -50,6 +50,9 @@ const (
 	// candidate won the target-selection strategy (better peer class or
 	// more spare capacity).
 	RejectOutranked
+	// RejectLossyPath: a multipath member was excluded because its
+	// measured retransmit fraction exceeds MultipathConfig.MaxLossFrac.
+	RejectLossyPath
 )
 
 // String names the rejection reason.
@@ -71,6 +74,8 @@ func (r RejectReason) String() string {
 		return "move budget exhausted"
 	case RejectOutranked:
 		return "feasible but outranked"
+	case RejectLossyPath:
+		return "measured loss above multipath bound"
 	default:
 		return fmt.Sprintf("reject(%d)", int(r))
 	}
@@ -96,6 +101,9 @@ const (
 	// OutcomeNotNeeded: the interface was drained below target before
 	// this prefix's turn came; no candidate was (re-)evaluated.
 	OutcomeNotNeeded
+	// OutcomeMultipath: a weighted multipath override was installed
+	// (or re-affirmed under hysteresis).
+	OutcomeMultipath
 )
 
 // String names the outcome.
@@ -113,6 +121,8 @@ func (o TraceOutcome) String() string {
 		return "perf override installed"
 	case OutcomeNotNeeded:
 		return "not needed"
+	case OutcomeMultipath:
+		return "multipath override installed"
 	default:
 		return fmt.Sprintf("outcome(%d)", int(o))
 	}

@@ -38,6 +38,12 @@ type HarnessConfig struct {
 	PerfAware bool
 	// PerfCfg parameterizes performance-aware moves.
 	PerfCfg core.PerfConfig
+	// Multipath upgrades the perf pass (PerfAware must be set) to the
+	// weighted multipath optimizer: demand split across up to k egresses
+	// by headroom and measured RTT/retransmit stats.
+	Multipath bool
+	// MultipathCfg parameterizes the multipath optimizer.
+	MultipathCfg core.MultipathConfig
 	// Start is the virtual start time. Default 2017-03-01 00:00 UTC.
 	Start time.Time
 	// TickLen is the dataplane step. Default 30 s.
@@ -278,16 +284,33 @@ func NewHarness(ctx context.Context, cfg HarnessConfig) (*Harness, error) {
 			return nil, err
 		}
 		h.Measurer = meas
-		pcfg := cfg.PerfCfg
-		extra = func(proj *core.Projection, alloc *core.AllocResult, tr *core.CycleTrace) []core.Override {
-			// Measure the prefixes that currently have demand, then
-			// fold qualifying gains into this cycle's override set.
-			var prefixes []netip.Prefix
-			for p := range proj.Plans {
-				prefixes = append(prefixes, p)
+		if cfg.Multipath {
+			mcfg := cfg.MultipathCfg
+			// prev carries the installed multipath sets across cycles so
+			// hysteresis can re-affirm unchanged sets without churn.
+			prev := make(map[netip.Prefix]core.Override)
+			extra = func(proj *core.Projection, alloc *core.AllocResult, tr *core.CycleTrace) []core.Override {
+				var prefixes []netip.Prefix
+				for p := range proj.Plans {
+					prefixes = append(prefixes, p)
+				}
+				meas.MeasureRound(prefixes)
+				out := core.MultipathAllocateTraced(proj, inv, meas.Reports(), alloc, prev, cfg.Allocator, mcfg, tr)
+				prev = core.MultipathPrior(out)
+				return out
 			}
-			meas.MeasureRound(prefixes)
-			return core.PerfAllocateTraced(proj, inv, meas.Reports(), alloc, cfg.Allocator, pcfg, tr)
+		} else {
+			pcfg := cfg.PerfCfg
+			extra = func(proj *core.Projection, alloc *core.AllocResult, tr *core.CycleTrace) []core.Override {
+				// Measure the prefixes that currently have demand, then
+				// fold qualifying gains into this cycle's override set.
+				var prefixes []netip.Prefix
+				for p := range proj.Plans {
+					prefixes = append(prefixes, p)
+				}
+				meas.MeasureRound(prefixes)
+				return core.PerfAllocateTraced(proj, inv, meas.Reports(), alloc, cfg.Allocator, pcfg, tr)
+			}
 		}
 	}
 

@@ -1,0 +1,50 @@
+package exp
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestE17MultipathSmoke is the check.sh-budgeted E17: both arms at
+// reduced scale, asserting the multipath machinery engages end to end
+// (weighted sets installed, dataplane carrying them) and the report
+// renders. The RTT-improvement acceptance gate itself is judged at
+// paper scale via `efbench -only E17`.
+func TestE17MultipathSmoke(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Second)
+	defer cancel()
+	cfg := testConfig(false)
+	// Roomy PNIs: perf splits need headroom on the measured alternates
+	// (overload detours alone must not dominate the run).
+	cfg.Synth.PNIHeadroomMin = 1.3
+	cfg.Synth.PNIHeadroomMax = 1.6
+	cfg.Perf.AnomalyProb = 0.15
+	res, err := E17MultipathPerf(ctx, cfg, 12*30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CapacityOnly.MultipathPrefixTicks != 0 {
+		t.Errorf("capacity-only arm carried %d multipath prefix-ticks, want 0",
+			res.CapacityOnly.MultipathPrefixTicks)
+	}
+	if res.Multipath.MultipathPrefixTicks == 0 {
+		t.Error("multipath arm never installed a weighted member set")
+	}
+	if res.Multipath.MaxMembers < 2 {
+		t.Errorf("largest member set %d-way, want >= 2", res.Multipath.MaxMembers)
+	}
+	if res.CapacityOnly.P90RTTms <= 0 || res.Multipath.P90RTTms <= 0 {
+		t.Errorf("RTT quantiles missing: cap p90 %.2f, mp p90 %.2f",
+			res.CapacityOnly.P90RTTms, res.Multipath.P90RTTms)
+	}
+	if res.Multipath.Cycles == 0 || res.CapacityOnly.Cycles == 0 {
+		t.Error("an arm observed no controller cycles")
+	}
+	out := res.String()
+	if !strings.Contains(out, "E17") || !strings.Contains(out, "capacity-only") {
+		t.Errorf("String() malformed:\n%s", out)
+	}
+	t.Logf("\n%s", out)
+}

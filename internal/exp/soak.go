@@ -34,6 +34,14 @@ import (
 //	                    override is withdrawn
 //	churn-budget        announced+withdrawn per cycle stays within
 //	                    budget outside event/health transition windows
+//	multipath-weights   every installed weighted member set is
+//	                    well-formed: at most MaxPaths members, every
+//	                    weight at or above the floor, weights summing
+//	                    to exactly 100
+//	lossy-path-quarantine
+//	                    while a scripted lossy-path event holds a peer
+//	                    above the optimizer's loss bound, converged
+//	                    member sets no longer steer demand via it
 //	recovery            after the last event ends the controller
 //	                    returns to healthy within a bounded number of
 //	                    cycles
@@ -72,6 +80,12 @@ type SoakConfig struct {
 	// transition or a health-state change from the churn check (events
 	// legitimately re-shuffle the override set). Default 3.
 	BoundaryGraceCycles int
+	// LossyGraceCycles is how many consecutive cycles a lossy-path
+	// event above the optimizer's loss bound may stay active before
+	// every installed member set must have evicted the peer (EWMA loss
+	// measurement converges from below, plus a cycle of control lag).
+	// Default 12.
+	LossyGraceCycles int
 	// RecoverySettleWall bounds the wall-clock wait for feeds and
 	// sessions to re-establish after the last event (BMP/iBGP redial
 	// backoff is wall-clock, not virtual). Default 15s.
@@ -100,6 +114,9 @@ func (c *SoakConfig) setDefaults() {
 	}
 	if c.BoundaryGraceCycles == 0 {
 		c.BoundaryGraceCycles = 3
+	}
+	if c.LossyGraceCycles == 0 {
+		c.LossyGraceCycles = 12
 	}
 	if c.RecoverySettleWall == 0 {
 		c.RecoverySettleWall = 15 * time.Second
@@ -142,6 +159,10 @@ type SoakResult struct {
 	TotalChurn int
 	// PeakOverrides is the largest installed override set seen.
 	PeakOverrides int
+	// LossyWindows is how many scripted lossy-path events were hot
+	// enough (above the optimizer's loss bound) to arm the
+	// lossy-path-quarantine invariant.
+	LossyWindows int
 	// Recovered reports the post-event recovery check passed (true when
 	// the timeline ended in time to check it).
 	Recovered bool
@@ -181,6 +202,9 @@ type invariantChecker struct {
 	overloadGrace int
 	churnBudget   int
 	boundaryGrace int
+	lossyGrace    int
+	maxPaths      int // multipath member-set bound (config or default)
+	minWeight     int // multipath per-member weight floor
 
 	overStreak map[int]int // interface -> consecutive addressable-overload cycles
 	overFired  map[int]bool
@@ -190,8 +214,22 @@ type invariantChecker struct {
 	haveHealth bool
 	graceLeft  int
 
+	lossyEvents []*lossyWindow
+	mpFired     map[netip.Prefix]bool
+
 	cycle      int
 	violations []SoakViolation
+}
+
+// lossyWindow tracks one scripted lossy-path event hot enough that the
+// optimizer is obligated to evict the peer from weighted member sets.
+type lossyWindow struct {
+	peer     string
+	addr     netip.Addr
+	mag      float64
+	from, to time.Time
+	streak   int // consecutive healthy cycles inside the window
+	fired    bool
 }
 
 func newInvariantChecker(h *Harness, cfg *SoakConfig) *invariantChecker {
@@ -199,14 +237,63 @@ func newInvariantChecker(h *Harness, cfg *SoakConfig) *invariantChecker {
 	if budget == 0 {
 		budget = max(25, len(h.Scenario.Prefixes)/20)
 	}
+	// Mirror the optimizer's defaulting: the checker must judge by the
+	// bounds the optimizer actually ran with.
+	maxPaths := cfg.Base.MultipathCfg.MaxPaths
+	if maxPaths == 0 {
+		maxPaths = 3
+	}
+	minWeight := cfg.Base.MultipathCfg.MinWeightPct
+	if minWeight == 0 {
+		minWeight = 5
+	}
 	return &invariantChecker{
 		h:             h,
 		threshold:     cfg.Threshold,
 		overloadGrace: cfg.OverloadGraceCycles,
 		churnBudget:   budget,
 		boundaryGrace: cfg.BoundaryGraceCycles,
+		lossyGrace:    cfg.LossyGraceCycles,
+		maxPaths:      maxPaths,
+		minWeight:     minWeight,
 		overStreak:    make(map[int]int),
 		overFired:     make(map[int]bool),
+		mpFired:       make(map[netip.Prefix]bool),
+	}
+}
+
+// armPerfInvariants extracts the lossy-path events hot enough to
+// obligate eviction (scripted loss strictly above the optimizer's
+// MaxLossFrac, with margin for congestion noise in the measurement)
+// and anchors their windows at the timeline start.
+func (c *invariantChecker) armPerfInvariants(events []netsim.Event, start time.Time) {
+	bound := c.h.Cfg.MultipathCfg.MaxLossFrac
+	if bound == 0 {
+		bound = 0.10
+	}
+	addrOf := make(map[string]netip.Addr, len(c.h.PoP.Topo.Peers))
+	for i := range c.h.PoP.Topo.Peers {
+		p := &c.h.PoP.Topo.Peers[i]
+		addrOf[p.Name] = p.Addr
+	}
+	for _, ev := range events {
+		if ev.Kind != netsim.EventLossyPath || ev.Duration <= 0 {
+			continue
+		}
+		if ev.Magnitude <= bound+0.02 {
+			continue // below or too near the bound: eviction not obligatory
+		}
+		addr, ok := addrOf[ev.Peer]
+		if !ok {
+			continue
+		}
+		c.lossyEvents = append(c.lossyEvents, &lossyWindow{
+			peer: ev.Peer,
+			addr: addr,
+			mag:  ev.Magnitude,
+			from: start.Add(ev.At),
+			to:   start.Add(ev.At + ev.Duration),
+		})
 	}
 }
 
@@ -250,10 +337,68 @@ func (c *invariantChecker) observe(stats *netsim.TickStats, r *core.CycleReport,
 			r.Announced, r.Withdrawn, c.churnBudget, c.boundaryGrace)
 	}
 
+	installed := c.h.Controller.Installed()
+
+	// --- multipath structure: every installed weighted member set is
+	// well-formed, whatever the health state (a frozen set was once
+	// installed by a healthy controller and must still be sound).
+	for p, o := range installed {
+		if len(o.Multipath) == 0 || c.mpFired[p] {
+			continue
+		}
+		bad := ""
+		if len(o.Multipath) > c.maxPaths {
+			bad = fmt.Sprintf("%d members exceeds MaxPaths %d", len(o.Multipath), c.maxPaths)
+		}
+		sum := 0
+		for _, pw := range o.Multipath {
+			sum += pw.WeightPct
+			if bad == "" && pw.WeightPct < c.minWeight {
+				bad = fmt.Sprintf("member weight %d%% below the %d%% floor", pw.WeightPct, c.minWeight)
+			}
+		}
+		if bad == "" && sum != 100 {
+			bad = fmt.Sprintf("weights sum to %d, want 100", sum)
+		}
+		if bad != "" {
+			c.mpFired[p] = true // once per prefix, not per cycle
+			c.violate(r.Time, "multipath-weights", "%s: %s", p, bad)
+		}
+	}
+
+	// --- lossy-path quarantine: while a scripted event holds a peer's
+	// loss above the optimizer's bound, a healthy controller must have
+	// evicted the peer from every weighted member set once measurement
+	// converges. A frozen controller is deliberately not acting, so the
+	// streak only advances on healthy cycles.
+	for _, lw := range c.lossyEvents {
+		if r.Health != core.HealthHealthy || r.Time.Before(lw.from) || !r.Time.Before(lw.to) {
+			lw.streak = 0
+			continue
+		}
+		lw.streak++
+		if lw.streak <= c.lossyGrace || lw.fired {
+			continue
+		}
+		for p, o := range installed {
+			for _, pw := range o.Multipath {
+				if pw.Via != nil && pw.Via.PeerAddr == lw.addr {
+					lw.fired = true // once per episode
+					c.violate(r.Time, "lossy-path-quarantine",
+						"%s still steers %d%% via %s %d healthy cycles into a %.0f%% scripted loss event",
+						p, pw.WeightPct, lw.peer, lw.streak, 100*lw.mag)
+					break
+				}
+			}
+			if lw.fired {
+				break
+			}
+		}
+	}
+
 	// --- fail-static / fail-back correctness.
 	switch r.Health {
 	case core.HealthFailStatic:
-		installed := c.h.Controller.Installed()
 		if !c.inFreeze {
 			c.inFreeze = true
 			c.frozen = installed
@@ -265,7 +410,7 @@ func (c *invariantChecker) observe(stats *netsim.TickStats, r *core.CycleReport,
 		}
 	case core.HealthFailBack:
 		c.inFreeze = false
-		if n := len(c.h.Controller.Installed()); n != 0 {
+		if n := len(installed); n != 0 {
 			c.violate(r.Time, "fail-back-withdraw",
 				"%d overrides still installed past the fail-back threshold", n)
 		}
@@ -376,6 +521,19 @@ func E16ChaosSoak(ctx context.Context, cfg SoakConfig) (*SoakResult, error) {
 	}
 	base := cfg.Base
 	base.ControllerEnabled = true
+	// The soak covers the full controller, weighted multipath included:
+	// the perf chaos vocabulary (path-rtt, lossy-path) is meaningless
+	// against a capacity-only controller.
+	base.PerfAware = true
+	base.Multipath = true
+	if base.MultipathCfg.MaxMoves == 0 {
+		// Unbounded, the optimizer installs every converged split in one
+		// cycle the moment measurements reach MinSamples — a cold-start
+		// burst no operator would ship. Budget it so convergence spreads
+		// over a few cycles and stays inside the churn invariant;
+		// re-affirmations of installed sets remain free.
+		base.MultipathCfg.MaxMoves = 10
+	}
 	if base.Synth.Seed == 0 {
 		base.Synth.Seed = cfg.Seed
 	}
@@ -423,6 +581,8 @@ func E16ChaosSoak(ctx context.Context, cfg SoakConfig) (*SoakResult, error) {
 		cfg.Seed, cfg.Cycles, len(events), cfg.Seed)
 
 	chk := newInvariantChecker(h, &cfg)
+	chk.armPerfInvariants(events, h.Clock.Now())
+	res.LossyWindows = len(chk.lossyEvents)
 	lastBoundaries := 0
 	for chk.cycle < cfg.Cycles {
 		stats, r := h.Step()

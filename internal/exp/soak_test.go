@@ -8,6 +8,7 @@ import (
 
 	"edgefabric/internal/core"
 	"edgefabric/internal/netsim"
+	"edgefabric/internal/rib"
 )
 
 // soakTestConfig is the reduced-scale soak base: the testConfig
@@ -114,6 +115,54 @@ func TestE16ControlArmReportsViolation(t *testing.T) {
 	}
 	if !strings.Contains(out, "sflow-loss") {
 		t.Errorf("violation report does not carry the event timeline:\n%s", out)
+	}
+	t.Logf("\n%s", res)
+}
+
+// TestE16LossyPathQuarantine scripts a single hot lossy-path event
+// (well above the optimizer's MaxLossFrac bound) and soaks through it:
+// the quarantine invariant must arm for the event, and a correct
+// controller must evict the peer from every weighted member set before
+// the grace expires — zero violations.
+func TestE16LossyPathQuarantine(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Second)
+	defer cancel()
+	base := soakTestConfig()
+	sc, err := netsim.Synthesize(base.Synth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var peerName string
+	for i := range sc.Topo.Peers {
+		if sc.Topo.Peers[i].Class != rib.ClassTransit {
+			peerName = sc.Topo.Peers[i].Name
+			break
+		}
+	}
+	if peerName == "" {
+		t.Fatal("scenario has no non-transit peer")
+	}
+	res, err := E16ChaosSoak(ctx, SoakConfig{
+		Base:   base,
+		Seed:   21,
+		Cycles: 70,
+		Events: []netsim.Event{{
+			Kind:      netsim.EventLossyPath,
+			Peer:      peerName,
+			At:        4 * time.Minute,
+			Duration:  25 * time.Minute,
+			Magnitude: 0.18,
+		}},
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LossyWindows != 1 {
+		t.Errorf("armed %d lossy quarantine windows, want 1", res.LossyWindows)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("soak violations:\n%s", res)
 	}
 	t.Logf("\n%s", res)
 }

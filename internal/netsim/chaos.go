@@ -45,6 +45,7 @@ type chaosTargets struct {
 	peeredAS []*EdgeAS     // non-transit-only ASes, for flash crowds
 	heavy    []*PrefixInfo // heaviest prefixes, for surges
 	peers    []*Peer       // non-transit peers, for depeering
+	allPeers []*Peer       // every peer incl. transit, for path-perf events
 	peerIfs  []int         // non-transit interface IDs, for drain/brownout
 	routers  []string
 }
@@ -81,6 +82,8 @@ func ChaosSchedule(sc *Scenario, cfg ChaosConfig) ([]Event, error) {
 		{EventBMPKill, 2},
 		{EventIBGPReset, 2},
 		{EventSFlowLoss, 3},
+		{EventPathRTT, 3},
+		{EventLossyPath, 3},
 	}
 	totalW := 0
 	for _, k := range kinds {
@@ -128,6 +131,18 @@ func ChaosSchedule(sc *Scenario, cfg ChaosConfig) ([]Event, error) {
 			ev.Duration = dur(60*time.Second, 180*time.Second)
 		case EventIBGPReset:
 			ev.Router = t.routers[rng.Intn(len(t.routers))]
+		case EventPathRTT:
+			// Impair a preferred (non-transit) attachment so the
+			// optimizer has a reason to detour or split away from it.
+			ev.Peer = t.peers[rng.Intn(len(t.peers))].Name
+			ev.Duration = dur(10*time.Minute, 30*time.Minute)
+			ev.Magnitude = mag(20, 80)
+		case EventLossyPath:
+			// Any attachment, transit included: a lossy alternate must
+			// not attract weighted demand just because it has headroom.
+			ev.Peer = t.allPeers[rng.Intn(len(t.allPeers))].Name
+			ev.Duration = dur(10*time.Minute, 30*time.Minute)
+			ev.Magnitude = mag(0.02, 0.2)
 		case EventSFlowLoss:
 			if rng.Float64() < 0.25 {
 				// Deep blackout: long enough that the health ladder
@@ -173,6 +188,7 @@ func chaosUniverse(sc *Scenario) (*chaosTargets, error) {
 	seenIf := make(map[int]bool)
 	for i := range sc.Topo.Peers {
 		p := &sc.Topo.Peers[i]
+		t.allPeers = append(t.allPeers, p)
 		if p.Class == rib.ClassTransit {
 			continue
 		}

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"net/netip"
+	"sort"
 	"time"
 
 	"edgefabric/internal/rib"
@@ -29,12 +30,29 @@ type PrefixTick struct {
 	SplitIF int
 	// SplitBps is the demand carried by the split half.
 	SplitBps float64
+	// Members describes the weighted multipath set carrying the prefix
+	// when the controller installed one (nil for single-path
+	// forwarding). EgressIF/PeerAddr/Class then describe the heaviest
+	// member, and RTTms/LossFrac are demand-weighted across members.
+	Members []MemberTick
 	// RTTms is the experienced round-trip time including congestion
 	// (of the aggregate's primary share).
 	RTTms float64
 	// LossFrac is the fraction of the prefix's primary-share traffic
-	// dropped.
+	// lost (interface drops plus scripted path loss).
 	LossFrac float64
+}
+
+// MemberTick is one weighted member of a multipath set for one tick.
+type MemberTick struct {
+	// EgressIF is the member's egress interface.
+	EgressIF int
+	// NextHop is the member route's next hop (the underlying peer).
+	NextHop netip.Addr
+	// WeightPct is the controller-announced share in percent.
+	WeightPct int
+	// Bps is the demand the member carried this tick.
+	Bps float64
 }
 
 // TickStats is the dataplane's result for one tick.
@@ -166,6 +184,23 @@ func (dp *Dataplane) Tick(t time.Time, dt time.Duration) *TickStats {
 		// report the underlying tier so traffic shares stay meaningful.
 		if route.PeerClass == rib.ClassController {
 			pt.Injected = true
+			// A weighted multipath set: the controller installed one
+			// route per member slot; hash demand across them in
+			// proportion to the announced weights.
+			if _, _, ok := rib.ParseMultipathCommunities(route.Communities); ok {
+				if members := dp.multipathMembers(pi.Prefix, bps); len(members) > 0 {
+					pt.Members = members
+					pt.EgressIF = members[0].EgressIF
+					if peer := dp.topo.PeerByAddr(members[0].NextHop); peer != nil {
+						viaPeer[pi.Prefix] = peer
+						pt.Class = peer.Class
+					}
+					for _, m := range members {
+						stats.IfLoadBps[m.EgressIF] += m.Bps
+					}
+					continue
+				}
+			}
 			if peer := dp.topo.PeerByAddr(route.NextHop); peer != nil {
 				viaPeer[pi.Prefix] = peer
 				pt.Class = peer.Class
@@ -199,16 +234,24 @@ func (dp *Dataplane) Tick(t time.Time, dt time.Duration) *TickStats {
 		if pt.EgressIF < 0 {
 			continue
 		}
+		if len(pt.Members) > 0 {
+			dp.tickMultipath(pi, pt, stats, dt)
+			continue
+		}
 		primaryBps := pt.DemandBps - pt.SplitBps
 		util := stats.Utilization(dp.topo, pt.EgressIF)
-		pt.LossFrac = LossFraction(util)
+		drop := LossFraction(util)
+		pt.LossFrac = drop
 		var rtt float64
 		if peer := viaPeer[pi.Prefix]; peer != nil {
 			rtt = dp.perf.BaseRTT(pi.Prefix, peer, dp.bestClass[pi.Prefix])
+			// Scripted path loss is experienced by the prefix but is not
+			// an interface drop (the loss happens beyond the egress).
+			pt.LossFrac = min(1, drop+dp.perf.PathLoss(peer.Addr))
 		}
 		pt.RTTms = rtt + CongestionDelay(util)
-		if pt.LossFrac > 0 {
-			stats.IfDropsBps[pt.EgressIF] += primaryBps * pt.LossFrac
+		if drop > 0 {
+			stats.IfDropsBps[pt.EgressIF] += primaryBps * drop
 		}
 		if pt.HasSplit {
 			if sUtil := stats.Utilization(dp.topo, pt.SplitIF); sUtil > 1 {
@@ -230,6 +273,75 @@ func (dp *Dataplane) Tick(t time.Time, dt time.Duration) *TickStats {
 		}
 	}
 	return stats
+}
+
+// multipathMembers gathers the controller's installed multipath member
+// routes for a prefix (one per slot, stored under synthetic per-slot
+// peer addresses) and splits bps across them in proportion to the
+// announced weight communities. Partial installs (a member UPDATE not
+// yet delivered) degrade gracefully: the present members carry the full
+// demand, renormalized.
+func (dp *Dataplane) multipathMembers(p netip.Prefix, bps float64) []MemberTick {
+	type slotRoute struct {
+		slot int
+		pct  int
+		r    *rib.Route
+	}
+	var slots []slotRoute
+	total := 0
+	for _, r := range dp.table.Routes(p) {
+		if r.PeerClass != rib.ClassController {
+			continue
+		}
+		slot, pct, ok := rib.ParseMultipathCommunities(r.Communities)
+		if !ok || pct <= 0 {
+			continue
+		}
+		slots = append(slots, slotRoute{slot: slot, pct: pct, r: r})
+		total += pct
+	}
+	if len(slots) == 0 || total <= 0 {
+		return nil
+	}
+	sort.Slice(slots, func(a, b int) bool { return slots[a].slot < slots[b].slot })
+	out := make([]MemberTick, len(slots))
+	for i, s := range slots {
+		out[i] = MemberTick{
+			EgressIF:  s.r.EgressIF,
+			NextHop:   s.r.NextHop,
+			WeightPct: s.pct,
+			Bps:       bps * float64(s.pct) / float64(total),
+		}
+	}
+	return out
+}
+
+// tickMultipath computes pass-2 results for a prefix carried by a
+// weighted multipath set: demand-weighted RTT and loss across members,
+// per-member interface drops, and per-member sFlow observations.
+func (dp *Dataplane) tickMultipath(pi *PrefixInfo, pt *PrefixTick, stats *TickStats, dt time.Duration) {
+	var rtt, loss float64
+	for _, m := range pt.Members {
+		w := m.Bps / pt.DemandBps
+		util := stats.Utilization(dp.topo, m.EgressIF)
+		drop := LossFraction(util)
+		memberLoss := drop
+		var base float64
+		if peer := dp.topo.PeerByAddr(m.NextHop); peer != nil {
+			base = dp.perf.BaseRTT(pi.Prefix, peer, dp.bestClass[pi.Prefix])
+			memberLoss = min(1, drop+dp.perf.PathLoss(peer.Addr))
+		}
+		rtt += w * (base + CongestionDelay(util))
+		loss += w * memberLoss
+		if drop > 0 {
+			stats.IfDropsBps[m.EgressIF] += m.Bps * drop
+		}
+		if dp.agents != nil {
+			dp.observe(pi, m.EgressIF, m.Bps, dt)
+		}
+	}
+	pt.RTTms = rtt
+	pt.LossFrac = loss
 }
 
 // observe reports offered bytes on an interface to its router's sFlow
@@ -260,3 +372,22 @@ func (dp *Dataplane) RTTForRoute(p netip.Prefix, r *rib.Route) float64 {
 	}
 	return dp.perf.BaseRTT(p, peer, dp.bestClass[p])
 }
+
+// LossForRoute exposes the scripted transport-loss fraction on the
+// route's path, implementing the measurement subsystem's LossSource: the
+// "retransmit counters" the optimizer uses to keep demand off lossy
+// alternates.
+func (dp *Dataplane) LossForRoute(_ netip.Prefix, r *rib.Route) float64 {
+	peer := dp.topo.PeerByAddr(r.PeerAddr)
+	if peer == nil {
+		peer = dp.topo.PeerByAddr(r.NextHop)
+	}
+	if peer == nil {
+		return 0
+	}
+	return dp.perf.PathLoss(peer.Addr)
+}
+
+// Perf exposes the path performance model (the scenario event layer
+// scripts its impairment overlay).
+func (dp *Dataplane) Perf() *PathPerf { return dp.perf }

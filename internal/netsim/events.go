@@ -52,6 +52,17 @@ const (
 	// member of a LAG dying.
 	EventBrownout EventKind = "brownout"
 
+	// --- path performance events (drive the PathPerf overlay) ---
+
+	// EventPathRTT inflates the RTT of every path via the target peer by
+	// Magnitude milliseconds for the duration — a remote impairment the
+	// performance-aware optimizer should route around.
+	EventPathRTT EventKind = "path-rtt"
+	// EventLossyPath makes every path via the target peer lose a
+	// Magnitude fraction of its traffic for the duration — a lossy
+	// alternate the optimizer must keep weighted demand off.
+	EventLossyPath EventKind = "lossy-path"
+
 	// --- fault events (the E11 families, schedulable) ---
 
 	// EventBMPKill severs the target router's BMP stream and refuses
@@ -79,13 +90,14 @@ type Event struct {
 	Duration time.Duration
 	// Magnitude is the kind-specific intensity: demand multiplier
 	// (flash-crowd, live-event, ddos-surge), capacity scale in (0,1]
-	// (drain, brownout), or loss probability (sflow-loss).
+	// (drain, brownout), loss probability (sflow-loss, lossy-path), or
+	// added milliseconds (path-rtt).
 	Magnitude float64
 	// Prefix targets ddos-surge.
 	Prefix netip.Prefix
 	// AS targets flash-crowd.
 	AS uint32
-	// Peer names the depeer target.
+	// Peer names the depeer / path-rtt / lossy-path target.
 	Peer string
 	// Interface targets drain / brownout.
 	Interface int
@@ -113,7 +125,7 @@ func (e Event) String() string {
 		target = e.Prefix.String()
 	case EventLiveEvent:
 		target = "pop-wide"
-	case EventDepeer:
+	case EventDepeer, EventPathRTT, EventLossyPath:
 		target = e.Peer
 	case EventDrain, EventBrownout:
 		target = fmt.Sprintf("if%d", e.Interface)
@@ -191,6 +203,11 @@ type EventEngine struct {
 	bmpKills map[string]int        // router -> active kill count
 	lossRate []float64             // active loss rates
 	mods     map[int]*DemandMod    // event idx -> installed demand modifier
+	// pathRTT / pathLoss hold the active impairments per peer address;
+	// overlapping events compose (inflations sum, worst loss wins) and
+	// unwind in any order, mirroring capScale.
+	pathRTT  map[netip.Addr][]float64
+	pathLoss map[netip.Addr][]float64
 	active   int
 }
 
@@ -212,6 +229,8 @@ func NewEventEngine(cfg EventEngineConfig) (*EventEngine, error) {
 		capScale: make(map[int][]float64),
 		bmpKills: make(map[string]int),
 		mods:     make(map[int]*DemandMod),
+		pathRTT:  make(map[netip.Addr][]float64),
+		pathLoss: make(map[netip.Addr][]float64),
 	}
 	topo := cfg.PoP.Topo
 	for i := range e.events {
@@ -266,6 +285,27 @@ func NewEventEngine(cfg EventEngineConfig) (*EventEngine, error) {
 			}
 			if spec == nil {
 				return nil, fmt.Errorf("netsim: event %d (%s): unknown peer %q", i, ev.Kind, ev.Peer)
+			}
+			e.peerAddr[ev.Peer] = spec.Addr
+		case EventPathRTT, EventLossyPath:
+			var spec *Peer
+			for j := range topo.Peers {
+				if topo.Peers[j].Name == ev.Peer {
+					spec = &topo.Peers[j]
+					break
+				}
+			}
+			if spec == nil {
+				return nil, fmt.Errorf("netsim: event %d (%s): unknown peer %q", i, ev.Kind, ev.Peer)
+			}
+			if ev.Magnitude <= 0 {
+				return nil, fmt.Errorf("netsim: event %d (%s): magnitude must be positive", i, ev.Kind)
+			}
+			if ev.Kind == EventLossyPath && ev.Magnitude > 1 {
+				return nil, fmt.Errorf("netsim: event %d (%s): loss fraction %.2f outside (0,1]", i, ev.Kind, ev.Magnitude)
+			}
+			if ev.Duration <= 0 {
+				return nil, fmt.Errorf("netsim: event %d (%s): duration required", i, ev.Kind)
 			}
 			e.peerAddr[ev.Peer] = spec.Addr
 		case EventDrain, EventBrownout:
@@ -401,6 +441,16 @@ func (e *EventEngine) apply(idx int) {
 		if ev.Duration > 0 {
 			e.active++
 		}
+	case EventPathRTT:
+		addr := e.peerAddr[ev.Peer]
+		e.pathRTT[addr] = append(e.pathRTT[addr], ev.Magnitude)
+		e.applyPathPerf(addr)
+		e.active++
+	case EventLossyPath:
+		addr := e.peerAddr[ev.Peer]
+		e.pathLoss[addr] = append(e.pathLoss[addr], ev.Magnitude)
+		e.applyPathPerf(addr)
+		e.active++
 	case EventDrain, EventBrownout:
 		e.capScale[ev.Interface] = append(e.capScale[ev.Interface], ev.Magnitude)
 		e.applyCapacity(ev.Interface)
@@ -433,6 +483,14 @@ func (e *EventEngine) revert(idx int) {
 		if err := e.cfg.PoP.PeerSessionUp(e.peerAddr[ev.Peer]); err != nil {
 			e.logf("event: re-peer %s: %v", ev.Peer, err)
 		}
+	case EventPathRTT:
+		addr := e.peerAddr[ev.Peer]
+		e.pathRTT[addr] = removeOne(e.pathRTT[addr], ev.Magnitude)
+		e.applyPathPerf(addr)
+	case EventLossyPath:
+		addr := e.peerAddr[ev.Peer]
+		e.pathLoss[addr] = removeOne(e.pathLoss[addr], ev.Magnitude)
+		e.applyPathPerf(addr)
 	case EventDrain, EventBrownout:
 		scales := e.capScale[ev.Interface]
 		for i, s := range scales {
@@ -457,6 +515,36 @@ func (e *EventEngine) revert(idx int) {
 		e.applyLoss()
 	}
 	e.active--
+}
+
+// removeOne deletes the first occurrence of v from s.
+func removeOne(s []float64, v float64) []float64 {
+	for i, x := range s {
+		if x == v {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// applyPathPerf recomputes a peer's effective impairment from the active
+// events: RTT inflations sum (two remote incidents stack), the worst
+// loss fraction wins (loss probabilities don't add linearly and the
+// worst event dominates what the transport sees).
+func (e *EventEngine) applyPathPerf(addr netip.Addr) {
+	perf := e.cfg.PoP.Plane.Perf()
+	var ms float64
+	for _, v := range e.pathRTT[addr] {
+		ms += v
+	}
+	perf.SetRTTInflation(addr, ms)
+	worst := 0.0
+	for _, v := range e.pathLoss[addr] {
+		if v > worst {
+			worst = v
+		}
+	}
+	perf.SetPathLoss(addr, worst)
 }
 
 // applyCapacity recomputes an interface's effective capacity as its base

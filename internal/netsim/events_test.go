@@ -273,3 +273,80 @@ func TestEventStringAndTimeline(t *testing.T) {
 		t.Errorf("timeline missing targets:\n%s", tl)
 	}
 }
+
+func TestEventEnginePathPerfApplyRevert(t *testing.T) {
+	sc, pop, demand, clock := eventTestScenario(t)
+	spec := &pop.Topo.Peers[0]
+	prefix := sc.Prefixes[0].Prefix
+	perf := pop.Plane.Perf()
+	base := perf.BaseRTT(prefix, spec, 255)
+
+	eng, err := NewEventEngine(EventEngineConfig{
+		Start: clock.Now(),
+		Events: []Event{
+			{Kind: EventPathRTT, At: 30 * time.Second, Duration: 2 * time.Minute,
+				Magnitude: 40, Peer: spec.Name},
+			{Kind: EventLossyPath, At: 30 * time.Second, Duration: 2 * time.Minute,
+				Magnitude: 0.08, Peer: spec.Name},
+		},
+		PoP:    pop,
+		Demand: demand,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(time.Minute)
+	if fired := eng.Advance(clock.Now()); fired != 2 {
+		t.Fatalf("apply fired %d transitions, want 2", fired)
+	}
+	if got := perf.BaseRTT(prefix, spec, 255); math.Abs(got-(base+40)) > 0.01 {
+		t.Errorf("inflated RTT = %.2f, want %.2f", got, base+40)
+	}
+	if got := perf.PathLoss(spec.Addr); got != 0.08 {
+		t.Errorf("PathLoss = %v, want 0.08", got)
+	}
+	// The measurement-side LossSource sees the scripted loss too.
+	r := &rib.Route{Prefix: prefix, PeerAddr: spec.Addr, NextHop: spec.Addr}
+	if got := pop.Plane.LossForRoute(prefix, r); got != 0.08 {
+		t.Errorf("LossForRoute = %v, want 0.08", got)
+	}
+	// Past the end: both impairments unwind.
+	clock.Advance(3 * time.Minute)
+	if fired := eng.Advance(clock.Now()); fired != 2 {
+		t.Fatalf("revert fired %d transitions, want 2", fired)
+	}
+	if got := perf.BaseRTT(prefix, spec, 255); math.Abs(got-base) > 0.01 {
+		t.Errorf("RTT after revert = %.2f, want %.2f", got, base)
+	}
+	if got := perf.PathLoss(spec.Addr); got != 0 {
+		t.Errorf("PathLoss after revert = %v, want 0", got)
+	}
+	if !eng.Done() {
+		t.Error("engine not done")
+	}
+}
+
+func TestEventEnginePathPerfValidation(t *testing.T) {
+	_, pop, demand, clock := eventTestScenario(t)
+	cases := []struct {
+		name string
+		ev   Event
+		want string
+	}{
+		{"unknown peer", Event{Kind: EventPathRTT, At: time.Minute, Duration: time.Minute, Magnitude: 40, Peer: "nope"}, `unknown peer "nope"`},
+		{"needs magnitude", Event{Kind: EventPathRTT, At: time.Minute, Duration: time.Minute, Peer: pop.Topo.Peers[0].Name}, "magnitude must be positive"},
+		{"loss bound", Event{Kind: EventLossyPath, At: time.Minute, Duration: time.Minute, Magnitude: 1.5, Peer: pop.Topo.Peers[0].Name}, "outside (0,1]"},
+		{"needs duration", Event{Kind: EventLossyPath, At: time.Minute, Magnitude: 0.1, Peer: pop.Topo.Peers[0].Name}, "duration required"},
+	}
+	for _, tc := range cases {
+		_, err := NewEventEngine(EventEngineConfig{
+			Start:  clock.Now(),
+			Events: []Event{tc.ev},
+			PoP:    pop,
+			Demand: demand,
+		})
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}

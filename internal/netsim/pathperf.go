@@ -3,6 +3,7 @@ package netsim
 import (
 	"math"
 	"net/netip"
+	"sync"
 )
 
 // PathPerfConfig parameterizes the path performance model.
@@ -44,16 +45,71 @@ func (c *PathPerfConfig) setDefaults() {
 }
 
 // PathPerf models the propagation RTT of each (prefix, peer) path,
-// before congestion. It is a pure function of the seed, so the whole
-// simulation sees one consistent Internet.
+// before congestion. The base model is a pure function of the seed, so
+// the whole simulation sees one consistent Internet; on top of it sits a
+// mutable per-peer impairment overlay the scenario event layer scripts
+// (path-rtt inflation and lossy alternates) to exercise the
+// performance-aware optimizer.
 type PathPerf struct {
 	cfg PathPerfConfig
+
+	mu sync.RWMutex
+	// extraMS is active RTT inflation per peer address (summed across
+	// overlapping events by the engine before it calls SetRTTInflation).
+	extraMS map[netip.Addr]float64
+	// lossFrac is the scripted transport-loss fraction per peer address.
+	lossFrac map[netip.Addr]float64
 }
 
 // NewPathPerf returns a model for cfg.
 func NewPathPerf(cfg PathPerfConfig) *PathPerf {
 	cfg.setDefaults()
-	return &PathPerf{cfg: cfg}
+	return &PathPerf{
+		cfg:      cfg,
+		extraMS:  make(map[netip.Addr]float64),
+		lossFrac: make(map[netip.Addr]float64),
+	}
+}
+
+// SetRTTInflation sets the scripted RTT inflation (milliseconds) on
+// every path via the given peer; zero clears it.
+func (pp *PathPerf) SetRTTInflation(peer netip.Addr, ms float64) {
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	if ms <= 0 {
+		delete(pp.extraMS, peer)
+		return
+	}
+	pp.extraMS[peer] = ms
+}
+
+// SetPathLoss sets the scripted transport-loss fraction on every path
+// via the given peer; zero clears it.
+func (pp *PathPerf) SetPathLoss(peer netip.Addr, frac float64) {
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	if frac <= 0 {
+		delete(pp.lossFrac, peer)
+		return
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	pp.lossFrac[peer] = frac
+}
+
+// rttInflation returns the active scripted inflation for a peer.
+func (pp *PathPerf) rttInflation(peer netip.Addr) float64 {
+	pp.mu.RLock()
+	defer pp.mu.RUnlock()
+	return pp.extraMS[peer]
+}
+
+// PathLoss returns the active scripted loss fraction for a peer.
+func (pp *PathPerf) PathLoss(peer netip.Addr) float64 {
+	pp.mu.RLock()
+	defer pp.mu.RUnlock()
+	return pp.lossFrac[peer]
 }
 
 // unit maps a hash to [0,1).
@@ -94,7 +150,7 @@ func (pp *PathPerf) BaseRTT(p netip.Prefix, peer *Peer, bestClass uint8) float64
 	if pp.Anomalous(p) && uint8(peer.Class) == bestClass {
 		rtt += pp.anomalyExtra(p)
 	}
-	return rtt
+	return rtt + pp.rttInflation(peer.Addr)
 }
 
 // CongestionDelay returns the added queueing delay in milliseconds for

@@ -18,6 +18,21 @@ import (
 // when injecting routes into the PoP's peering routers.
 var ControllerAddr = netip.MustParseAddr("10.255.0.100")
 
+// ControllerPathAddr returns the synthetic per-slot peer address a
+// controller multipath member is stored under. The PoP table keys routes
+// by (prefix, peer address), so each member of a weighted set needs a
+// distinct address to coexist; slot 0 is ControllerAddr itself, higher
+// slots derive from it (10.255.0.100+slot stays clear of the router
+// loopbacks at 10.255.0.10+i for MaxMultipathSlots ≤ 16).
+func ControllerPathAddr(slot int) netip.Addr {
+	if slot <= 0 {
+		return ControllerAddr
+	}
+	b := ControllerAddr.As4()
+	b[3] += byte(slot)
+	return netip.AddrFrom4(b)
+}
+
 // PoPConfig configures a live PoP.
 type PoPConfig struct {
 	// Scenario supplies topology and prefixes; required.
@@ -138,6 +153,12 @@ func (h *prHandler) HandleDown(peer *bgp.Peer, err error) {
 		if exp := h.pop.exporter(h.router); exp != nil {
 			_ = exp.PeerDown(peer.Addr(), peer.AS(), 2)
 		}
+		return
+	}
+	// Controller session: multipath members live under synthetic per-slot
+	// peer addresses — sweep those too.
+	for slot := 1; slot < rib.MaxMultipathSlots; slot++ {
+		h.pop.Table.RemovePeer(ControllerPathAddr(slot))
 	}
 }
 
@@ -182,6 +203,17 @@ func (h *prHandler) HandleUpdate(peer *bgp.Peer, u *bgp.Update) {
 				return // uninstallable override
 			}
 			r.EgressIF = target.InterfaceID
+			// A weighted multipath member carries a slot community: store
+			// it under the synthetic per-slot peer address so the k
+			// members of the set coexist in the table. A plain override
+			// (no slot community) replaces any lingering members.
+			if slot, _, ok := rib.ParseMultipathCommunities(u.Attrs.Communities); ok {
+				r.PeerAddr = ControllerPathAddr(slot)
+			} else {
+				for s := 1; s < rib.MaxMultipathSlots; s++ {
+					pop.Table.Remove(prefix, ControllerPathAddr(s))
+				}
+			}
 		} else {
 			r.PeerClass = spec.Class
 			r.EgressIF = spec.InterfaceID
@@ -190,6 +222,13 @@ func (h *prHandler) HandleUpdate(peer *bgp.Peer, u *bgp.Update) {
 	}
 	withdraw := func(prefix netip.Prefix) {
 		pop.Table.Remove(prefix, peer.Addr())
+		if fromController {
+			// A controller withdraw is prefix-scoped on the wire; clear
+			// every multipath member slot it may have installed.
+			for s := 1; s < rib.MaxMultipathSlots; s++ {
+				pop.Table.Remove(prefix, ControllerPathAddr(s))
+			}
+		}
 	}
 
 	for _, w := range u.Withdrawn {

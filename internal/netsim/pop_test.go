@@ -273,3 +273,104 @@ func TestPoPConnectController(t *testing.T) {
 		t.Error("unknown router should error")
 	}
 }
+
+// TestPoPMultipathForwarding installs a two-member weighted controller
+// set the way the injector announces it (one route per slot, stored
+// under synthetic per-slot peer addresses) and checks the dataplane
+// splits the prefix's demand by the announced weights.
+func TestPoPMultipathForwarding(t *testing.T) {
+	pop, sc, clock := startPoP(t, nil)
+	// A prefix preferred via a private peer with a transit alternate.
+	var prefix netip.Prefix
+	var primary, alt *rib.Route
+	for _, pi := range sc.Prefixes {
+		routes := pop.Table.Routes(pi.Prefix)
+		if len(routes) < 2 || routes[0].PeerClass != rib.ClassPrivate {
+			continue
+		}
+		for _, r := range routes[1:] {
+			if r.PeerClass == rib.ClassTransit {
+				prefix, primary, alt = pi.Prefix, routes[0], r
+				break
+			}
+		}
+		if alt != nil {
+			break
+		}
+	}
+	if alt == nil {
+		t.Fatal("no private-preferred prefix with transit alternate")
+	}
+
+	member := func(slot, pct int, via *rib.Route) *rib.Route {
+		return &rib.Route{
+			Prefix:    prefix,
+			NextHop:   via.NextHop,
+			PeerAddr:  ControllerPathAddr(slot),
+			PeerAS:    pop.Topo.LocalAS,
+			PeerClass: rib.ClassController,
+			FromIBGP:  true,
+			LocalPref: rib.PrefController,
+			ASPath:    via.ASPath,
+			EgressIF:  via.EgressIF,
+			Communities: []uint32{
+				rib.Community(rib.ControllerCommunityAS, 1),
+				rib.Community(rib.ControllerCommunityAS, 4),
+				rib.MultipathSlotCommunity(slot),
+				rib.MultipathWeightCommunity(pct),
+			},
+		}
+	}
+	pop.Table.Add(member(0, 70, primary))
+	pop.Table.Add(member(1, 30, alt))
+
+	stats := pop.Plane.Tick(clock.Now(), 30*time.Second)
+	pt := stats.Prefix[prefix]
+	if !pt.Injected {
+		t.Fatal("multipath prefix not marked injected")
+	}
+	if len(pt.Members) != 2 {
+		t.Fatalf("members = %d, want 2", len(pt.Members))
+	}
+	if pt.EgressIF != primary.EgressIF {
+		t.Errorf("headline egress = IF%d, want slot-0's IF%d", pt.EgressIF, primary.EgressIF)
+	}
+	w0 := pt.Members[0].Bps / pt.DemandBps
+	w1 := pt.Members[1].Bps / pt.DemandBps
+	if w0 < 0.69 || w0 > 0.71 || w1 < 0.29 || w1 > 0.31 {
+		t.Errorf("member shares = %.2f/%.2f, want 0.70/0.30", w0, w1)
+	}
+	if pt.Members[0].EgressIF != primary.EgressIF || pt.Members[1].EgressIF != alt.EgressIF {
+		t.Errorf("member egress = IF%d/IF%d, want IF%d/IF%d",
+			pt.Members[0].EgressIF, pt.Members[1].EgressIF, primary.EgressIF, alt.EgressIF)
+	}
+	if pt.RTTms <= 0 {
+		t.Error("weighted RTT not computed")
+	}
+
+	// Withdrawing every slot falls back to the organic best.
+	for s := 0; s < rib.MaxMultipathSlots; s++ {
+		pop.Table.Remove(prefix, ControllerPathAddr(s))
+	}
+	stats = pop.Plane.Tick(clock.Now(), 30*time.Second)
+	if stats.Prefix[prefix].Injected {
+		t.Error("override still active after withdrawing all slots")
+	}
+}
+
+// TestControllerPathAddrDistinct pins the slot address derivation: slot
+// 0 is the controller's own iBGP address and every slot maps to a
+// distinct address clear of the router loopbacks.
+func TestControllerPathAddrDistinct(t *testing.T) {
+	seen := map[netip.Addr]bool{}
+	for s := 0; s < rib.MaxMultipathSlots; s++ {
+		a := ControllerPathAddr(s)
+		if seen[a] {
+			t.Fatalf("slot %d address %s collides", s, a)
+		}
+		seen[a] = true
+	}
+	if ControllerPathAddr(0) != ControllerAddr {
+		t.Error("slot 0 must be ControllerAddr")
+	}
+}

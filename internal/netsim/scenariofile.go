@@ -100,6 +100,8 @@ type AnnounceFile struct {
 //	ibgp-reset   router     controller iBGP session flapped once
 //	sflow-loss   (none)     collector datagram loss at rate magnitude
 //	                        (≥ 1 = total blackout)
+//	path-rtt     peer       +magnitude ms on every path via the peer
+//	lossy-path   peer       magnitude loss fraction on paths via the peer
 type EventFile struct {
 	Kind      string  `json:"kind"`
 	At        string  `json:"at"`

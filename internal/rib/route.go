@@ -253,3 +253,55 @@ func (r *Route) HasCommunity(c uint32) bool {
 	}
 	return false
 }
+
+// The controller announces weighted multipath overrides add-path-style:
+// each member is a separate UPDATE tagged with a slot community (the
+// poor man's RFC 7911 path-id, so a router can hold k controller routes
+// for one prefix) and a weight community (the member's share of the
+// prefix's demand in percent, standing in for the link-bandwidth
+// extended community). Both live under the controller's private AS.
+const (
+	// ControllerCommunityAS is the private AS controller communities
+	// are tagged under.
+	ControllerCommunityAS uint16 = 64999
+	// multipathSlotBase + slot (slot in [0, MaxMultipathSlots)) is the
+	// slot community tag.
+	multipathSlotBase uint16 = 100
+	// multipathWeightBase + pct (pct in [1, 100]) is the weight
+	// community tag.
+	multipathWeightBase uint16 = 200
+	// MaxMultipathSlots bounds the member slots the wire encoding can
+	// express.
+	MaxMultipathSlots = 16
+)
+
+// MultipathSlotCommunity returns the slot community for member slot.
+func MultipathSlotCommunity(slot int) uint32 {
+	return Community(ControllerCommunityAS, multipathSlotBase+uint16(slot))
+}
+
+// MultipathWeightCommunity returns the weight community for a member
+// carrying pct percent of the prefix's demand.
+func MultipathWeightCommunity(pct int) uint32 {
+	return Community(ControllerCommunityAS, multipathWeightBase+uint16(pct))
+}
+
+// ParseMultipathCommunities extracts the slot and weight of a
+// controller multipath member from its communities. ok is false when
+// the set carries no slot community (a plain single-path override).
+func ParseMultipathCommunities(cs []uint32) (slot, pct int, ok bool) {
+	for _, c := range cs {
+		if uint16(c>>16) != ControllerCommunityAS {
+			continue
+		}
+		tag := uint16(c)
+		switch {
+		case tag >= multipathSlotBase && tag < multipathSlotBase+MaxMultipathSlots:
+			slot = int(tag - multipathSlotBase)
+			ok = true
+		case tag > multipathWeightBase && tag <= multipathWeightBase+100:
+			pct = int(tag - multipathWeightBase)
+		}
+	}
+	return slot, pct, ok
+}

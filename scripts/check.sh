@@ -29,6 +29,13 @@ go test -race ./...
 echo "==> chaos soak smoke (TestE16SoakSmoke, race, 4m budget)"
 go test -race -count=1 -timeout 4m -run '^TestE16SoakSmoke$' ./internal/exp
 
+# Weighted multipath smoke: the reduced-scale E17 comparison must
+# engage the optimizer end to end under the race detector — weighted
+# sets installed, the dataplane splitting demand, both arms reporting.
+# The paper-scale p90-RTT acceptance gate runs via `efbench -only E17`.
+echo "==> weighted multipath smoke (TestE17MultipathSmoke, race, 3m budget)"
+go test -race -count=1 -timeout 3m -run '^TestE17MultipathSmoke$' ./internal/exp
+
 # Hot-path benchmarks -> BENCH_hotpath.json, gated against the
 # committed previous run. The 1M-prefix benchmarks are deliberately
 # excluded (minutes of table construction; they back EXPERIMENTS.md
@@ -38,7 +45,7 @@ go test -race -count=1 -timeout 4m -run '^TestE16SoakSmoke$' ./internal/exp
 echo "==> hot-path benchmarks -> BENCH_hotpath.json"
 benchout=$(mktemp)
 go test -run '^$' \
-  -bench='^(BenchmarkProject50k|BenchmarkTableRoutesSorted|BenchmarkRunCycleSteadyState|BenchmarkRunCycleSteadyStateNoTrace|BenchmarkIngestDatagram|BenchmarkDecodeStream)$' \
+  -bench='^(BenchmarkProject50k|BenchmarkTableRoutesSorted|BenchmarkRunCycleSteadyState|BenchmarkRunCycleSteadyStateNoTrace|BenchmarkMultipathAllocate|BenchmarkIngestDatagram|BenchmarkDecodeStream)$' \
   -benchtime=3x -count=2 -benchmem . | tee "$benchout"
 awk -v gover="$(go env GOVERSION)" '
 /^Benchmark/ {
@@ -104,11 +111,12 @@ grep -q "fleet summary (2 PoPs; shared sFlow demux: 0 malformed, 0 unknown-agent
   "$fleettmp/fleet.out"
 
 # Scenario timeline smoke: popsim must load the composed example
-# timeline (all nine event kinds) and arm the event engine.
+# timeline (all eleven event kinds, the perf pair included) and arm the
+# event engine.
 echo "==> popsim chaos-timeline load smoke"
 go build -o "$fleettmp/popsim" ./cmd/popsim
 "$fleettmp/popsim" --topology examples/topologies/chaos-timeline.json \
   --duration 3s --report-every 1s > "$fleettmp/popsim.out" 2>&1
-grep -q "event timeline armed (9 events)" "$fleettmp/popsim.out"
+grep -q "event timeline armed (11 events)" "$fleettmp/popsim.out"
 
 echo "OK"

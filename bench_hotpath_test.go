@@ -3,11 +3,14 @@ package edgefabric_bench
 import (
 	"fmt"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"net/netip"
 	"testing"
 	"time"
 
 	"edgefabric/internal/altpath"
+	"edgefabric/internal/api"
 	"edgefabric/internal/core"
 	"edgefabric/internal/rib"
 	"edgefabric/internal/sflow"
@@ -324,6 +327,82 @@ func BenchmarkRunCycleSteadyStateNoTrace(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := ctrl.RunCycle(); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// fleetBenchController builds the cheapest controller that still
+// produces a real fleet digest: two peers on two interfaces, a handful
+// of prefixes, one completed cycle.
+func fleetBenchController(b *testing.B, ord int) *core.Controller {
+	b.Helper()
+	tab, demand := hotTable(16, 2, 2)
+	peers := []core.PeerInfo{
+		{Name: "pni", Addr: netip.AddrFrom4([4]byte{172, 21, byte(ord >> 8), byte(ord)}),
+			AS: 65001, Class: rib.ClassPrivate, InterfaceID: 0, Router: "pr1"},
+		{Name: "transit", Addr: netip.AddrFrom4([4]byte{172, 22, byte(ord >> 8), byte(ord)}),
+			AS: 65002, Class: rib.ClassTransit, InterfaceID: 1, Router: "pr1"},
+	}
+	ifaces := []core.InterfaceInfo{
+		{ID: 0, Name: "if0", CapacityBps: 1e10, Router: "pr1"},
+		{ID: 1, Name: "if1", CapacityBps: 1e11, Router: "pr1"},
+	}
+	inv, err := core.NewInventory(peers, ifaces)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctrl, err := core.New(core.Config{
+		Inventory: inv,
+		Traffic:   staticRates(demand),
+		Allocator: core.AllocatorConfig{Threshold: 0.95},
+		Trace:     core.TraceConfig{Disable: true},
+		LocalAS:   64512,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(ctrl.Close)
+	for _, p := range tab.Prefixes() {
+		for _, r := range tab.Routes(p) {
+			ctrl.Store().Table().Add(r)
+		}
+	}
+	if _, err := ctrl.RunCycle(); err != nil {
+		b.Fatal(err)
+	}
+	return ctrl
+}
+
+// BenchmarkFleetRollup measures one GET /v1/fleet/summary over a
+// 256-PoP server. The fleet endpoints serve from per-PoP digests
+// cached inside their TTL, so the per-request cost must be dominated
+// by encoding the first page — not by re-walking 256 controllers.
+// This is the gate behind the "sublinear rollup" claim: if a change
+// makes the handler touch every controller per request, the per-op
+// time blows up by orders of magnitude and check.sh rejects it.
+func BenchmarkFleetRollup(b *testing.B) {
+	const nPoPs = 256
+	srv := api.NewServer()
+	for i := 0; i < nPoPs; i++ {
+		if err := srv.AddPoP(fmt.Sprintf("edge-%03d", i+1), fleetBenchController(b, i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	h := srv.Handler()
+	// Warm the digest cache once so the timed loop measures the
+	// steady-state serving path.
+	warm := httptest.NewRecorder()
+	h.ServeHTTP(warm, httptest.NewRequest(http.MethodGet, "/v1/fleet/summary", nil))
+	if warm.Code != http.StatusOK {
+		b.Fatalf("warmup status %d: %s", warm.Code, warm.Body.String())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/fleet/summary", nil))
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
 		}
 	}
 }

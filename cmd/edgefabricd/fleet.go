@@ -47,10 +47,16 @@ type FleetFile struct {
 	PoPs []FleetPoPSpec `json:"pops"`
 }
 
-// FleetPoPSpec describes one hosted PoP.
+// FleetPoPSpec describes one hosted PoP, or — with Count > 1 — a
+// template stamped out Count times (embedded fleet only; remote PoPs
+// each need their own inventory). A template named "edge" with count 3
+// expands to edge-001..edge-003, each with its own seed, which is how
+// a one-line fleet file hosts hundreds of PoPs.
 type FleetPoPSpec struct {
 	// Name scopes the PoP in the API (/v1/pops/{name}/...).
 	Name string `json:"name"`
+	// Count replicates this spec (embedded fleet only).
+	Count int `json:"count,omitempty"`
 	// Inventory is a popsim inventory path (remote fleet).
 	Inventory string `json:"inventory,omitempty"`
 	// Embedded-fleet scenario knobs.
@@ -71,6 +77,34 @@ func loadFleetFile(path string) (*FleetFile, error) {
 	if len(f.PoPs) == 0 {
 		return nil, fmt.Errorf("fleet file %s: no pops", path)
 	}
+
+	// Expand count templates before validating names, so the expanded
+	// fleet is what the duplicate check sees.
+	expanded := make([]FleetPoPSpec, 0, len(f.PoPs))
+	for i, p := range f.PoPs {
+		if p.Count <= 1 {
+			expanded = append(expanded, p)
+			continue
+		}
+		if p.Inventory != "" {
+			return nil, fmt.Errorf("fleet file %s: pop %d: count needs embedded pops (each remote pop has its own inventory)", path, i)
+		}
+		base := p.Name
+		if base == "" {
+			base = "pop"
+		}
+		for j := 0; j < p.Count; j++ {
+			c := p
+			c.Count = 0
+			c.Name = fmt.Sprintf("%s-%03d", base, j+1)
+			if p.Seed != 0 {
+				c.Seed = p.Seed + int64(j)
+			}
+			expanded = append(expanded, c)
+		}
+	}
+	f.PoPs = expanded
+
 	remote := 0
 	names := make(map[string]bool, len(f.PoPs))
 	for i := range f.PoPs {
@@ -95,7 +129,7 @@ func loadFleetFile(path string) (*FleetFile, error) {
 func (f *FleetFile) remote() bool { return f.PoPs[0].Inventory != "" }
 
 // runFleet hosts every PoP in the fleet file inside this process.
-func runFleet(ctx context.Context, path string, cycle time.Duration, threshold float64, duration time.Duration, statusAddr string, audit *core.AuditLogger, verbose bool) {
+func runFleet(ctx context.Context, path string, cycle time.Duration, threshold float64, duration time.Duration, statusAddr string, metricsTopK int, audit *core.AuditLogger, verbose bool) {
 	ff, err := loadFleetFile(path)
 	if err != nil {
 		log.Fatalf("fleet: %v", err)
@@ -105,16 +139,16 @@ func runFleet(ctx context.Context, path string, cycle time.Duration, threshold f
 		logf = log.Printf
 	}
 	if ff.remote() {
-		runRemoteFleet(ctx, ff, cycle, threshold, duration, statusAddr, audit, logf)
+		runRemoteFleet(ctx, ff, cycle, threshold, duration, statusAddr, metricsTopK, audit, logf)
 		return
 	}
-	runEmbeddedFleet(ctx, ff, threshold, duration, statusAddr, audit, logf)
+	runEmbeddedFleet(ctx, ff, threshold, duration, statusAddr, metricsTopK, audit, logf)
 }
 
 // runRemoteFleet attaches one controller per popsim inventory, all
 // ingesting sFlow from one shared UDP listener through a demux keyed by
 // the routers' agent addresses.
-func runRemoteFleet(ctx context.Context, ff *FleetFile, cycle time.Duration, threshold float64, duration time.Duration, statusAddr string, audit *core.AuditLogger, logf func(string, ...any)) {
+func runRemoteFleet(ctx context.Context, ff *FleetFile, cycle time.Duration, threshold float64, duration time.Duration, statusAddr string, metricsTopK int, audit *core.AuditLogger, logf func(string, ...any)) {
 	listen := ff.SFlowListen
 	if listen == "" {
 		listen = "127.0.0.1:6343"
@@ -132,12 +166,8 @@ func runRemoteFleet(ctx context.Context, ff *FleetFile, cycle time.Duration, thr
 	log.Printf("fleet sFlow listener on %s (shared, demuxed by agent address)", listen)
 
 	apiSrv := api.NewServer()
-	type member struct {
-		name string
-		ctrl *core.Controller
-		inv  *core.Inventory
-	}
-	var members []member
+	sup := core.NewFleetSupervisor(core.FleetSupervisorConfig{Logf: logf})
+	bindings := make(map[netip.Addr]*sflow.Collector)
 	for _, spec := range ff.PoPs {
 		invFile, err := core.LoadInventoryFile(spec.Inventory)
 		if err != nil {
@@ -157,7 +187,7 @@ func runRemoteFleet(ctx context.Context, ff *FleetFile, cycle time.Duration, thr
 			if err != nil {
 				log.Fatalf("%s: router %s sflow agent %q: %v", spec.Name, r.Name, agent, err)
 			}
-			demux.Register(a, traffic)
+			bindings[a] = traffic
 		}
 		ctrl, err = attachController(invFile, traffic, cycle, threshold, audit, logf)
 		if err != nil {
@@ -167,19 +197,28 @@ func runRemoteFleet(ctx context.Context, ff *FleetFile, cycle time.Duration, thr
 		if err := apiSrv.AddPoP(spec.Name, ctrl); err != nil {
 			log.Fatalf("%s: %v", spec.Name, err)
 		}
-		members = append(members, member{name: spec.Name, ctrl: ctrl, inv: ctrl.Inventory()})
+		if err := sup.Add(core.FleetMember{Name: spec.Name, Ctrl: ctrl}); err != nil {
+			log.Fatalf("%s: %v", spec.Name, err)
+		}
 	}
+	// One copy-on-write table rebuild for the whole fleet's agents, not
+	// one per router.
+	demux.RegisterBatch(bindings)
+	rec := core.NewReconciler(sup, core.ReconcilerConfig{Logf: logf})
+	apiSrv.SetReconciler(rec)
+	apiSrv.SetMetricsTopK(metricsTopK)
 
 	// Each member converges independently; one slow PoP must not block
 	// the others' readiness, so wait sequentially under one deadline but
 	// tolerate stragglers (their health ladder reports them).
 	readyCtx, cancel := context.WithTimeout(ctx, 60*time.Second)
-	for _, m := range members {
-		if err := m.ctrl.WaitReady(readyCtx, 1); err != nil {
-			log.Printf("%s: not ready yet (%v); continuing, health gating applies", m.name, err)
+	for _, name := range sup.Members() {
+		ctrl, _ := sup.Controller(name)
+		if err := ctrl.WaitReady(readyCtx, 1); err != nil {
+			log.Printf("%s: not ready yet (%v); continuing, health gating applies", name, err)
 			continue
 		}
-		log.Printf("%s: controller ready, %d routes", m.name, m.ctrl.Store().Table().RouteCount())
+		log.Printf("%s: controller ready, %d routes", name, ctrl.Store().Table().RouteCount())
 	}
 	cancel()
 	serveStatus(ctx, statusAddr, apiSrv)
@@ -198,16 +237,14 @@ func runRemoteFleet(ctx context.Context, ff *FleetFile, cycle time.Duration, thr
 		case <-deadline:
 			return
 		case <-ticker.C:
-			// Independent per-PoP cycles: a member frozen in fail-static
-			// (or erroring) never gates its siblings.
-			for _, m := range members {
-				report, err := m.ctrl.RunCycle()
-				if err != nil {
-					log.Printf("%s: cycle: %v", m.name, err)
-					continue
-				}
-				fmt.Printf("[%s] %s\n", m.name, core.FormatReport(report, m.inv))
-			}
+			// The supervisor fans the round out over its worker pool —
+			// independent per-PoP cycles, a member frozen in fail-static
+			// (or erroring, or draining for a config apply) never gates
+			// its siblings.
+			st := sup.RunCycleAll()
+			rec.Step()
+			log.Printf("fleet round: %d cycled, %d draining, %d errors, %d overruns in %s",
+				st.Members, st.Skipped, st.Errors, st.Overruns, st.Elapsed.Round(time.Millisecond))
 		}
 	}
 }
@@ -215,7 +252,7 @@ func runRemoteFleet(ctx context.Context, ff *FleetFile, cycle time.Duration, thr
 // runEmbeddedFleet fast-forwards self-contained simulations for every
 // PoP in one process, sharing one sFlow demux — the one-command fleet
 // demonstration.
-func runEmbeddedFleet(ctx context.Context, ff *FleetFile, threshold float64, duration time.Duration, statusAddr string, audit *core.AuditLogger, logf func(string, ...any)) {
+func runEmbeddedFleet(ctx context.Context, ff *FleetFile, threshold float64, duration time.Duration, statusAddr string, metricsTopK int, audit *core.AuditLogger, logf func(string, ...any)) {
 	if duration == 0 {
 		duration = 24 * time.Hour
 	}
@@ -253,8 +290,13 @@ func runEmbeddedFleet(ctx context.Context, ff *FleetFile, threshold float64, dur
 		log.Fatalf("fleet host: %v", err)
 	}
 	defer fh.Close()
+	fh.API.SetMetricsTopK(metricsTopK)
 	serveStatus(ctx, statusAddr, fh.API)
-	log.Printf("fleet converged (%d PoPs); simulating %s of virtual time", len(fh.PoPs), duration)
+	log.Printf("fleet converged (%d PoPs, supervised, reconciler armed); simulating %s of virtual time", len(fh.PoPs), duration)
+
+	// Per-PoP chatter at fleet scale would swamp the terminal; past a
+	// handful of members only the rollups speak.
+	chatty := len(fh.PoPs) <= 8
 
 	type tally struct {
 		cycles, withOverrides int
@@ -264,6 +306,7 @@ func runEmbeddedFleet(ctx context.Context, ff *FleetFile, threshold float64, dur
 	tallies := make([]tally, len(fh.PoPs))
 	ticks := int(duration / fh.PoPs[0].Cfg.TickLen)
 	for t := 0; t < ticks && ctx.Err() == nil; t++ {
+		cycled := false
 		for i, h := range fh.PoPs {
 			stats, r := h.Step()
 			tl := &tallies[i]
@@ -272,6 +315,7 @@ func runEmbeddedFleet(ctx context.Context, ff *FleetFile, threshold float64, dur
 			if r == nil {
 				continue
 			}
+			cycled = true
 			tl.cycles++
 			if len(r.Overrides) > 0 {
 				tl.withOverrides++
@@ -279,9 +323,15 @@ func runEmbeddedFleet(ctx context.Context, ff *FleetFile, threshold float64, dur
 					tl.peakDetour = frac
 				}
 			}
-			if r.Seq%40 == 0 || len(r.ResidualOverloadBps) > 0 {
+			if chatty && (r.Seq%40 == 0 || len(r.ResidualOverloadBps) > 0) {
 				fmt.Printf("[%s] %s\n", h.Scenario.Topo.Name, core.FormatReport(r, h.Inventory))
 			}
+		}
+		// The reconciler advances one transition per completed fleet
+		// round, so rollouts queued through PUT /v1/pops/{pop}/config
+		// march drain→apply→converge in cycle time, not tick time.
+		if cycled && fh.Reconciler != nil {
+			fh.Reconciler.Step()
 		}
 	}
 	malformed, unknown := fh.Demux.Stats()

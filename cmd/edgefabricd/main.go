@@ -52,6 +52,7 @@ func main() {
 		peakGbps    = flag.Float64("peak-gbps", 400, "embedded mode: peak demand (Gbps)")
 		seed        = flag.Int64("seed", 1, "embedded mode: scenario seed")
 		status      = flag.String("status", "", "serve the controller status API on this address (e.g. 127.0.0.1:8080)")
+		metricsTopK = flag.Int("metrics-top-k", 0, "fleet mode: label only the K highest-traffic PoPs in /v1/metrics, folding the rest into pop=\"other\" (0 = label every PoP)")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060)")
 		auditPath   = flag.String("audit", "", "append a JSON line per cycle to this file")
 		verbose     = flag.Bool("v", false, "verbose logging")
@@ -64,7 +65,7 @@ func main() {
 	audit := openAudit(*auditPath)
 	servePprof(ctx, *pprofAddr)
 	if *fleetPath != "" {
-		runFleet(ctx, *fleetPath, *cycle, *threshold, *duration, *status, audit, *verbose)
+		runFleet(ctx, *fleetPath, *cycle, *threshold, *duration, *status, *metricsTopK, audit, *verbose)
 		return
 	}
 	if *invPath != "" {

@@ -1,5 +1,5 @@
 // Command efbench regenerates every experiment in EXPERIMENTS.md
-// (E1–E10, FLEET, E13, E16, E17, plus E14/E15 when named explicitly
+// (E1–E10, FLEET, E13, E16, E17, E18, plus E14/E15 when named explicitly
 // via -only):
 // it builds the synthetic PoP scenario at the requested scale,
 // runs the plain-BGP baseline and the Edge-Fabric-controlled arms over
@@ -225,6 +225,23 @@ func main() {
 		fmt.Fprint(w, res.String(), "\n")
 		if !res.Pass() {
 			log.Fatal("E17 FAILED: multipath did not beat capacity-only within the drop/churn bounds")
+		}
+	}
+
+	if want("E18") {
+		// Cross-PoP demand shifts: a region loss drains one PoP onto its
+		// siblings, an anycast re-homing swaps load between two more.
+		// Each hosted controller must absorb its new load independently
+		// and decide byte-identically to an isolated twin throughout.
+		sb := withController(base, true)
+		sb.Start = time.Date(2017, 3, 1, 19, 30, 0, 0, time.UTC) // land shifts near peak
+		res, err := exp.E18FleetShift(ctx, exp.FleetShiftConfig{Base: sb, PoPs: 4})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprint(w, res.String(), "\n")
+		if !res.Pass() {
+			log.Fatal("E18 FAILED: shifted demand not absorbed or hosted/isolated decisions diverged")
 		}
 	}
 

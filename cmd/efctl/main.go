@@ -10,6 +10,11 @@
 //	efctl -addr 127.0.0.1:8080 -pop lhr routes -after 10.0.4.0/24
 //	efctl -addr 127.0.0.1:8080 -pop lhr explain 93.184.216.0/24
 //	efctl -addr 127.0.0.1:8080 metrics
+//	efctl -addr 127.0.0.1:8080 fleet summary
+//	efctl -addr 127.0.0.1:8080 fleet health -limit 64 -after lhr
+//	efctl -addr 127.0.0.1:8080 reconcile
+//	efctl -addr 127.0.0.1:8080 -pop lhr config '{"threshold":0.92}'
+//	efctl -addr 127.0.0.1:8080 -pop lhr config -dry-run '{"threshold":0.92}'
 //
 // Against a single-PoP daemon -pop may be omitted: efctl resolves the
 // sole PoP via /v1/pops. Exit codes: 0 success, 2 usage error, 3
@@ -24,6 +29,7 @@ import (
 	"net/http"
 	"net/url"
 	"os"
+	"strings"
 	"time"
 )
 
@@ -57,6 +63,12 @@ commands:
   cycles               recent cycle reports (-limit, -after SEQ)
   routes               RIB routes per prefix (-limit, -after PREFIX)
   explain [prefix]     latest cycle's decision trace, or one prefix's
+  fleet summary        cached fleet rollup (paginated: -limit, -after POP)
+  fleet health         cached per-PoP health digests (-limit, -after POP)
+  reconcile            rolling config-apply status (phase per PoP)
+  config JSON          PUT a config update to one PoP (-dry-run validates
+                       only; on fleet hosts a real apply is a rolling
+                       drain-before-apply rollout, watch with reconcile)
 
 flags:
 `)
@@ -73,7 +85,8 @@ func run() int {
 	pop := flag.String("pop", "", "PoP name (optional when the daemon hosts exactly one)")
 	timeout := flag.Duration("timeout", 5*time.Second, "request timeout")
 	limit := flag.Int("limit", 0, "page size for cycles/routes (0 = server default)")
-	after := flag.String("after", "", "pagination cursor: cycle sequence (cycles) or prefix (routes)")
+	after := flag.String("after", "", "pagination cursor: cycle sequence (cycles), prefix (routes), or PoP name (fleet)")
+	dryRun := flag.Bool("dry-run", false, "config: validate and report the would-be change without applying")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -88,7 +101,20 @@ func run() int {
 		usage()
 		return exitUsage
 	}
-	cmd := flag.Arg(0)
+	// The flag package stops at the first non-flag argument, but flags
+	// read naturally after the command too (efctl fleet health -limit 4).
+	// Interleave re-parsing: consume one command word, parse the rest,
+	// repeat. words ends up holding just the non-flag arguments.
+	args := flag.Args()
+	var words []string
+	for len(args) > 0 {
+		words = append(words, args[0])
+		if err := flag.CommandLine.Parse(args[1:]); err != nil {
+			return exitUsage
+		}
+		args = flag.Args()
+	}
+	cmd := words[0]
 	cli := &client{base: "http://" + host, http: &http.Client{Timeout: *timeout}}
 
 	query := url.Values{}
@@ -100,14 +126,56 @@ func run() int {
 	}
 
 	switch cmd {
+	case "fleet":
+		if len(words) != 2 {
+			fmt.Fprintf(os.Stderr, "efctl: fleet needs a subcommand: summary or health\n")
+			usage()
+			return exitUsage
+		}
+		switch words[1] {
+		case "summary":
+			return cli.show("/v1/fleet/summary", query)
+		case "health":
+			return cli.show("/v1/fleet/health", query)
+		default:
+			fmt.Fprintf(os.Stderr, "efctl: unknown fleet subcommand %q (want summary or health)\n", words[1])
+			usage()
+			return exitUsage
+		}
+	case "reconcile":
+		if len(words) != 1 {
+			usage()
+			return exitUsage
+		}
+		return cli.show("/v1/fleet/reconcile", nil)
+	case "config":
+		if len(words) != 2 {
+			fmt.Fprintf(os.Stderr, "efctl: config needs a JSON update document, e.g. '{\"threshold\":0.92}'\n")
+			usage()
+			return exitUsage
+		}
+		body := words[1]
+		if !json.Valid([]byte(body)) {
+			fmt.Fprintf(os.Stderr, "efctl: config document is not valid JSON: %.100s\n", body)
+			return exitUsage
+		}
+		name, code := cli.resolvePoP(*pop)
+		if code != exitOK {
+			return code
+		}
+		putQuery := url.Values{}
+		if *dryRun {
+			putQuery.Set("dry_run", "true")
+		}
+		return cli.put("/v1/pops/"+url.PathEscape(name)+"/config", putQuery, body)
 	case "pops":
-		if flag.NArg() != 1 {
+		if len(words) != 1 {
 			usage()
 			return exitUsage
 		}
 		return cli.show("/v1/pops", nil)
 	case "health":
-		if flag.NArg() != 1 {
+		if len(words) != 1 {
 			usage()
 			return exitUsage
 		}
@@ -116,22 +184,22 @@ func run() int {
 		}
 		return cli.show("/v1/health", nil)
 	case "metrics":
-		if flag.NArg() != 1 {
+		if len(words) != 1 {
 			usage()
 			return exitUsage
 		}
 		return cli.showText("/v1/metrics", nil)
 	case "overrides", "cycles", "routes", "explain":
 		if cmd == "explain" {
-			switch flag.NArg() {
+			switch len(words) {
 			case 1:
 			case 2:
-				query.Set("prefix", flag.Arg(1))
+				query.Set("prefix", words[1])
 			default:
 				usage()
 				return exitUsage
 			}
-		} else if flag.NArg() != 1 {
+		} else if len(words) != 1 {
 			usage()
 			return exitUsage
 		}
@@ -154,6 +222,60 @@ func run() int {
 type client struct {
 	base string
 	http *http.Client
+}
+
+// put sends body as a PUT and pretty-prints the response envelope. The
+// invalid_config error's per-field details are surfaced, not dropped.
+func (c *client) put(path string, query url.Values, body string) int {
+	u := c.base + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	req, err := http.NewRequest(http.MethodPut, u, strings.NewReader(body))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "efctl: %v\n", err)
+		return exitTransport
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "efctl: %v\n", err)
+		return exitTransport
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "efctl: %v\n", err)
+		return exitTransport
+	}
+	var env struct {
+		Data  json.RawMessage `json:"data"`
+		Error *struct {
+			Code    string          `json:"code"`
+			Message string          `json:"message"`
+			Details json.RawMessage `json:"details"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &env); err != nil {
+		fmt.Fprintf(os.Stderr, "efctl: %s: non-envelope response (%s): %.200s\n", path, resp.Status, raw)
+		return exitTransport
+	}
+	if env.Error != nil {
+		fmt.Fprintf(os.Stderr, "efctl: api error %s: %s\n", env.Error.Code, env.Error.Message)
+		if len(env.Error.Details) > 0 {
+			if out, err := json.MarshalIndent(env.Error.Details, "", "  "); err == nil {
+				fmt.Fprintln(os.Stderr, string(out))
+			}
+		}
+		return exitAPI
+	}
+	out, err := json.MarshalIndent(env.Data, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "efctl: %v\n", err)
+		return exitTransport
+	}
+	fmt.Println(string(out))
+	return exitOK
 }
 
 // get fetches path and decodes the envelope. A non-nil envelope with

@@ -20,8 +20,12 @@
 //	GET /v1/pops/{pop}/cycles           cycle reports (?limit= / ?after=seq)
 //	GET /v1/pops/{pop}/explain          decision trace (?prefix=)
 //	GET /v1/pops/{pop}/routes           route table (?limit= / ?after=prefix)
-//	GET /v1/health                      fleet rollup (worst state wins)
-//	GET /v1/metrics                     Prometheus text, pop="..." labels
+//	PUT /v1/pops/{pop}/config           apply config update (?dry_run=)
+//	GET /v1/fleet/summary               cached fleet rollup (?limit= / ?after=pop)
+//	GET /v1/fleet/health                cached per-PoP health (?limit= / ?after=pop)
+//	GET /v1/fleet/reconcile             rolling config-apply status
+//	GET /v1/health                      live fleet rollup (deprecated → /v1/fleet/health)
+//	GET /v1/metrics                     Prometheus text, pop="..." labels (top-K bounded)
 //
 // The pre-v1 unversioned paths (/health /metrics /overrides /cycles
 // /routes /explain) remain as deprecated aliases: they serve the same
@@ -55,12 +59,16 @@ const (
 	CodeNotFound         = "not_found"
 	CodeMethodNotAllowed = "method_not_allowed"
 	CodePoPRequired      = "pop_required"
+	CodeInvalidConfig    = "invalid_config"
 )
 
-// Error is the envelope's typed error object.
+// Error is the envelope's typed error object. Details, when present,
+// carries structured context for the code — invalid_config fills it
+// with the per-field validation failures.
 type Error struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	Details any    `json:"details,omitempty"`
 }
 
 // Envelope is the uniform response shape of every endpoint.
@@ -84,6 +92,10 @@ func Routes() []string {
 		"GET /v1/pops/{pop}/cycles",
 		"GET /v1/pops/{pop}/explain",
 		"GET /v1/pops/{pop}/routes",
+		"PUT /v1/pops/{pop}/config",
+		"GET /v1/fleet/summary",
+		"GET /v1/fleet/health",
+		"GET /v1/fleet/reconcile",
 		"GET /v1/health",
 		"GET /v1/metrics",
 	}
@@ -94,14 +106,28 @@ func Routes() []string {
 // one per site. Safe for concurrent use; PoPs may be added while
 // serving.
 type Server struct {
-	mu    sync.RWMutex
-	pops  map[string]*core.Controller
-	order []string
+	mu          sync.RWMutex
+	pops        map[string]*core.Controller
+	order       []string
+	reconciler  *core.Reconciler
+	metricsTopK int
+
+	// Digest cache backing the /v1/fleet/* rollups: per-PoP rows
+	// rebuilt only when that PoP's cycle sequence moves (or a short TTL
+	// lapses), with the fleet aggregate maintained incrementally. See
+	// fleet.go.
+	digestMu     sync.Mutex
+	digests      map[string]*digestEntry
+	digestStripe int
+	agg          fleetAggregate
 }
 
 // NewServer returns an empty Server; register controllers with AddPoP.
 func NewServer() *Server {
-	return &Server{pops: make(map[string]*core.Controller)}
+	return &Server{
+		pops:    make(map[string]*core.Controller),
+		digests: make(map[string]*digestEntry),
+	}
 }
 
 // AddPoP registers a controller under a PoP name.
@@ -236,6 +262,19 @@ func (s *Server) Handler() http.Handler {
 		})
 	}
 
+	// put registers a PUT handler with the same 405-in-envelope
+	// guarantee as get.
+	put := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPut {
+				w.Header().Set("Allow", http.MethodPut)
+				writeErr(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "%s not allowed; use PUT", r.Method)
+				return
+			}
+			h(w, r)
+		})
+	}
+
 	// --- versioned surface ---
 	get("/v1/pops", s.handlePoPs)
 	get("/v1/pops/{pop}", s.popHandler(s.handlePoPSummary))
@@ -244,7 +283,16 @@ func (s *Server) Handler() http.Handler {
 	get("/v1/pops/{pop}/cycles", s.popHandler(s.handleCycles))
 	get("/v1/pops/{pop}/explain", s.popHandler(s.handleExplain))
 	get("/v1/pops/{pop}/routes", s.popHandler(s.handleRoutes))
-	get("/v1/health", s.handleFleetHealth)
+	put("/v1/pops/{pop}/config", s.popHandler(s.handlePutConfig))
+	get("/v1/fleet/summary", s.handleFleetSummary)
+	get("/v1/fleet/health", s.handleFleetHealthV2)
+	get("/v1/fleet/reconcile", s.handleFleetReconcile)
+	// /v1/health predates the paginated fleet rollups; it still serves
+	// the live unpaginated rollup but now points at its successor.
+	get("/v1/health", func(w http.ResponseWriter, r *http.Request) {
+		deprecate(w, "/v1/fleet/health")
+		s.handleFleetHealth(w, r)
+	})
 	get("/v1/metrics", s.handleFleetMetrics)
 
 	// --- deprecated unversioned aliases ---
@@ -436,8 +484,38 @@ func (s *Server) handleFleetMetrics(w http.ResponseWriter, r *http.Request) {
 	if !allowQuery(w, r) {
 		return
 	}
+	names := s.PoPNames()
 	var b strings.Builder
-	for _, name := range s.PoPNames() {
+
+	// Label-cardinality control: with a top-K bound set and more PoPs
+	// than K, only the K highest-traffic PoPs keep distinct pop="..."
+	// series; the rest are summed into one pop="other" bucket, so the
+	// scrape's series count stays O(K), not O(fleet).
+	k := s.getMetricsTopK()
+	if k > 0 && len(names) > k {
+		top := s.topKByDemand(names, k)
+		sums := make(map[string]float64)
+		var order []string
+		for _, name := range names {
+			c, ok := s.pop(name)
+			if !ok {
+				continue
+			}
+			if top[name] {
+				labelMetrics(&b, c.Metrics().Render(), name)
+			} else {
+				rollupMetrics(sums, &order, c.Metrics().Render())
+			}
+		}
+		for _, metric := range order {
+			fmt.Fprintf(&b, "%s{pop=%q} %s\n", metric, "other",
+				strconv.FormatFloat(sums[metric], 'g', -1, 64))
+		}
+		writeData(w, "", 0, map[string]string{"text": b.String()})
+		return
+	}
+
+	for _, name := range names {
 		if c, ok := s.pop(name); ok {
 			labelMetrics(&b, c.Metrics().Render(), name)
 		}

@@ -89,6 +89,10 @@ type Config struct {
 	// BMPBackoffMin / BMPBackoffMax bound the supervised BMP feed
 	// redial backoff (wall clock). Defaults 100 ms / 2 s.
 	BMPBackoffMin, BMPBackoffMax time.Duration
+	// MaxHistory bounds the retained cycle-report ring. Default 4096; a
+	// fleet host packing hundreds of PoPs into one process sets this
+	// much lower (the ring is per PoP, ~1 KB per report).
+	MaxHistory int
 	// Logf, when set, receives one-line log events.
 	Logf func(format string, args ...any)
 }
@@ -155,6 +159,7 @@ type Controller struct {
 	mu        sync.Mutex
 	closed    bool
 	seq       uint64
+	cfgGen    uint64 // config updates applied (see ApplyConfig)
 	lastState HealthState
 	history   []CycleReport // ring buffer once full
 	histNext  int           // next overwrite index when len == maxHist
@@ -225,6 +230,9 @@ func New(cfg Config) (*Controller, error) {
 		bmpCtx:  ctx,
 		bmpStop: cancel,
 		maxHist: 4096,
+	}
+	if cfg.MaxHistory > 0 {
+		c.maxHist = cfg.MaxHistory
 	}
 	c.phCollect = cfg.Metrics.Phase("edgefabric_phase_collect")
 	c.phProject = cfg.Metrics.Phase("edgefabric_phase_project")
@@ -661,11 +669,15 @@ func (c *Controller) RunCycle() (report *CycleReport, err error) {
 	span.End()
 
 	span = c.phAllocate.Start()
+	// Snapshot the allocator config: ApplyConfig may mutate it
+	// concurrently (HTTP-driven), and a cycle must run under one
+	// coherent parameter set.
+	acfg := c.allocatorCfg()
 	var alloc *AllocResult
 	if c.cfg.DisableDeltaProjection {
-		alloc = AllocateStickyTraced(proj, c.cfg.Inventory, c.cfg.Allocator, c.injector.Installed(), tr)
+		alloc = AllocateStickyTraced(proj, c.cfg.Inventory, acfg, c.injector.Installed(), tr)
 	} else {
-		alloc = AllocateDelta(proj, c.cfg.Inventory, c.cfg.Allocator, c.injector.Installed(), tr, &ds, &c.allocState)
+		alloc = AllocateDelta(proj, c.cfg.Inventory, acfg, c.injector.Installed(), tr, &ds, &c.allocState)
 	}
 	span.End()
 
@@ -835,7 +847,7 @@ func (c *Controller) explainUnconsidered(p netip.Prefix, latest *CycleTrace) str
 	fmt.Fprintf(&b, "  demand %.2f Gbps, preferred %s via %s (%s), %d organic route(s)\n",
 		rate/1e9, ifName(c.cfg.Inventory, preferred.EgressIF), preferred.PeerAddr,
 		preferred.PeerClass, organic)
-	threshold := c.cfg.Allocator.Threshold
+	threshold := c.allocatorCfg().Threshold
 	if threshold == 0 {
 		threshold = 0.95
 	}

@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race. The fleet-scale tests build hundreds of controllers; under the
+// race detector's memory and scheduling overhead they run a reduced
+// rung that still exercises the same concurrency structure.
+const raceDetectorEnabled = true

@@ -3,8 +3,11 @@ package exp
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"edgefabric/internal/api"
+	"edgefabric/internal/core"
 	"edgefabric/internal/sflow"
 )
 
@@ -24,6 +27,14 @@ type FleetHost struct {
 	// API is the versioned PoP-scoped surface over every member
 	// controller.
 	API *api.Server
+	// Supervisor hosts the controller-enabled members: drain/resume
+	// gating (a drained member's harness pauses cycling via
+	// SetCyclesPaused) and fleet-level counters.
+	Supervisor *core.FleetSupervisor
+	// Reconciler rolls declarative config across the supervised
+	// members; also reachable through the API's /v1/fleet/reconcile
+	// and PUT /v1/pops/{pop}/config.
+	Reconciler *core.Reconciler
 }
 
 // NewFleetHost builds and converges a fleet sharing one sFlow demux and
@@ -42,25 +53,87 @@ func NewFleetHost(ctx context.Context, cfg FleetConfig) (*FleetHost, error) {
 // harness configs (the daemon's --fleet mode derives these from its
 // fleet file). Each member's SFlowDemux is forced to the shared demux;
 // a zero PoPIndex is assigned positionally so router IDs stay disjoint.
+//
+// Members build concurrently through a bounded worker pool — at
+// hundreds of PoPs, sequential BGP convergence would dominate startup —
+// then register with the API and supervisor in index order so names,
+// pagination cursors, and rollout order stay deterministic.
 func NewFleetHostFromConfigs(ctx context.Context, cfgs []HarnessConfig) (*FleetHost, error) {
 	fh := &FleetHost{Demux: sflow.NewDemux(), API: api.NewServer()}
-	for i, hc := range cfgs {
-		hc.SFlowDemux = fh.Demux
-		if hc.Synth.PoPIndex == 0 {
-			hc.Synth.PoPIndex = i + 1
+	built := make([]*Harness, len(cfgs))
+	errs := make([]error, len(cfgs))
+	workers := min(runtime.GOMAXPROCS(0), len(cfgs))
+	if workers < 1 {
+		workers = 1
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				hc := cfgs[i]
+				hc.SFlowDemux = fh.Demux
+				if hc.Synth.PoPIndex == 0 {
+					hc.Synth.PoPIndex = i + 1
+				}
+				built[i], errs[i] = NewHarness(ctx, hc)
+			}
+		}()
+	}
+	for i := range cfgs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err == nil {
+			continue
 		}
-		h, err := NewHarness(ctx, hc)
-		if err != nil {
+		for _, h := range built {
+			if h != nil {
+				h.Close()
+			}
+		}
+		return nil, fmt.Errorf("exp: fleet host pop %d: %w", i+1, err)
+	}
+
+	fh.Supervisor = core.NewFleetSupervisor(core.FleetSupervisorConfig{})
+	for i, h := range built {
+		fh.PoPs = append(fh.PoPs, h)
+		if h.Controller == nil {
+			continue
+		}
+		if err := fh.API.AddPoP(h.Scenario.Topo.Name, h.Controller); err != nil {
+			fh.Close()
+			return nil, err
+		}
+		if err := fh.Supervisor.Add(core.FleetMember{
+			Name:  h.Scenario.Topo.Name,
+			Ctrl:  h.Controller,
+			Pause: h.SetCyclesPaused,
+		}); err != nil {
 			fh.Close()
 			return nil, fmt.Errorf("exp: fleet host pop %d: %w", i+1, err)
 		}
-		fh.PoPs = append(fh.PoPs, h)
-		if h.Controller != nil {
-			if err := fh.API.AddPoP(h.Scenario.Topo.Name, h.Controller); err != nil {
-				fh.Close()
-				return nil, err
-			}
-		}
+	}
+	if len(fh.Supervisor.Members()) > 0 {
+		fh.Reconciler = core.NewReconciler(fh.Supervisor, core.ReconcilerConfig{})
+		fh.API.SetReconciler(fh.Reconciler)
 	}
 	return fh, nil
+}
+
+// StepAll advances every member PoP one tick (a paused member ticks its
+// dataplane and clock but skips its controller cycle) and then advances
+// any in-flight config rollout one reconciliation step.
+func (fh *FleetHost) StepAll() {
+	for _, h := range fh.PoPs {
+		h.Step()
+	}
+	if fh.Reconciler != nil {
+		fh.Reconciler.Step()
+	}
 }

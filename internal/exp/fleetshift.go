@@ -1,0 +1,396 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"edgefabric/internal/core"
+	"edgefabric/internal/netsim"
+)
+
+// ---------------------------------------------------------------------
+// E18: cross-PoP demand shifts
+// ---------------------------------------------------------------------
+//
+// Edge Fabric is strictly per-PoP, but the demand it steers is not: when
+// a region drops off one PoP (fiber cut, DNS steering away) or anycast
+// re-homes a neighbor's users, load that vanished at one site reappears
+// at others within a routing convergence. E18 reproduces that coupling
+// with conserving demand-shift pairs — every byte drained from one PoP
+// lands at the others — and validates two claims at fleet scale:
+//
+//  1. Hosting is behaviorally invisible under cross-PoP churn: a hosted
+//     fleet member and its isolated twin, fed the same shift timeline,
+//     make byte-identical steering decisions cycle for cycle.
+//  2. Each receiving controller absorbs its share of the shifted demand
+//     independently — demand measurably lands, the controller stays
+//     healthy, and sustained drops do not appear while it has detour
+//     room — with no cross-PoP coordination to lean on.
+//
+// Two episodes compose the timeline:
+//
+//	region-loss     PoP 1 (at its traffic peak) loses fraction f of its
+//	                demand; every other PoP receives an equal share of
+//	                the drained load (mult 1 + f·peak₁/Σ peakᵣ).
+//	anycast-rehome  fraction g of PoP 2's users re-home onto PoP 3
+//	                (from ×(1−g), to ×(1+g·peak₂/peak₃)); the rest of
+//	                the fleet is untouched.
+
+// FleetShiftConfig parameterizes an E18 run.
+type FleetShiftConfig struct {
+	// Base is the per-PoP harness config; ControllerEnabled is
+	// required. Each member derives from Base exactly as in
+	// FleetConfig (distinct seed, name, router block, staggered peak).
+	Base HarnessConfig
+	// PoPs is the fleet size. Default 4, minimum 3 (a loss PoP plus at
+	// least two receivers; the re-homing pair needs a bystander to
+	// prove non-receivers are untouched).
+	PoPs int
+	// LossFrac is the fraction of PoP 1's demand the region-loss
+	// episode drains. Default 0.6.
+	LossFrac float64
+	// RehomeFrac is the fraction of PoP 2's demand the re-homing
+	// episode lands on PoP 3. Default 0.5.
+	RehomeFrac float64
+	// Quiet is the event-free lead-in establishing each PoP's demand
+	// baseline. Default 5m.
+	Quiet time.Duration
+	// EpisodeLen is each episode's duration. Default 20m.
+	EpisodeLen time.Duration
+	// Gap separates the two episodes. Default 5m.
+	Gap time.Duration
+	// Tail is the event-free run-out after the second episode.
+	// Default 10m.
+	Tail time.Duration
+	// DropBound is the worst per-tick ground-truth drop fraction a
+	// receiving PoP may show inside its shift window once the
+	// absorption grace has passed. Default 0.02.
+	DropBound float64
+	// AbsorbGraceTicks is how many ticks after a shift lands the
+	// receiver gets to react before drops count against DropBound —
+	// the re-homed load arrives all at once, and the controller needs
+	// sFlow windows plus a cycle or two of control lag to chase it.
+	// Default 6.
+	AbsorbGraceTicks int
+}
+
+func (c *FleetShiftConfig) setDefaults() {
+	if c.PoPs == 0 {
+		c.PoPs = 4
+	}
+	if c.LossFrac == 0 {
+		c.LossFrac = 0.6
+	}
+	if c.RehomeFrac == 0 {
+		c.RehomeFrac = 0.5
+	}
+	if c.Quiet == 0 {
+		c.Quiet = 5 * time.Minute
+	}
+	if c.EpisodeLen == 0 {
+		c.EpisodeLen = 20 * time.Minute
+	}
+	if c.Gap == 0 {
+		c.Gap = 5 * time.Minute
+	}
+	if c.Tail == 0 {
+		c.Tail = 10 * time.Minute
+	}
+	if c.DropBound == 0 {
+		c.DropBound = 0.02
+	}
+	if c.AbsorbGraceTicks == 0 {
+		c.AbsorbGraceTicks = 6
+	}
+}
+
+// ShiftPoPRow is one PoP's outcome inside one episode window.
+type ShiftPoPRow struct {
+	PoP string
+	// Mult is the scheduled demand multiplier (1 = bystander).
+	Mult float64
+	// DemandRatio is mean in-window demand over the PoP's baseline.
+	DemandRatio float64
+	// WorstDropFrac is the worst per-tick drop fraction anywhere in
+	// the window, including the reaction-lag spike as the load lands.
+	WorstDropFrac float64
+	// SustainedDropFrac is the worst per-tick drop fraction after the
+	// absorption grace — what the PoP kept dropping once the
+	// controller had time to react. This is what Pass gates on.
+	SustainedDropFrac float64
+	// PeakDetourFrac is the highest per-cycle detoured share in the
+	// window (how hard the controller worked to absorb).
+	PeakDetourFrac float64
+	// Healthy reports every in-window cycle stayed at HealthHealthy.
+	Healthy bool
+}
+
+// ShiftEpisode is one episode's across-PoPs outcome.
+type ShiftEpisode struct {
+	Kind string
+	Rows []ShiftPoPRow
+}
+
+// FleetShiftResult records one E18 run.
+type FleetShiftResult struct {
+	PoPs   int
+	Cycles int
+	// IdenticalCycles / ComparedCycles count hosted-vs-isolated
+	// decision comparisons; equal means hosting is invisible under
+	// cross-PoP churn.
+	IdenticalCycles int
+	ComparedCycles  int
+	// OverridesSeen proves the equivalence was not vacuous.
+	OverridesSeen int
+	// FirstMismatch describes the first decision divergence.
+	FirstMismatch string
+	// Episodes are the two shift episodes' outcomes.
+	Episodes  []ShiftEpisode
+	dropBound float64
+}
+
+// shiftPlan is one scheduled episode in tick coordinates.
+type shiftPlan struct {
+	kind  string
+	mults []float64     // per-PoP multiplier, 1 = untouched
+	at    time.Duration // offset from run start
+	from  int           // first tick inside the window
+	to    int           // first tick past the window
+}
+
+// E18FleetShift builds the same fleet twice — hosted (one process, one
+// sFlow demux, one supervisor) and isolated — attaches identical
+// conserving demand-shift timelines to each twin pair, steps both in
+// lockstep comparing steering decisions, and measures whether every
+// receiving PoP absorbed its share.
+func E18FleetShift(ctx context.Context, cfg FleetShiftConfig) (*FleetShiftResult, error) {
+	cfg.setDefaults()
+	if !cfg.Base.ControllerEnabled {
+		return nil, fmt.Errorf("exp: E18 needs ControllerEnabled")
+	}
+	if cfg.PoPs < 3 {
+		return nil, fmt.Errorf("exp: E18 needs at least 3 PoPs, got %d", cfg.PoPs)
+	}
+	fcfg := FleetConfig{Base: cfg.Base, PoPs: cfg.PoPs}
+	host, err := NewFleetHost(ctx, fcfg)
+	if err != nil {
+		return nil, fmt.Errorf("exp: E18 host fleet: %w", err)
+	}
+	defer host.Close()
+	iso, err := NewFleet(ctx, fcfg)
+	if err != nil {
+		return nil, fmt.Errorf("exp: E18 isolated fleet: %w", err)
+	}
+	defer iso.Close()
+
+	tickLen := host.PoPs[0].Cfg.TickLen
+	ticksOf := func(d time.Duration) int { return int(d / tickLen) }
+	n := cfg.PoPs
+
+	// Conserving multipliers. The members derive from one Base, so their
+	// demand peaks are equal and the drained load splits evenly: a
+	// region-loss of fraction f at PoP 1 sends f/(n-1) of a peak to each
+	// receiver; a re-homing of fraction g from PoP 2 lands ×(1+g) on
+	// PoP 3.
+	lossMults := make([]float64, n)
+	rehomeMults := make([]float64, n)
+	for i := range lossMults {
+		lossMults[i] = 1 + cfg.LossFrac/float64(n-1)
+		rehomeMults[i] = 1
+	}
+	lossMults[0] = 1 - cfg.LossFrac
+	rehomeMults[1] = 1 - cfg.RehomeFrac
+	rehomeMults[2] = 1 + cfg.RehomeFrac
+
+	lossAt := cfg.Quiet
+	rehomeAt := cfg.Quiet + cfg.EpisodeLen + cfg.Gap
+	total := rehomeAt + cfg.EpisodeLen + cfg.Tail
+	plans := []shiftPlan{
+		{kind: "region-loss", mults: lossMults, at: lossAt,
+			from: ticksOf(lossAt), to: ticksOf(lossAt + cfg.EpisodeLen)},
+		{kind: "anycast-rehome", mults: rehomeMults, at: rehomeAt,
+			from: ticksOf(rehomeAt), to: ticksOf(rehomeAt + cfg.EpisodeLen)},
+	}
+
+	// Attach the identical per-PoP timeline to both twins.
+	for i := 0; i < n; i++ {
+		var events []netsim.Event
+		for _, p := range plans {
+			if p.mults[i] == 1 {
+				continue
+			}
+			events = append(events, netsim.Event{
+				Kind:      netsim.EventDemandShift,
+				At:        p.at,
+				Duration:  cfg.EpisodeLen,
+				Magnitude: p.mults[i],
+			})
+		}
+		if err := host.PoPs[i].AttachEvents(events); err != nil {
+			return nil, err
+		}
+		if err := iso.PoPs[i].AttachEvents(events); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &FleetShiftResult{PoPs: n, dropBound: cfg.DropBound}
+	type popAcc struct {
+		baseSum, baseTicks float64
+		winSum, winTicks   []float64
+		worstDrop          []float64
+		sustainedDrop      []float64
+		peakDetour         []float64
+		unhealthy          []bool
+	}
+	accs := make([]popAcc, n)
+	for i := range accs {
+		accs[i] = popAcc{
+			winSum: make([]float64, len(plans)), winTicks: make([]float64, len(plans)),
+			worstDrop: make([]float64, len(plans)), sustainedDrop: make([]float64, len(plans)),
+			peakDetour: make([]float64, len(plans)), unhealthy: make([]bool, len(plans)),
+		}
+	}
+	inWindow := func(t int) int {
+		for pi, p := range plans {
+			if t >= p.from && t < p.to {
+				return pi
+			}
+		}
+		return -1
+	}
+
+	ticks := ticksOf(total)
+	res.Cycles = ticks
+	for t := 0; t < ticks; t++ {
+		w := inWindow(t)
+		for i := 0; i < n; i++ {
+			hs, hr := host.PoPs[i].Step()
+			_, ir := iso.PoPs[i].Step()
+			if hr != nil && ir != nil {
+				res.ComparedCycles++
+				res.OverridesSeen += len(hr.Overrides)
+				hk, ik := decisionKey(hr.Overrides), decisionKey(ir.Overrides)
+				if hk == ik {
+					res.IdenticalCycles++
+				} else if res.FirstMismatch == "" {
+					res.FirstMismatch = fmt.Sprintf("%s tick %d: hosted {%s} vs isolated {%s}",
+						host.PoPs[i].Scenario.Topo.Name, t, hk, ik)
+				}
+			}
+			acc := &accs[i]
+			demand := hs.TotalDemandBps()
+			if w < 0 {
+				acc.baseSum += demand
+				acc.baseTicks++
+				continue
+			}
+			acc.winSum[w] += demand
+			acc.winTicks[w]++
+			if demand > 0 {
+				frac := hs.TotalDropsBps() / demand
+				if frac > acc.worstDrop[w] {
+					acc.worstDrop[w] = frac
+				}
+				if t-plans[w].from >= cfg.AbsorbGraceTicks && frac > acc.sustainedDrop[w] {
+					acc.sustainedDrop[w] = frac
+				}
+			}
+			if hr != nil {
+				if hr.Health != core.HealthHealthy {
+					acc.unhealthy[w] = true
+				}
+				if hr.DemandBps > 0 {
+					if frac := hr.DetouredBps / hr.DemandBps; frac > acc.peakDetour[w] {
+						acc.peakDetour[w] = frac
+					}
+				}
+			}
+		}
+	}
+
+	for pi, p := range plans {
+		ep := ShiftEpisode{Kind: p.kind}
+		for i := 0; i < n; i++ {
+			acc := &accs[i]
+			row := ShiftPoPRow{
+				PoP:               host.PoPs[i].Scenario.Topo.Name,
+				Mult:              p.mults[i],
+				WorstDropFrac:     acc.worstDrop[pi],
+				SustainedDropFrac: acc.sustainedDrop[pi],
+				PeakDetourFrac:    acc.peakDetour[pi],
+				Healthy:           !acc.unhealthy[pi],
+			}
+			if acc.baseTicks > 0 && acc.winTicks[pi] > 0 {
+				base := acc.baseSum / acc.baseTicks
+				if base > 0 {
+					row.DemandRatio = (acc.winSum[pi] / acc.winTicks[pi]) / base
+				}
+			}
+			ep.Rows = append(ep.Rows, row)
+		}
+		res.Episodes = append(res.Episodes, ep)
+	}
+	return res, nil
+}
+
+// Pass reports whether the run upholds E18's claims: every compared
+// cycle byte-identical between the twins, every shifted PoP's demand
+// actually moved (at least half the scheduled shift, leaving room for
+// diurnal drift under the staggered peaks), every receiver absorbed its
+// share without sustained drops, and every controller stayed healthy
+// throughout its windows.
+func (r *FleetShiftResult) Pass() bool {
+	if r.ComparedCycles == 0 || r.IdenticalCycles != r.ComparedCycles {
+		return false
+	}
+	for _, ep := range r.Episodes {
+		for _, row := range ep.Rows {
+			if !row.Healthy {
+				return false
+			}
+			switch {
+			case row.Mult > 1:
+				if row.DemandRatio < 1+0.5*(row.Mult-1) {
+					return false
+				}
+				if row.SustainedDropFrac > r.dropBound {
+					return false
+				}
+			case row.Mult < 1:
+				if row.DemandRatio > 1-0.5*(1-row.Mult) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// String renders the E18 outcome.
+func (r *FleetShiftResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E18: %d-PoP cross-PoP shifts over %d ticks: %d/%d cycles identical (%d override decisions)\n",
+		r.PoPs, r.Cycles, r.IdenticalCycles, r.ComparedCycles, r.OverridesSeen)
+	if r.FirstMismatch != "" {
+		fmt.Fprintf(&b, "  first mismatch: %s\n", r.FirstMismatch)
+	}
+	for _, ep := range r.Episodes {
+		fmt.Fprintf(&b, "  %s:\n", ep.Kind)
+		fmt.Fprintf(&b, "    %-10s %6s %8s %10s %10s %8s %8s\n",
+			"pop", "mult", "demand", "worst drop", "sustained", "detour", "healthy")
+		for _, row := range ep.Rows {
+			fmt.Fprintf(&b, "    %-10s %5.2fx %7.2fx %9.3f%% %9.3f%% %7.1f%% %8v\n",
+				row.PoP, row.Mult, row.DemandRatio, 100*row.WorstDropFrac,
+				100*row.SustainedDropFrac, 100*row.PeakDetourFrac, row.Healthy)
+		}
+	}
+	if r.Pass() {
+		fmt.Fprintf(&b, "  PASS: shifts absorbed independently, hosting invisible\n")
+	} else {
+		fmt.Fprintf(&b, "  FAIL\n")
+	}
+	return b.String()
+}

@@ -104,7 +104,14 @@ type Harness struct {
 	cancel          context.CancelFunc
 	ticks           int
 	eventBoundaries int
+	cyclesPaused    atomic.Bool
 }
+
+// SetCyclesPaused gates the controller leg of Step: while paused, ticks
+// still move the dataplane and virtual clock but no cycles run. The
+// fleet supervisor uses this as a member's Pause hook so a draining
+// PoP's controller stops writing overrides while its PoP keeps serving.
+func (h *Harness) SetCyclesPaused(paused bool) { h.cyclesPaused.Store(paused) }
 
 // lateMapper lets the sFlow collector be constructed before the route
 // store that backs its prefix mapping exists.
@@ -189,9 +196,11 @@ func NewHarness(ctx context.Context, cfg HarnessConfig) (*Harness, error) {
 	// address — exactly the path a shared UDP listener takes.
 	var sink sflow.Sink = traffic
 	if cfg.SFlowDemux != nil {
+		bindings := make(map[netip.Addr]*sflow.Collector, len(sc.Topo.Routers))
 		for _, r := range sc.Topo.Routers {
-			cfg.SFlowDemux.Register(r.RouterID, traffic)
+			bindings[r.RouterID] = traffic
 		}
+		cfg.SFlowDemux.RegisterBatch(bindings)
 		sink = cfg.SFlowDemux
 	}
 	// The lossy wrapper is transparent until a fault experiment scripts
@@ -377,7 +386,7 @@ func (h *Harness) Step() (*netsim.TickStats, *core.CycleReport) {
 	h.Clock.Advance(h.Cfg.TickLen)
 	h.ticks++
 	var report *core.CycleReport
-	if h.Controller != nil && h.ticks%h.Cfg.CycleEveryTicks == 0 {
+	if h.Controller != nil && h.ticks%h.Cfg.CycleEveryTicks == 0 && !h.cyclesPaused.Load() {
 		report, _ = h.Controller.RunCycle()
 		h.waitOverridesApplied(report)
 	}
@@ -457,9 +466,11 @@ func (h *Harness) Close() {
 		h.Controller.Close()
 	}
 	if h.Cfg.SFlowDemux != nil {
+		agents := make([]netip.Addr, 0, len(h.Scenario.Topo.Routers))
 		for _, r := range h.Scenario.Topo.Routers {
-			h.Cfg.SFlowDemux.Unregister(r.RouterID)
+			agents = append(agents, r.RouterID)
 		}
+		h.Cfg.SFlowDemux.UnregisterBatch(agents)
 	}
 	h.cancel()
 	h.PoP.Close()

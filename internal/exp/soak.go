@@ -42,6 +42,11 @@ import (
 //	                    while a scripted lossy-path event holds a peer
 //	                    above the optimizer's loss bound, converged
 //	                    member sets no longer steer demand via it
+//	shift-absorption    while an inbound demand-shift (anycast re-homing,
+//	                    magnitude > 1) holds, a healthy controller must
+//	                    not let the PoP shed re-homed load: sustained
+//	                    drops with an addressable alternate still open
+//	                    mean the shift was dropped instead of detoured
 //	recovery            after the last event ends the controller
 //	                    returns to healthy within a bounded number of
 //	                    cycles
@@ -86,6 +91,15 @@ type SoakConfig struct {
 	// measurement converges from below, plus a cycle of control lag).
 	// Default 12.
 	LossyGraceCycles int
+	// ShiftDropFrac is the per-tick ground-truth drop fraction an
+	// inbound demand-shift window tolerates before the absorption
+	// invariant starts counting. Default 0.01.
+	ShiftDropFrac float64
+	// ShiftGraceCycles is how many consecutive dropping-with-headroom
+	// cycles inside a shift window are tolerated before a violation
+	// (the re-homed load lands all at once; measurement plus control
+	// lag need a few cycles to chase it). Default 8.
+	ShiftGraceCycles int
 	// RecoverySettleWall bounds the wall-clock wait for feeds and
 	// sessions to re-establish after the last event (BMP/iBGP redial
 	// backoff is wall-clock, not virtual). Default 15s.
@@ -117,6 +131,12 @@ func (c *SoakConfig) setDefaults() {
 	}
 	if c.LossyGraceCycles == 0 {
 		c.LossyGraceCycles = 12
+	}
+	if c.ShiftDropFrac == 0 {
+		c.ShiftDropFrac = 0.01
+	}
+	if c.ShiftGraceCycles == 0 {
+		c.ShiftGraceCycles = 8
 	}
 	if c.RecoverySettleWall == 0 {
 		c.RecoverySettleWall = 15 * time.Second
@@ -163,6 +183,10 @@ type SoakResult struct {
 	// enough (above the optimizer's loss bound) to arm the
 	// lossy-path-quarantine invariant.
 	LossyWindows int
+	// ShiftWindows is how many scripted demand-shift events were
+	// inbound (magnitude > 1) and so armed the shift-absorption
+	// invariant.
+	ShiftWindows int
 	// Recovered reports the post-event recovery check passed (true when
 	// the timeline ended in time to check it).
 	Recovered bool
@@ -215,6 +239,9 @@ type invariantChecker struct {
 	graceLeft  int
 
 	lossyEvents []*lossyWindow
+	shiftEvents []*shiftWindow
+	shiftBound  float64
+	shiftGrace  int
 	mpFired     map[netip.Prefix]bool
 
 	cycle      int
@@ -229,6 +256,16 @@ type lossyWindow struct {
 	mag      float64
 	from, to time.Time
 	streak   int // consecutive healthy cycles inside the window
+	fired    bool
+}
+
+// shiftWindow tracks one inbound demand-shift event (a neighbor PoP's
+// users re-homed here) during which the controller must absorb the
+// landed load rather than shed it.
+type shiftWindow struct {
+	mag      float64
+	from, to time.Time
+	streak   int // consecutive dropping-with-headroom healthy cycles
 	fired    bool
 }
 
@@ -254,6 +291,8 @@ func newInvariantChecker(h *Harness, cfg *SoakConfig) *invariantChecker {
 		churnBudget:   budget,
 		boundaryGrace: cfg.BoundaryGraceCycles,
 		lossyGrace:    cfg.LossyGraceCycles,
+		shiftBound:    cfg.ShiftDropFrac,
+		shiftGrace:    cfg.ShiftGraceCycles,
 		maxPaths:      maxPaths,
 		minWeight:     minWeight,
 		overStreak:    make(map[int]int),
@@ -290,6 +329,23 @@ func (c *invariantChecker) armPerfInvariants(events []netsim.Event, start time.T
 		c.lossyEvents = append(c.lossyEvents, &lossyWindow{
 			peer: ev.Peer,
 			addr: addr,
+			mag:  ev.Magnitude,
+			from: start.Add(ev.At),
+			to:   start.Add(ev.At + ev.Duration),
+		})
+	}
+}
+
+// armShiftInvariants extracts the inbound demand-shift events — anycast
+// re-homings that dump another PoP's users here, magnitude comfortably
+// above 1 — and anchors their absorption windows at the timeline start.
+// Outbound shifts (magnitude < 1) only remove load and need no check.
+func (c *invariantChecker) armShiftInvariants(events []netsim.Event, start time.Time) {
+	for _, ev := range events {
+		if ev.Kind != netsim.EventDemandShift || ev.Duration <= 0 || ev.Magnitude < 1.15 {
+			continue
+		}
+		c.shiftEvents = append(c.shiftEvents, &shiftWindow{
 			mag:  ev.Magnitude,
 			from: start.Add(ev.At),
 			to:   start.Add(ev.At + ev.Duration),
@@ -393,6 +449,49 @@ func (c *invariantChecker) observe(stats *netsim.TickStats, r *core.CycleReport,
 			if lw.fired {
 				break
 			}
+		}
+	}
+
+	// --- shift absorption: while an inbound demand-shift holds, a
+	// healthy controller must not shed the re-homed load. Dropping more
+	// than the bound with an addressable alternate still open — some hot
+	// interface whose demand could move to an interface with headroom the
+	// controller's own store has a route for — counts against the grace;
+	// unaddressable drops (everything genuinely full) are the residual
+	// overload the paper accepts.
+	for _, sw := range c.shiftEvents {
+		if r.Health != core.HealthHealthy || stats == nil ||
+			r.Time.Before(sw.from) || !r.Time.Before(sw.to) {
+			sw.streak = 0
+			continue
+		}
+		demand := stats.TotalDemandBps()
+		if demand <= 0 || stats.TotalDropsBps()/demand <= c.shiftBound {
+			sw.streak = 0
+			continue
+		}
+		var hotPrefix netip.Prefix
+		hotIf, altIf, addressable := 0, 0, false
+		for id, load := range stats.IfLoadBps {
+			capBps := c.groundCap(id)
+			if capBps <= 0 || load/capBps <= c.threshold {
+				continue
+			}
+			if p, alt, ok := c.findAlternate(stats, id); ok {
+				hotPrefix, hotIf, altIf, addressable = p, id, alt, true
+				break
+			}
+		}
+		if !addressable {
+			sw.streak = 0
+			continue
+		}
+		sw.streak++
+		if sw.streak > c.shiftGrace && !sw.fired {
+			sw.fired = true // once per window
+			c.violate(r.Time, "shift-absorption",
+				"dropping %.2f%% of demand %d healthy cycles into a ×%.2f inbound shift; e.g. %s could move from if%d to if%d",
+				100*stats.TotalDropsBps()/demand, sw.streak, sw.mag, hotPrefix, hotIf, altIf)
 		}
 	}
 
@@ -582,7 +681,9 @@ func E16ChaosSoak(ctx context.Context, cfg SoakConfig) (*SoakResult, error) {
 
 	chk := newInvariantChecker(h, &cfg)
 	chk.armPerfInvariants(events, h.Clock.Now())
+	chk.armShiftInvariants(events, h.Clock.Now())
 	res.LossyWindows = len(chk.lossyEvents)
+	res.ShiftWindows = len(chk.shiftEvents)
 	lastBoundaries := 0
 	for chk.cycle < cfg.Cycles {
 		stats, r := h.Step()

@@ -76,6 +76,7 @@ func ChaosSchedule(sc *Scenario, cfg ChaosConfig) ([]Event, error) {
 		{EventFlashCrowd, 5},
 		{EventSurge, 4},
 		{EventLiveEvent, 2},
+		{EventDemandShift, 2},
 		{EventDepeer, 3},
 		{EventDrain, 2},
 		{EventBrownout, 3},
@@ -115,6 +116,16 @@ func ChaosSchedule(sc *Scenario, cfg ChaosConfig) ([]Event, error) {
 		case EventLiveEvent:
 			ev.Duration = dur(30*time.Minute, 2*time.Hour)
 			ev.Magnitude = mag(1.2, 1.8)
+		case EventDemandShift:
+			// Cross-PoP shift as this PoP sees it: half the draws drain
+			// demand away (region loss), half dump a neighbor's users
+			// here (anycast re-homing).
+			ev.Duration = dur(10*time.Minute, 45*time.Minute)
+			if rng.Float64() < 0.5 {
+				ev.Magnitude = mag(0.4, 0.85)
+			} else {
+				ev.Magnitude = mag(1.2, 1.7)
+			}
 		case EventDepeer:
 			ev.Peer = t.peers[rng.Intn(len(t.peers))].Name
 			ev.Duration = dur(5*time.Minute, 30*time.Minute)

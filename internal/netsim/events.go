@@ -35,6 +35,14 @@ const (
 	// EventSurge is a DDoS-like spike: one prefix's demand multiplied
 	// by Magnitude, typically large and short.
 	EventSurge EventKind = "ddos-surge"
+	// EventDemandShift is a cross-PoP load shift seen from one PoP: the
+	// whole PoP's demand steps to ×Magnitude for the duration (square
+	// pulse, no ramp). Magnitude < 1 models a region loss draining users
+	// away; Magnitude > 1 models an anycast re-homing (or a neighboring
+	// PoP's failure) dumping its users here. Fleet experiments attach a
+	// conserving pair of these — the sender's loss equals the receivers'
+	// gain — to model demand moving between PoPs.
+	EventDemandShift EventKind = "demand-shift"
 
 	// --- topology events (drive Topology / PoP sessions) ---
 
@@ -123,7 +131,7 @@ func (e Event) String() string {
 		target = fmt.Sprintf("AS%d", e.AS)
 	case EventSurge:
 		target = e.Prefix.String()
-	case EventLiveEvent:
+	case EventLiveEvent, EventDemandShift:
 		target = "pop-wide"
 	case EventDepeer, EventPathRTT, EventLossyPath:
 		target = e.Peer
@@ -252,7 +260,7 @@ func NewEventEngine(cfg EventEngineConfig) (*EventEngine, error) {
 			if ev.AS == 0 {
 				return nil, fmt.Errorf("netsim: event %d (%s): target AS required", i, ev.Kind)
 			}
-		case EventLiveEvent:
+		case EventLiveEvent, EventDemandShift:
 			if cfg.Demand == nil {
 				return nil, fmt.Errorf("netsim: event %d (%s): engine has no demand model", i, ev.Kind)
 			}
@@ -418,7 +426,7 @@ func (e *EventEngine) apply(idx int) {
 	ev := &e.events[idx]
 	e.logf("event: apply %s", ev)
 	switch ev.Kind {
-	case EventFlashCrowd, EventLiveEvent, EventSurge:
+	case EventFlashCrowd, EventLiveEvent, EventSurge, EventDemandShift:
 		mod := DemandMod{
 			Start:      e.cfg.Start.Add(ev.At),
 			End:        e.cfg.Start.Add(ev.End()),
@@ -431,6 +439,8 @@ func (e *EventEngine) apply(idx int) {
 			mod.Prefix = ev.Prefix
 		case EventLiveEvent:
 			mod.Ramp = true
+			// EventDemandShift: PoP-wide square pulse — no target, no
+			// ramp; re-homed users land all at once.
 		}
 		e.mods[idx] = e.cfg.Demand.AddMod(mod)
 		e.active++
@@ -474,7 +484,7 @@ func (e *EventEngine) revert(idx int) {
 	ev := &e.events[idx]
 	e.logf("event: revert %s", ev)
 	switch ev.Kind {
-	case EventFlashCrowd, EventLiveEvent, EventSurge:
+	case EventFlashCrowd, EventLiveEvent, EventSurge, EventDemandShift:
 		if mod := e.mods[idx]; mod != nil {
 			e.cfg.Demand.RemoveMod(mod)
 			delete(e.mods, idx)

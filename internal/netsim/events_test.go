@@ -145,6 +145,89 @@ func TestEventEngineDemandApplyRevert(t *testing.T) {
 	}
 }
 
+// TestEventEngineDemandShift: a demand-shift is a PoP-wide square
+// pulse — every prefix scales by the magnitude at once (re-homed users
+// land instantly, no ramp), and the pulse reverts cleanly. A loss-side
+// shift (magnitude < 1) must also validate and apply; liveevent's
+// ramp-shaped modifier must not leak into this kind.
+func TestEventEngineDemandShift(t *testing.T) {
+	sc, pop, demand, clock := eventTestScenario(t)
+
+	for _, bad := range []struct {
+		name string
+		ev   Event
+		want string
+	}{
+		{"needs duration", Event{Kind: EventDemandShift, At: time.Minute, Magnitude: 1.4}, "duration required"},
+		{"needs magnitude", Event{Kind: EventDemandShift, At: time.Minute, Duration: time.Minute}, "magnitude must be positive"},
+	} {
+		_, err := NewEventEngine(EventEngineConfig{
+			Start: clock.Now(), Events: []Event{bad.ev}, PoP: pop, Demand: demand,
+		})
+		if err == nil || !strings.Contains(err.Error(), bad.want) {
+			t.Errorf("%s: err = %v, want containing %q", bad.name, err, bad.want)
+		}
+	}
+
+	eng, err := NewEventEngine(EventEngineConfig{
+		Start: clock.Now(),
+		Events: []Event{
+			{Kind: EventDemandShift, At: 30 * time.Second, Duration: 2 * time.Minute, Magnitude: 1.4},
+		},
+		PoP:    pop,
+		Demand: demand,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := []*PrefixInfo{sc.Prefixes[0], sc.Prefixes[len(sc.Prefixes)/2], sc.Prefixes[len(sc.Prefixes)-1]}
+
+	clock.Advance(time.Minute)
+	if fired := eng.Advance(clock.Now()); fired != 1 {
+		t.Fatalf("apply fired %d transitions, want 1", fired)
+	}
+	// Square pulse: full magnitude immediately after onset, across the
+	// whole PoP, not ramped like a live event.
+	for _, p := range probe {
+		if f := demand.modFactor(p, clock.Now()); math.Abs(f-1.4) > 1e-9 {
+			t.Errorf("%s factor mid-shift = %g, want 1.4 (square, PoP-wide)", p.Prefix, f)
+		}
+	}
+
+	clock.Advance(2 * time.Minute)
+	if fired := eng.Advance(clock.Now()); fired != 1 {
+		t.Fatalf("revert fired %d transitions, want 1", fired)
+	}
+	if !eng.Done() {
+		t.Error("engine not done after the pulse")
+	}
+	for _, p := range probe {
+		if f := demand.modFactor(p, clock.Now()); math.Abs(f-1) > 1e-9 {
+			t.Errorf("%s factor after revert = %g, want 1", p.Prefix, f)
+		}
+	}
+
+	// The losing side of a shift: magnitude < 1 drains the PoP.
+	eng, err = NewEventEngine(EventEngineConfig{
+		Start: clock.Now(),
+		Events: []Event{
+			{Kind: EventDemandShift, At: time.Minute, Duration: time.Minute, Magnitude: 0.4},
+		},
+		PoP:    pop,
+		Demand: demand,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(90 * time.Second)
+	if fired := eng.Advance(clock.Now()); fired != 1 {
+		t.Fatalf("loss-side apply fired %d transitions, want 1", fired)
+	}
+	if f := demand.modFactor(probe[0], clock.Now()); math.Abs(f-0.4) > 1e-9 {
+		t.Errorf("loss-side factor = %g, want 0.4", f)
+	}
+}
+
 func TestDemandModRampShape(t *testing.T) {
 	start := timeAtHour(12)
 	mod := DemandMod{

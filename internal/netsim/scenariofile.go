@@ -92,6 +92,8 @@ type AnnounceFile struct {
 //	flash-crowd  as         demand ×magnitude on every prefix of the AS
 //	live-event   (none)     PoP-wide ramp to ×magnitude at the midpoint
 //	ddos-surge   prefix     demand ×magnitude on one prefix
+//	demand-shift (none)     PoP-wide square step to ×magnitude (<1 region
+//	                        loss draining away, >1 anycast re-homing in)
 //	depeer       peer       session down; restored at end (duration
 //	                        omitted = permanent)
 //	drain        interface  capacity ×magnitude (default 0.05)

@@ -52,6 +52,28 @@ func (d *Demux) Register(agent netip.Addr, c *Collector) {
 	d.byAgent.Store(&next)
 }
 
+// RegisterBatch routes every agent in bindings to its collector with a
+// single copy of the agent table. At fleet scale this matters:
+// building a 256-PoP host one Register at a time copies the table
+// O((N·routers)²) entries total, a batch per PoP keeps it O(N·routers)
+// per PoP.
+func (d *Demux) RegisterBatch(bindings map[netip.Addr]*Collector) {
+	if len(bindings) == 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	old := *d.byAgent.Load()
+	next := make(map[netip.Addr]*Collector, len(old)+len(bindings))
+	for k, v := range old {
+		next[k] = v
+	}
+	for k, v := range bindings {
+		next[k.Unmap()] = v
+	}
+	d.byAgent.Store(&next)
+}
+
 // Unregister removes an agent binding (e.g. when a PoP is torn down).
 func (d *Demux) Unregister(agent netip.Addr) {
 	d.mu.Lock()
@@ -60,6 +82,28 @@ func (d *Demux) Unregister(agent netip.Addr) {
 	next := make(map[netip.Addr]*Collector, len(old))
 	for k, v := range old {
 		if k != agent.Unmap() {
+			next[k] = v
+		}
+	}
+	d.byAgent.Store(&next)
+}
+
+// UnregisterBatch removes a set of agent bindings with a single copy
+// of the agent table (the teardown counterpart of RegisterBatch).
+func (d *Demux) UnregisterBatch(agents []netip.Addr) {
+	if len(agents) == 0 {
+		return
+	}
+	drop := make(map[netip.Addr]bool, len(agents))
+	for _, a := range agents {
+		drop[a.Unmap()] = true
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	old := *d.byAgent.Load()
+	next := make(map[netip.Addr]*Collector, len(old))
+	for k, v := range old {
+		if !drop[k] {
 			next[k] = v
 		}
 	}

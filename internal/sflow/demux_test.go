@@ -90,3 +90,108 @@ func TestDemuxUnregister(t *testing.T) {
 		t.Errorf("unknown = %d, want 1 after unregister", unknown)
 	}
 }
+
+// TestDemuxFleetScale registers a full fleet of agents in one batch —
+// 256 PoPs, the scale the fleet host runs at (a reduced rung under
+// -race) — and verifies strict isolation: every agent's samples land
+// only in its own collector, and a bulk unregister of half the fleet
+// turns exactly that half's traffic into unknown-agent drops.
+func TestDemuxFleetScale(t *testing.T) {
+	n := 256
+	if raceDetectorEnabled {
+		n = 64
+	}
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+
+	agents := make([]netip.Addr, n)
+	collectors := make([]*Collector, n)
+	bindings := make(map[netip.Addr]*Collector, n)
+	for i := range agents {
+		agents[i] = netip.AddrFrom4([4]byte{10, 255, byte(i >> 8), byte(i)})
+		collectors[i] = NewCollector(CollectorConfig{Mapper: fixedMapper{}, Now: clock})
+		bindings[agents[i]] = collectors[i]
+	}
+	d := NewDemux()
+	d.RegisterBatch(bindings)
+
+	// Two distinct /24 destinations, alternating by PoP index, so a
+	// misrouted datagram would be visible as the wrong prefix.
+	dsts := []string{"198.51.100.9", "203.0.113.9"}
+	prefixes := []netip.Prefix{
+		netip.MustParsePrefix("198.51.100.0/24"),
+		netip.MustParsePrefix("203.0.113.0/24"),
+	}
+	for i, agent := range agents {
+		if err := d.SendDatagram(demuxDatagram(t, agent.String(), dsts[i%2])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, c := range collectors {
+		rates := c.Rates()
+		want, other := prefixes[i%2], prefixes[(i+1)%2]
+		if rates[want] == 0 || rates[other] != 0 || len(rates) != 1 {
+			t.Fatalf("pop %d rates = %v, want only %s", i, rates, want)
+		}
+	}
+	if malformed, unknown := d.Stats(); malformed != 0 || unknown != 0 {
+		t.Fatalf("stats = (%d malformed, %d unknown) after %d routed datagrams", malformed, unknown, n)
+	}
+
+	// Bulk-unregister the even half; their datagrams become unknown
+	// drops while the odd half still delivers.
+	gone := make([]netip.Addr, 0, n/2)
+	for i := 0; i < n; i += 2 {
+		gone = append(gone, agents[i])
+	}
+	d.UnregisterBatch(gone)
+	for i, agent := range agents {
+		if err := d.SendDatagram(demuxDatagram(t, agent.String(), dsts[i%2])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, unknown := d.Stats(); unknown != uint64(len(gone)) {
+		t.Errorf("unknown = %d after unregistering %d agents", unknown, len(gone))
+	}
+}
+
+// TestDemuxBatchDuringIngest exercises the copy-on-write table: bulk
+// register/unregister churn while senders are mid-flight must never
+// misroute or race (run under -race in CI).
+func TestDemuxBatchDuringIngest(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	d := NewDemux()
+	stable := netip.MustParseAddr("10.255.0.1")
+	d.Register(stable, NewCollector(CollectorConfig{Mapper: fixedMapper{}, Now: clock}))
+	payload := demuxDatagram(t, "10.255.0.1", "198.51.100.9")
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for round := 0; round < 50; round++ {
+			batch := make(map[netip.Addr]*Collector, 8)
+			agents := make([]netip.Addr, 0, 8)
+			for i := 0; i < 8; i++ {
+				a := netip.AddrFrom4([4]byte{10, 254, byte(round), byte(i)})
+				batch[a] = NewCollector(CollectorConfig{Mapper: fixedMapper{}, Now: clock})
+				agents = append(agents, a)
+			}
+			d.RegisterBatch(batch)
+			d.UnregisterBatch(agents)
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			if malformed, unknown := d.Stats(); malformed != 0 || unknown != 0 {
+				t.Fatalf("stats = (%d, %d), want clean routing throughout", malformed, unknown)
+			}
+			return
+		default:
+			if err := d.SendDatagram(payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}

@@ -36,6 +36,14 @@ go test -race -count=1 -timeout 4m -run '^TestE16SoakSmoke$' ./internal/exp
 echo "==> weighted multipath smoke (TestE17MultipathSmoke, race, 3m budget)"
 go test -race -count=1 -timeout 3m -run '^TestE17MultipathSmoke$' ./internal/exp
 
+# Cross-PoP shift smoke: the reduced-scale E18 rung drives a 3-PoP
+# hosted fleet and its isolated twins through a region-loss and an
+# anycast re-homing episode; every cycle must decide identically and
+# every shifted PoP must absorb its new demand. The paper-scale run
+# backs EXPERIMENTS.md E18 via `efbench -only E18`.
+echo "==> cross-PoP shift smoke (TestE18ShiftSmoke, 4m budget)"
+go test -count=1 -timeout 4m -run '^TestE18ShiftSmoke$' ./internal/exp
+
 # Hot-path benchmarks -> BENCH_hotpath.json, gated against the
 # committed previous run. The 1M-prefix benchmarks are deliberately
 # excluded (minutes of table construction; they back EXPERIMENTS.md
@@ -45,7 +53,7 @@ go test -race -count=1 -timeout 3m -run '^TestE17MultipathSmoke$' ./internal/exp
 echo "==> hot-path benchmarks -> BENCH_hotpath.json"
 benchout=$(mktemp)
 go test -run '^$' \
-  -bench='^(BenchmarkProject50k|BenchmarkTableRoutesSorted|BenchmarkRunCycleSteadyState|BenchmarkRunCycleSteadyStateNoTrace|BenchmarkMultipathAllocate|BenchmarkIngestDatagram|BenchmarkDecodeStream)$' \
+  -bench='^(BenchmarkProject50k|BenchmarkTableRoutesSorted|BenchmarkRunCycleSteadyState|BenchmarkRunCycleSteadyStateNoTrace|BenchmarkMultipathAllocate|BenchmarkIngestDatagram|BenchmarkDecodeStream|BenchmarkFleetRollup)$' \
   -benchtime=3x -count=2 -benchmem . | tee "$benchout"
 awk -v gover="$(go env GOVERSION)" '
 /^Benchmark/ {
@@ -110,13 +118,31 @@ EOF
 grep -q "fleet summary (2 PoPs; shared sFlow demux: 0 malformed, 0 unknown-agent)" \
   "$fleettmp/fleet.out"
 
+# Fleet scale smoke: a 64-PoP fleet stamped from one count template must
+# come up, run shared-demux cycles for every member, and shut down with
+# zero misrouted datagrams inside the time budget. Small per-PoP tables
+# keep this to seconds; the 256-PoP rungs live in the unit tests and
+# BenchmarkFleetRollup.
+echo "==> edgefabricd --fleet 64-PoP scale smoke"
+cat > "$fleettmp/fleet64.json" <<'EOF'
+{
+  "pops": [
+    {"name": "edge", "count": 64, "prefixes": 150, "peak_gbps": 10, "seed": 11}
+  ]
+}
+EOF
+"$fleettmp/edgefabricd" --fleet "$fleettmp/fleet64.json" --duration 10m \
+  --metrics-top-k 4 > "$fleettmp/fleet64.out" 2>&1
+grep -q "fleet summary (64 PoPs; shared sFlow demux: 0 malformed, 0 unknown-agent)" \
+  "$fleettmp/fleet64.out"
+
 # Scenario timeline smoke: popsim must load the composed example
-# timeline (all eleven event kinds, the perf pair included) and arm the
-# event engine.
+# timeline (all twelve event kinds, the perf pair and the demand shift
+# included) and arm the event engine.
 echo "==> popsim chaos-timeline load smoke"
 go build -o "$fleettmp/popsim" ./cmd/popsim
 "$fleettmp/popsim" --topology examples/topologies/chaos-timeline.json \
   --duration 3s --report-every 1s > "$fleettmp/popsim.out" 2>&1
-grep -q "event timeline armed (11 events)" "$fleettmp/popsim.out"
+grep -q "event timeline armed (12 events)" "$fleettmp/popsim.out"
 
 echo "OK"
